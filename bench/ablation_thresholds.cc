@@ -1,0 +1,60 @@
+// Ablation (extra, motivated by Section 3.2.1's threshold discussion):
+// sensitivity of Carrefour-LP to Algorithm 1's three thresholds — the 15%
+// LAR-gain bar for migration-only, the 5% LAR-gain bar for splitting, and
+// the 6% hot-page share. The paper reports the first two were "relatively
+// easy to tune"; this sweep shows the plateau they sit on.
+#include <cstdio>
+#include <string>
+
+#include "src/core/config.h"
+#include "src/core/simulation.h"
+#include "src/topo/topology.h"
+#include "src/workloads/spec.h"
+
+namespace {
+
+double RunWith(const numalp::Topology& topo, numalp::BenchmarkId bench,
+               double lar_gain_carrefour, double lar_gain_split, double hot_share) {
+  numalp::SimConfig sim;
+  const numalp::WorkloadSpec spec = numalp::MakeWorkloadSpec(bench, topo);
+  numalp::PolicyConfig policy = numalp::MakePolicyConfig(numalp::PolicyKind::kCarrefourLp);
+  policy.lar_gain_carrefour_pct = lar_gain_carrefour;
+  policy.lar_gain_split_pct = lar_gain_split;
+  policy.hot_page_share_pct = hot_share;
+  numalp::Simulation lp(topo, spec, policy, sim);
+  const numalp::RunResult lp_result = lp.Run();
+  numalp::Simulation base(topo, spec, numalp::MakePolicyConfig(numalp::PolicyKind::kLinux4K),
+                          sim);
+  return numalp::ImprovementPct(base.Run(), lp_result);
+}
+
+}  // namespace
+
+int main() {
+  const numalp::Topology topo = numalp::Topology::MachineB();
+  std::printf("Ablation: Carrefour-LP thresholds (improvement over Linux-4K, machine B)\n\n");
+
+  std::printf("(a) migration-gain threshold (paper: 15%%), split-gain fixed at 5%%\n");
+  std::printf("%-10s %12s %12s\n", "threshold", "CG.D", "UA.B");
+  for (double t : {5.0, 10.0, 15.0, 25.0, 40.0}) {
+    std::printf("%9.0f%% %+11.1f%% %+11.1f%%\n", t,
+                RunWith(topo, numalp::BenchmarkId::kCG_D, t, 5.0, 6.0),
+                RunWith(topo, numalp::BenchmarkId::kUA_B, t, 5.0, 6.0));
+  }
+
+  std::printf("\n(b) split-gain threshold (paper: 5%%), migration-gain fixed at 15%%\n");
+  std::printf("%-10s %12s %12s\n", "threshold", "CG.D", "UA.B");
+  for (double t : {1.0, 5.0, 10.0, 20.0, 50.0}) {
+    std::printf("%9.0f%% %+11.1f%% %+11.1f%%\n", t,
+                RunWith(topo, numalp::BenchmarkId::kCG_D, 15.0, t, 6.0),
+                RunWith(topo, numalp::BenchmarkId::kUA_B, 15.0, t, 6.0));
+  }
+
+  std::printf("\n(c) hot-page share threshold (paper: 6%%)\n");
+  std::printf("%-10s %12s\n", "threshold", "CG.D");
+  for (double t : {2.0, 6.0, 12.0, 25.0, 100.0}) {
+    std::printf("%9.0f%% %+11.1f%%\n", t,
+                RunWith(topo, numalp::BenchmarkId::kCG_D, 15.0, 5.0, t));
+  }
+  return 0;
+}

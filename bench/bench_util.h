@@ -1,0 +1,38 @@
+// Shared output helpers for the reproduction benches.
+#ifndef NUMALP_BENCH_BENCH_UTIL_H_
+#define NUMALP_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.h"
+
+namespace numalp_bench {
+
+// Prints one "figure" block: per-benchmark improvement bars for a set of
+// policies on one machine, mirroring the paper's bar charts as rows.
+inline void PrintFigureBlock(const char* title, const numalp::Topology& topo,
+                             const std::vector<numalp::BenchmarkId>& benches,
+                             const std::vector<numalp::PolicyKind>& policies,
+                             const numalp::SimConfig& sim, int seeds) {
+  std::printf("%s — %s\n", title, topo.name().c_str());
+  std::printf("%-16s", "benchmark");
+  for (numalp::PolicyKind kind : policies) {
+    std::printf(" %14s", std::string(numalp::NameOf(kind)).c_str());
+  }
+  std::printf("\n");
+  for (numalp::BenchmarkId bench : benches) {
+    const auto summaries = numalp::ComparePolicies(topo, bench, policies, sim, seeds);
+    std::printf("%-16s", std::string(numalp::NameOf(bench)).c_str());
+    for (const auto& summary : summaries) {
+      std::printf(" %+13.1f%%", summary.mean_improvement_pct);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace numalp_bench
+
+#endif  // NUMALP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,31 @@
+// Figure 1: THP performance improvement over default Linux (4KB pages) for
+// the full benchmark suite, machines A and B (seed-averaged).
+//
+// Paper shape: THP helps allocation- and TLB-bound workloads (WC +109% on B,
+// WR, wrmem +51%, SSCA +17% on A) and hurts NUMA-sensitive ones (CG.D -43%
+// on B, UA.B/UA.C, SPECjbb -6%); most others move only a few percent.
+#include <cstdio>
+#include <string>
+
+#include "src/core/experiment.h"
+#include "src/topo/topology.h"
+
+int main() {
+  numalp::SimConfig sim;
+  std::printf("Figure 1: THP performance improvement over Linux-4K (%%, mean of 3 seeds)\n");
+  std::printf("%-16s %22s %22s\n", "benchmark", "machineA (min..max)", "machineB (min..max)");
+  const numalp::Topology machines[2] = {numalp::Topology::MachineA(),
+                                        numalp::Topology::MachineB()};
+  for (const numalp::BenchmarkId bench : numalp::FullSuite()) {
+    std::printf("%-16s", std::string(numalp::NameOf(bench)).c_str());
+    for (const auto& topo : machines) {
+      const auto summaries =
+          numalp::ComparePolicies(topo, bench, {numalp::PolicyKind::kThp}, sim, 3);
+      const auto& thp = summaries[0];
+      std::printf(" %+7.1f%% (%+5.0f..%+5.0f)", thp.mean_improvement_pct,
+                  thp.min_improvement_pct, thp.max_improvement_pct);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Figure 2: Carrefour-2M and THP vs default Linux on the applications whose
+// NUMA metrics are degraded by THP.
+//
+// Paper shape: Carrefour-2M fixes SPECjbb and SSCA (migration/interleaving
+// suffices) but fails on CG.D (hot pages cannot be balanced) and UA.B/UA.C
+// (page-level false sharing forces interleaving, keeping LAR low).
+#include "bench/bench_util.h"
+#include "src/topo/topology.h"
+
+int main() {
+  numalp::SimConfig sim;
+  const std::vector<numalp::PolicyKind> policies = {numalp::PolicyKind::kThp,
+                                                    numalp::PolicyKind::kCarrefour2M};
+  numalp_bench::PrintFigureBlock("Figure 2: improvement over Linux-4K",
+                                 numalp::Topology::MachineA(), numalp::AffectedSubset(),
+                                 policies, sim, /*seeds=*/3);
+  numalp_bench::PrintFigureBlock("Figure 2: improvement over Linux-4K",
+                                 numalp::Topology::MachineB(), numalp::AffectedSubset(),
+                                 policies, sim, /*seeds=*/3);
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Figure 3: Carrefour-LP and THP vs default Linux on the NUMA-affected
+// applications.
+//
+// Paper shape: Carrefour-LP restores the performance THP lost on CG.D and
+// UA.B/UA.C (by splitting hot / falsely-shared pages), unlocks THP's benefit
+// on SSCA and SPECjbb, and never costs more than a few percent elsewhere.
+#include "bench/bench_util.h"
+#include "src/topo/topology.h"
+
+int main() {
+  numalp::SimConfig sim;
+  const std::vector<numalp::PolicyKind> policies = {numalp::PolicyKind::kThp,
+                                                    numalp::PolicyKind::kCarrefourLp};
+  numalp_bench::PrintFigureBlock("Figure 3: improvement over Linux-4K",
+                                 numalp::Topology::MachineA(), numalp::AffectedSubset(),
+                                 policies, sim, /*seeds=*/3);
+  numalp_bench::PrintFigureBlock("Figure 3: improvement over Linux-4K",
+                                 numalp::Topology::MachineB(), numalp::AffectedSubset(),
+                                 policies, sim, /*seeds=*/3);
+  return 0;
+}

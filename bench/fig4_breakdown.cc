@@ -1,0 +1,25 @@
+// Figure 4: component breakdown — Carrefour-2M alone, the conservative
+// component (original 4KB Carrefour + THP re-enabling), the reactive
+// component (THP + Carrefour + splitting), and full Carrefour-LP, all
+// relative to default Linux.
+//
+// Paper shape: the combination is always best or near-best. Conservative
+// alone misses startup large-page benefits (allocation-heavy workloads);
+// reactive alone mis-splits on LAR misestimates (SSCA on A, SPECjbb on B)
+// with no way to re-create the pages it split.
+#include "bench/bench_util.h"
+#include "src/topo/topology.h"
+
+int main() {
+  numalp::SimConfig sim;
+  const std::vector<numalp::PolicyKind> policies = {
+      numalp::PolicyKind::kCarrefour2M, numalp::PolicyKind::kConservativeOnly,
+      numalp::PolicyKind::kReactiveOnly, numalp::PolicyKind::kCarrefourLp};
+  numalp_bench::PrintFigureBlock("Figure 4: improvement over Linux-4K",
+                                 numalp::Topology::MachineA(), numalp::AffectedSubset(),
+                                 policies, sim, /*seeds=*/2);
+  numalp_bench::PrintFigureBlock("Figure 4: improvement over Linux-4K",
+                                 numalp::Topology::MachineB(), numalp::AffectedSubset(),
+                                 policies, sim, /*seeds=*/2);
+  return 0;
+}

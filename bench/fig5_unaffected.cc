@@ -1,0 +1,22 @@
+// Figure 5: THP and Carrefour-LP vs default Linux on the applications whose
+// NUMA metrics are NOT affected by THP.
+//
+// Paper shape: Carrefour-LP's overhead does not significantly hurt these
+// applications, and EP.C, SP.B and pca (which had pre-existing NUMA issues
+// that THP neither caused nor cured) run much faster under Carrefour-LP
+// because its Carrefour-2M component repairs them.
+#include "bench/bench_util.h"
+#include "src/topo/topology.h"
+
+int main() {
+  numalp::SimConfig sim;
+  const std::vector<numalp::PolicyKind> policies = {numalp::PolicyKind::kThp,
+                                                    numalp::PolicyKind::kCarrefourLp};
+  numalp_bench::PrintFigureBlock("Figure 5: improvement over Linux-4K",
+                                 numalp::Topology::MachineA(), numalp::UnaffectedSubset(),
+                                 policies, sim, /*seeds=*/3);
+  numalp_bench::PrintFigureBlock("Figure 5: improvement over Linux-4K",
+                                 numalp::Topology::MachineB(), numalp::UnaffectedSubset(),
+                                 policies, sim, /*seeds=*/3);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Microbenchmarks of the simulator substrates (google-benchmark): buddy
+// allocator, page-table map/lookup/split, TLB lookups, and the end-to-end
+// per-access cost of the simulation engine. These guard the simulator's own
+// performance (a full Figure-1 sweep runs ~2,500 simulated epochs).
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/core/config.h"
+#include "src/core/simulation.h"
+#include "src/hw/tlb.h"
+#include "src/mem/buddy_allocator.h"
+#include "src/mem/phys_mem.h"
+#include "src/topo/topology.h"
+#include "src/vm/address_space.h"
+#include "src/vm/page_table.h"
+
+namespace {
+
+void BM_BuddyAllocFree4K(benchmark::State& state) {
+  numalp::BuddyAllocator buddy(0, 1 << 18);
+  std::vector<numalp::Pfn> held;
+  held.reserve(1024);
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) {
+      held.push_back(*buddy.Alloc(0));
+    }
+    for (numalp::Pfn pfn : held) {
+      buddy.Free(pfn, 0);
+    }
+    held.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_BuddyAllocFree4K);
+
+void BM_PageTableMapLookup(benchmark::State& state) {
+  const numalp::Topology topo = numalp::Topology::Tiny();
+  numalp::PhysicalMemory phys(topo);
+  numalp::PageTable table(phys, 0);
+  for (int i = 0; i < 4096; ++i) {
+    table.Map(static_cast<numalp::Addr>(i) * numalp::kBytes4K, 100, numalp::PageSize::k4K);
+  }
+  numalp::Rng rng(7);
+  for (auto _ : state) {
+    const numalp::Addr va = rng.Uniform(4096) * numalp::kBytes4K;
+    benchmark::DoNotOptimize(table.Lookup(va));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageTableMapLookup);
+
+void BM_TlbLookup(benchmark::State& state) {
+  numalp::Tlb tlb(numalp::TlbConfig{});
+  for (int i = 0; i < 64; ++i) {
+    tlb.Insert(static_cast<numalp::Addr>(i) * numalp::kBytes4K, numalp::PageSize::k4K, 1, 0);
+  }
+  numalp::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tlb.Lookup(rng.Uniform(128) * numalp::kBytes4K));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TlbLookup);
+
+void BM_SimulatedEpoch(benchmark::State& state) {
+  const numalp::Topology topo = numalp::Topology::Tiny();
+  numalp::SimConfig sim;
+  sim.max_epochs = 1;
+  const numalp::WorkloadSpec spec =
+      numalp::MakeWorkloadSpec(numalp::BenchmarkId::kBT_B, topo);
+  for (auto _ : state) {
+    numalp::Simulation simulation(topo, spec,
+                                  numalp::MakePolicyConfig(numalp::PolicyKind::kThp), sim);
+    benchmark::DoNotOptimize(simulation.Run());
+  }
+  state.SetItemsProcessed(state.iterations() * topo.num_cores() *
+                          static_cast<std::int64_t>(sim.accesses_per_thread_per_epoch));
+}
+BENCHMARK(BM_SimulatedEpoch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

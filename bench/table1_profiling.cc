@@ -1,0 +1,52 @@
+// Table 1: detailed profiling of five representative applications — time in
+// the page-fault handler, % of L2 misses caused by page-table walks, local
+// access ratio, and memory-controller imbalance, under Linux-4K vs THP.
+//
+// Paper values for reference:
+//   CG.D (B):   perf -43%, walks 0->0,  LAR 40->36, imbalance  1->59
+//   UA.C (B):   perf -15%, walks 0->0,  LAR 88->66, imbalance 14->12
+//   WC (B):     perf +109%, fault time 37.6%->32.3%, walks 10->1
+//   SSCA.20 (A): perf +17%, walks 15->2, imbalance 8->52
+//   SPECjbb (A): perf -6%,  walks 7->0,  imbalance 16->39
+#include <cstdio>
+#include <string>
+
+#include "src/core/experiment.h"
+#include "src/topo/topology.h"
+
+namespace {
+
+void Profile(const numalp::Topology& topo, numalp::BenchmarkId bench) {
+  numalp::SimConfig sim;
+  const auto summaries = numalp::ComparePolicies(
+      topo, bench, {numalp::PolicyKind::kLinux4K, numalp::PolicyKind::kThp}, sim,
+      /*num_seeds=*/3);
+  const auto& linux = summaries[0];
+  const auto& thp = summaries[1];
+  std::printf("%-10s (%s)  THP perf %+6.1f%%\n", std::string(numalp::NameOf(bench)).c_str(),
+              topo.name() == "machineA" ? "A" : "B", thp.mean_improvement_pct);
+  std::printf("  %-34s %10s %10s\n", "metric", "Linux", "THP");
+  std::printf("  %-34s %9.1fms %9.1fms\n", "max fault-handler time per core", linux.max_fault_ms,
+              thp.max_fault_ms);
+  std::printf("  %-34s %9.2f%% %9.2f%%\n", "steady fault time share (max core)",
+              linux.steady_fault_share_pct, thp.steady_fault_share_pct);
+  std::printf("  %-34s %9.1f%% %9.1f%%\n", "L2 misses due to page-table walks",
+              100.0 * linux.walk_l2_miss_frac, 100.0 * thp.walk_l2_miss_frac);
+  std::printf("  %-34s %9.1f%% %9.1f%%\n", "local access ratio", linux.lar_pct, thp.lar_pct);
+  std::printf("  %-34s %9.1f%% %9.1f%%\n\n", "controller imbalance", linux.imbalance_pct,
+              thp.imbalance_pct);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 1: detailed analysis under Linux (4KB) vs THP (2MB)\n\n");
+  const numalp::Topology a = numalp::Topology::MachineA();
+  const numalp::Topology b = numalp::Topology::MachineB();
+  Profile(b, numalp::BenchmarkId::kCG_D);
+  Profile(b, numalp::BenchmarkId::kUA_C);
+  Profile(b, numalp::BenchmarkId::kWC);
+  Profile(a, numalp::BenchmarkId::kSSCA);
+  Profile(a, numalp::BenchmarkId::kSPECjbb);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Table 2: PAMUP (proportion of accesses to the most-used page), NHP (number
+// of hot pages, > 6% of accesses), PSP (proportion of accesses to pages
+// shared by >= 2 threads), imbalance and LAR for SPECjbb, CG.D and UA.B on
+// machine A, under Linux-4K / THP / Carrefour-2M.
+//
+// Paper values:
+//   SPECjbb: PAMUP 2/6/6, NHP 0/0/0, PSP 10/36/36, imb 16/39/19, LAR 26/28/27
+//   CG.D:    PAMUP 0/8/8, NHP 0/3/3, PSP 18/34/34, imb  0/20/20, LAR 45/45/45
+//   UA.B:    PAMUP 6/6/6, NHP 0/0/0, PSP 16/70/70, imb  9/15/17, LAR 90/61/58
+#include <cstdio>
+#include <string>
+
+#include "src/core/experiment.h"
+#include "src/topo/topology.h"
+
+int main() {
+  std::printf("Table 2: hot-page and false-sharing metrics on machine A\n\n");
+  const numalp::Topology topo = numalp::Topology::MachineA();
+  numalp::SimConfig sim;
+  const std::vector<numalp::PolicyKind> policies = {numalp::PolicyKind::kLinux4K,
+                                                    numalp::PolicyKind::kThp,
+                                                    numalp::PolicyKind::kCarrefour2M};
+  for (numalp::BenchmarkId bench :
+       {numalp::BenchmarkId::kSPECjbb, numalp::BenchmarkId::kCG_D,
+        numalp::BenchmarkId::kUA_B}) {
+    const auto summaries = numalp::ComparePolicies(topo, bench, policies, sim, /*seeds=*/3);
+    std::printf("%s\n", std::string(numalp::NameOf(bench)).c_str());
+    std::printf("  %-12s %10s %10s %14s\n", "metric", "Linux", "THP", "Carrefour-2M");
+    std::printf("  %-12s", "PAMUP");
+    for (const auto& s : summaries) {
+      std::printf(" %9.1f%%", s.pamup_pct);
+    }
+    std::printf("\n  %-12s", "NHP");
+    for (const auto& s : summaries) {
+      std::printf(" %10.1f", s.nhp);
+    }
+    std::printf("\n  %-12s", "PSP");
+    for (const auto& s : summaries) {
+      std::printf(" %9.1f%%", s.psp_pct);
+    }
+    std::printf("\n  %-12s", "Imbalance");
+    for (const auto& s : summaries) {
+      std::printf(" %9.1f%%", s.imbalance_pct);
+    }
+    std::printf("\n  %-12s", "LAR");
+    for (const auto& s : summaries) {
+      std::printf(" %9.1f%%", s.lar_pct);
+    }
+    std::printf("\n\n");
+  }
+  return 0;
+}

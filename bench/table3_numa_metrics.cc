@@ -1,0 +1,43 @@
+// Table 3: LAR and imbalance across Linux-4K / THP / Carrefour-2M /
+// Carrefour-LP for CG.D on machine B, UA.B on machine A, and UA.C on
+// machine B.
+//
+// Paper values:
+//   CG.D (B): LAR 40/36/38/39, imbalance  1/59/69/ 3
+//   UA.B (A): LAR 90/61/58/85, imbalance  9/15/17/10
+//   UA.C (B): LAR 88/66/68/82, imbalance 14/12/ 9/14
+#include <cstdio>
+#include <string>
+
+#include "src/core/experiment.h"
+#include "src/topo/topology.h"
+
+namespace {
+
+void Row(const numalp::Topology& topo, numalp::BenchmarkId bench) {
+  numalp::SimConfig sim;
+  const std::vector<numalp::PolicyKind> policies = {
+      numalp::PolicyKind::kLinux4K, numalp::PolicyKind::kThp,
+      numalp::PolicyKind::kCarrefour2M, numalp::PolicyKind::kCarrefourLp};
+  const auto summaries = numalp::ComparePolicies(topo, bench, policies, sim, /*seeds=*/3);
+  std::printf("%-8s (%s)  LAR%%:", std::string(numalp::NameOf(bench)).c_str(),
+              topo.name() == "machineA" ? "A" : "B");
+  for (const auto& s : summaries) {
+    std::printf(" %5.1f", s.lar_pct);
+  }
+  std::printf("   imbalance%%:");
+  for (const auto& s : summaries) {
+    std::printf(" %5.1f", s.imbalance_pct);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 3: NUMA metrics (columns: Linux-4K, THP, Carrefour-2M, Carrefour-LP)\n\n");
+  Row(numalp::Topology::MachineB(), numalp::BenchmarkId::kCG_D);
+  Row(numalp::Topology::MachineA(), numalp::BenchmarkId::kUA_B);
+  Row(numalp::Topology::MachineB(), numalp::BenchmarkId::kUA_C);
+  return 0;
+}

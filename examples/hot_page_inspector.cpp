@@ -1,0 +1,60 @@
+// Hot-page inspector: runs a CG-like workload under THP and prints the
+// per-page access distribution the way Carrefour-LP's reactive component
+// sees it — demonstrating the hot-page effect (Section 3.1) and how the 6%
+// threshold identifies the pages that must be split rather than migrated.
+//
+//   ./hot_page_inspector [machineA|machineB]
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/simulation.h"
+#include "src/metrics/numa_metrics.h"
+#include "src/topo/topology.h"
+#include "src/workloads/spec.h"
+
+int main(int argc, char** argv) {
+  const numalp::Topology topo = (argc > 1 && std::string(argv[1]) == "machineA")
+                                    ? numalp::Topology::MachineA()
+                                    : numalp::Topology::MachineB();
+  numalp::SimConfig sim;
+  const numalp::RunResult thp =
+      numalp::RunBenchmark(topo, numalp::BenchmarkId::kCG_D, numalp::PolicyKind::kThp, sim);
+
+  // Sort the run's page aggregates by access share.
+  std::uint64_t total = 0;
+  for (const auto& [base, agg] : thp.cumulative_pages) {
+    if (agg.dram > 0) {
+      total += agg.total;
+    }
+  }
+  std::vector<std::pair<numalp::Addr, const numalp::PageAgg*>> pages;
+  for (const auto& [base, agg] : thp.cumulative_pages) {
+    if (agg.dram > 0) {
+      pages.emplace_back(base, &agg);
+    }
+  }
+  std::sort(pages.begin(), pages.end(),
+            [](const auto& a, const auto& b) { return a.second->total > b.second->total; });
+
+  std::printf("CG.D under THP on %s: top pages by access share\n", topo.name().c_str());
+  std::printf("(hot threshold: >%.0f%% of accesses; %d NUMA nodes)\n\n",
+              numalp::kHotPageSharePct, topo.num_nodes());
+  std::printf("%4s %-14s %5s %8s %6s %8s %8s\n", "rank", "page", "size", "share%", "node",
+              "sharers", "hot?");
+  for (std::size_t i = 0; i < std::min<std::size_t>(12, pages.size()); ++i) {
+    const auto& [base, agg] = pages[i];
+    const double share = 100.0 * static_cast<double>(agg->total) / static_cast<double>(total);
+    std::printf("%4zu 0x%012llx %5s %7.2f%% %6d %8d %8s\n", i + 1,
+                static_cast<unsigned long long>(base), std::string(NameOf(agg->size)).c_str(),
+                share, agg->home_node, agg->SharerCount(),
+                share > numalp::kHotPageSharePct ? "HOT" : "");
+  }
+  std::printf(
+      "\nNHP=%d hot pages on %d nodes: fewer hot pages than nodes means no migration\n"
+      "or interleaving can balance the controllers — only splitting can (Section 3.1).\n",
+      thp.Nhp(), topo.num_nodes());
+  return 0;
+}

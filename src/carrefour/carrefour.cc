@@ -1,0 +1,70 @@
+#include "src/carrefour/carrefour.h"
+
+namespace numalp {
+
+Carrefour::Carrefour(const CarrefourConfig& config, int num_nodes, std::uint64_t seed)
+    : config_(config), num_nodes_(num_nodes), rng_(seed) {}
+
+bool Carrefour::ShouldRun(double lar_pct, double imbalance_pct,
+                          double dram_access_rate) const {
+  if (dram_access_rate < config_.min_dram_access_rate) {
+    return false;
+  }
+  return lar_pct < config_.enable_lar_below_pct ||
+         imbalance_pct > config_.enable_imbalance_above_pct;
+}
+
+std::vector<CarrefourAction> Carrefour::Plan(const PageAggMap& pages, int epoch) {
+  std::vector<CarrefourAction> actions;
+  for (const auto& [page_base, agg] : pages) {
+    if (static_cast<int>(actions.size()) >= config_.max_actions_per_epoch) {
+      break;
+    }
+    // Only pages actually serviced from DRAM matter (cached pages cost
+    // nothing wherever they live).
+    if (agg.dram == 0 || agg.total < config_.min_samples_per_page) {
+      continue;
+    }
+    const auto last = last_action_epoch_.find(page_base);
+    if (last != last_action_epoch_.end() &&
+        epoch - last->second < config_.per_page_cooldown_epochs) {
+      continue;
+    }
+    if (agg.SingleNode()) {
+      if (agg.total < config_.min_samples_migrate) {
+        continue;
+      }
+      const int target = agg.MajorityReqNode();
+      interleaved_.erase(page_base);
+      if (agg.home_node != target) {
+        CarrefourAction action;
+        action.kind = CarrefourAction::Kind::kMigrate;
+        action.page_base = page_base;
+        action.size = agg.size;
+        action.target_node = target;
+        actions.push_back(action);
+        last_action_epoch_[page_base] = epoch;
+        ++total_migrations_;
+      }
+    } else {
+      // Multi-node page: interleave once (move to a random node); keep it
+      // there afterwards to avoid churn.
+      if (interleaved_.insert(page_base).second) {
+        const int target = static_cast<int>(rng_.Uniform(static_cast<std::uint64_t>(num_nodes_)));
+        if (target != agg.home_node) {
+          CarrefourAction action;
+          action.kind = CarrefourAction::Kind::kInterleave;
+          action.page_base = page_base;
+          action.size = agg.size;
+          action.target_node = target;
+          actions.push_back(action);
+          last_action_epoch_[page_base] = epoch;
+        }
+        ++total_interleaves_;
+      }
+    }
+  }
+  return actions;
+}
+
+}  // namespace numalp

@@ -1,0 +1,93 @@
+// Carrefour (Dashti et al., ASPLOS'13): the NUMA-aware page placement
+// engine the paper builds on.
+//
+// Once per epoch, Carrefour inspects the IBS sample aggregates. Pages whose
+// samples all come from one node are migrated to that node; pages accessed
+// from several nodes are interleaved (migrated once to a random node).
+// Hardware-counter thresholds gate the whole engine so it only runs when a
+// NUMA problem is visible (low LAR or high controller imbalance on a
+// memory-intensive phase) — Section 3.1.
+#ifndef NUMALP_SRC_CARREFOUR_CARREFOUR_H_
+#define NUMALP_SRC_CARREFOUR_CARREFOUR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/metrics/numa_metrics.h"
+
+namespace numalp {
+
+struct CarrefourConfig {
+  // Engine gating: run when LAR < this...
+  double enable_lar_below_pct = 80.0;
+  // ...or controller imbalance exceeds this...
+  double enable_imbalance_above_pct = 35.0;
+  // ...provided the application is memory-intensive (DRAM accesses per
+  // instruction above this rate).
+  double min_dram_access_rate = 0.02;
+  // Ignore pages with fewer samples than this (noise floor).
+  std::uint32_t min_samples_per_page = 2;
+  // Single-node *migration* needs more evidence than interleaving: moving a
+  // page toward a single sampled accessor on 2 samples chases noise.
+  std::uint32_t min_samples_migrate = 3;
+  // Migration budget per epoch (rate limiting, like the kernel module).
+  int max_actions_per_epoch = 16384;
+  // A page migrated in epoch e may not move again before e + cooldown:
+  // damps ping-pong of pages whose sampled accessor alternates between
+  // epochs (e.g. slice-boundary windows under 2MB pages).
+  int per_page_cooldown_epochs = 8;
+};
+
+struct CarrefourAction {
+  enum class Kind : std::uint8_t { kMigrate, kInterleave };
+  Kind kind = Kind::kMigrate;
+  Addr page_base = 0;
+  PageSize size = PageSize::k4K;
+  int target_node = 0;
+};
+
+class Carrefour {
+ public:
+  Carrefour(const CarrefourConfig& config, int num_nodes, std::uint64_t seed);
+
+  // Counter-based gating decision for this epoch.
+  bool ShouldRun(double lar_pct, double imbalance_pct, double dram_access_rate) const;
+
+  // Builds the epoch's migration/interleave plan from page aggregates at the
+  // current mapping granularity. Stateful: remembers interleaved pages so
+  // multi-node pages are not re-randomized every epoch, and enforces the
+  // per-page migration cooldown.
+  std::vector<CarrefourAction> Plan(const PageAggMap& pages, int epoch);
+
+  // A page's state is forgotten when it is split or unmapped.
+  void Forget(Addr page_base) {
+    interleaved_.erase(page_base);
+    last_action_epoch_.erase(page_base);
+  }
+  void ForgetAll() {
+    interleaved_.clear();
+    last_action_epoch_.clear();
+  }
+
+  std::uint64_t total_migrations() const { return total_migrations_; }
+  std::uint64_t total_interleaves() const { return total_interleaves_; }
+
+  const CarrefourConfig& config() const { return config_; }
+
+ private:
+  CarrefourConfig config_;
+  int num_nodes_;
+  Rng rng_;
+  std::unordered_set<Addr> interleaved_;
+  std::unordered_map<Addr, int> last_action_epoch_;
+  std::uint64_t total_migrations_ = 0;
+  std::uint64_t total_interleaves_ = 0;
+};
+
+}  // namespace numalp
+
+#endif  // NUMALP_SRC_CARREFOUR_CARREFOUR_H_

@@ -1,0 +1,44 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic choice in the simulator (access streams, IBS sampling,
+// cache-miss draws, interleaving targets) is drawn from an explicitly seeded
+// Rng so that a (machine, workload, policy, seed) tuple always reproduces the
+// same run, which the test suite and the experiment harness rely on.
+#ifndef NUMALP_SRC_COMMON_RNG_H_
+#define NUMALP_SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace numalp {
+
+// SplitMix64; used to expand a single seed into a full xoshiro state.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+// xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform over [0, 2^64).
+  std::uint64_t NextU64();
+
+  // Uniform over [0, bound); bound must be > 0. Uses Lemire's multiply-shift
+  // reduction (slightly biased for huge bounds, irrelevant at our scales).
+  std::uint64_t Uniform(std::uint64_t bound);
+
+  // Uniform over [0.0, 1.0).
+  double NextDouble();
+
+  // True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Derive an independent stream (for per-thread generators).
+  Rng Fork();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace numalp
+
+#endif  // NUMALP_SRC_COMMON_RNG_H_

@@ -1,0 +1,94 @@
+// Core scalar types and memory-size constants shared across all numalp modules.
+#ifndef NUMALP_SRC_COMMON_UNITS_H_
+#define NUMALP_SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace numalp {
+
+// A virtual or physical byte address in the simulated machine.
+using Addr = std::uint64_t;
+// A physical frame number (address >> 12). PFNs are global; the owning NUMA
+// node is derived from the physical memory map (see mem/phys_mem.h).
+using Pfn = std::uint64_t;
+// CPU cycles of the simulated machine.
+using Cycles = std::uint64_t;
+
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+inline constexpr int kShift4K = 12;
+inline constexpr int kShift2M = 21;
+inline constexpr int kShift1G = 30;
+
+inline constexpr std::uint64_t kBytes4K = 1ull << kShift4K;
+inline constexpr std::uint64_t kBytes2M = 1ull << kShift2M;
+inline constexpr std::uint64_t kBytes1G = 1ull << kShift1G;
+
+// Number of 4KB frames per 2MB / 1GB page.
+inline constexpr std::uint64_t kFramesPer2M = kBytes2M / kBytes4K;  // 512
+inline constexpr std::uint64_t kFramesPer1G = kBytes1G / kBytes4K;  // 262144
+
+// Hardware page sizes supported by the simulated x86-64 MMU.
+enum class PageSize : std::uint8_t {
+  k4K = 0,
+  k2M = 1,
+  k1G = 2,
+};
+
+constexpr std::uint64_t BytesOf(PageSize size) {
+  switch (size) {
+    case PageSize::k4K:
+      return kBytes4K;
+    case PageSize::k2M:
+      return kBytes2M;
+    case PageSize::k1G:
+      return kBytes1G;
+  }
+  return kBytes4K;
+}
+
+constexpr int ShiftOf(PageSize size) {
+  switch (size) {
+    case PageSize::k4K:
+      return kShift4K;
+    case PageSize::k2M:
+      return kShift2M;
+    case PageSize::k1G:
+      return kShift1G;
+  }
+  return kShift4K;
+}
+
+// Buddy-allocator order of one page of the given size (order 0 == 4KB).
+constexpr int OrderOf(PageSize size) { return ShiftOf(size) - kShift4K; }
+
+constexpr std::string_view NameOf(PageSize size) {
+  switch (size) {
+    case PageSize::k4K:
+      return "4K";
+    case PageSize::k2M:
+      return "2M";
+    case PageSize::k1G:
+      return "1G";
+  }
+  return "?";
+}
+
+constexpr Addr AlignDown(Addr addr, std::uint64_t alignment) {
+  return addr & ~(alignment - 1);
+}
+
+constexpr Addr AlignUp(Addr addr, std::uint64_t alignment) {
+  return (addr + alignment - 1) & ~(alignment - 1);
+}
+
+constexpr bool IsAligned(Addr addr, std::uint64_t alignment) {
+  return (addr & (alignment - 1)) == 0;
+}
+
+}  // namespace numalp
+
+#endif  // NUMALP_SRC_COMMON_UNITS_H_

@@ -1,0 +1,38 @@
+#include "src/common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace numalp {
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n == 0 ? 1 : n), s_(s) {
+  cdf_.resize(n_);
+  double accum = 0.0;
+  for (std::uint64_t i = 0; i < n_; ++i) {
+    accum += 1.0 / std::pow(static_cast<double>(i + 1), s_);
+    cdf_[i] = accum;
+  }
+  const double total = cdf_.back();
+  for (double& c : cdf_) {
+    c /= total;
+  }
+}
+
+std::uint64_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) {
+    return n_ - 1;
+  }
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(std::uint64_t i) const {
+  if (i >= n_) {
+    return 0.0;
+  }
+  const double lo = i == 0 ? 0.0 : cdf_[i - 1];
+  return cdf_[i] - lo;
+}
+
+}  // namespace numalp

@@ -1,0 +1,40 @@
+// Zipf-distributed integer sampler.
+//
+// Several workloads in the paper's suite (SPECjbb's heap, SSCA's high-degree
+// vertices, the MapReduce intermediate tables) have skewed page popularity;
+// we model that skew with a Zipf(s) distribution over page indices. The
+// sampler precomputes the CDF once and answers draws with a binary search,
+// so per-access cost is O(log n).
+#ifndef NUMALP_SRC_COMMON_ZIPF_H_
+#define NUMALP_SRC_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace numalp {
+
+class ZipfSampler {
+ public:
+  // Distribution over {0, .., n-1} with exponent s >= 0 (s == 0 is uniform).
+  // Rank 0 is the most popular item.
+  ZipfSampler(std::uint64_t n, double s);
+
+  std::uint64_t Sample(Rng& rng) const;
+
+  // Probability mass of rank `i` (used by tests and the LAR estimator tests).
+  double Pmf(std::uint64_t i) const;
+
+  std::uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  std::uint64_t n_;
+  double s_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace numalp
+
+#endif  // NUMALP_SRC_COMMON_ZIPF_H_

@@ -1,0 +1,74 @@
+#include "src/core/carrefour_lp.h"
+
+namespace numalp {
+
+CarrefourLp::CarrefourLp(const PolicyConfig& config, ThpState& thp)
+    : config_(config), thp_(thp) {}
+
+LpDecision CarrefourLp::Step(const LpObservation& observation) {
+  LpDecision decision;
+
+  // --- Conservative component (Algorithm 1, lines 4-9) ---------------------
+  if (config_.use_conservative) {
+    if (observation.walk_l2_miss_frac > config_.walk_miss_threshold) {
+      thp_.alloc_enabled = true;
+      thp_.promote_enabled = true;
+    } else if (observation.max_fault_time_share > config_.fault_time_threshold) {
+      // Faults hurt, but pages already faulted in gain nothing from
+      // promotion — enable allocation only (Section 3.2.2).
+      thp_.alloc_enabled = true;
+    }
+  }
+
+  // --- Reactive component (lines 10-14) ------------------------------------
+  if (config_.use_reactive) {
+    const LarEstimates& lar = observation.lar;
+    if (lar.carrefour_pct - lar.current_pct > config_.lar_gain_carrefour_pct) {
+      split_pages_ = false;
+    } else if (lar.carrefour_split_pct - lar.current_pct > config_.lar_gain_split_pct) {
+      split_pages_ = true;
+    }
+
+    // Lines 15-18: demote all shared large pages when splitting is on or 2MB
+    // allocation is off (pages promoted meanwhile must not linger).
+    if (split_pages_ || !thp_.alloc_enabled) {
+      for (const auto& [page_base, agg] : *observation.mapping_pages) {
+        if (static_cast<int>(decision.split_shared.size()) >=
+            config_.max_shared_splits_per_epoch) {
+          break;
+        }
+        if (agg.size != PageSize::k4K && agg.dram > 0 && agg.SharerCount() >= 2) {
+          decision.split_shared.emplace_back(page_base, agg.size);
+        }
+      }
+      thp_.alloc_enabled = false;
+    }
+
+    // Line 19: hot large pages are split and interleaved unconditionally.
+    std::uint64_t total_samples = 0;
+    for (const auto& [page_base, agg] : *observation.mapping_pages) {
+      if (agg.dram > 0) {
+        total_samples += agg.total;
+      }
+    }
+    if (total_samples > 0) {
+      for (const auto& [page_base, agg] : *observation.mapping_pages) {
+        if (agg.size == PageSize::k4K || agg.dram == 0) {
+          continue;
+        }
+        const double share =
+            100.0 * static_cast<double>(agg.total) / static_cast<double>(total_samples);
+        if (share > config_.hot_page_share_pct) {
+          decision.split_hot.emplace_back(page_base, agg.size);
+        }
+      }
+    }
+  }
+
+  decision.split_pages_flag = split_pages_;
+  decision.alloc_enabled_after = thp_.alloc_enabled;
+  decision.promote_enabled_after = thp_.promote_enabled;
+  return decision;
+}
+
+}  // namespace numalp

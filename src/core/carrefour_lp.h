@@ -1,0 +1,63 @@
+// Carrefour-LP: large-page extensions to Carrefour (Algorithm 1).
+//
+// Reactive component (lines 10-19): from IBS samples, estimate the LAR that
+// Carrefour alone would deliver versus Carrefour plus demoting every large
+// page. If migration alone promises a >15-point gain, do not split; if
+// splitting promises a >5-point gain, demote all *shared* large pages and
+// stop allocating 2MB pages. Hot pages (>6% of accesses) are always split
+// and their pieces interleaved — migration cannot balance fewer hot pages
+// than nodes.
+//
+// Conservative component (lines 4-9): re-enable 2MB allocation (and
+// promotion) when the counters show TLB pressure (>5% of L2 misses are PTE
+// fetches) or page-fault overhead (>5% of any core's time).
+#ifndef NUMALP_SRC_CORE_CARREFOUR_LP_H_
+#define NUMALP_SRC_CORE_CARREFOUR_LP_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/lar_estimator.h"
+#include "src/metrics/numa_metrics.h"
+#include "src/vm/thp.h"
+
+namespace numalp {
+
+struct LpObservation {
+  double walk_l2_miss_frac = 0.0;
+  double max_fault_time_share = 0.0;
+  LarEstimates lar;
+  const PageAggMap* mapping_pages = nullptr;
+};
+
+struct LpDecision {
+  // Shared large pages to demote (line 16).
+  std::vector<std::pair<Addr, PageSize>> split_shared;
+  // Hot large pages to demote and interleave (line 19).
+  std::vector<std::pair<Addr, PageSize>> split_hot;
+  bool split_pages_flag = false;
+  bool alloc_enabled_after = false;
+  bool promote_enabled_after = false;
+};
+
+class CarrefourLp {
+ public:
+  // Mutates `thp` exactly like the kernel implementation toggles THP sysfs
+  // state. Which components run comes from `config`.
+  CarrefourLp(const PolicyConfig& config, ThpState& thp);
+
+  LpDecision Step(const LpObservation& observation);
+
+  bool split_pages_flag() const { return split_pages_; }
+
+ private:
+  PolicyConfig config_;
+  ThpState& thp_;
+  bool split_pages_ = false;
+};
+
+}  // namespace numalp
+
+#endif  // NUMALP_SRC_CORE_CARREFOUR_LP_H_

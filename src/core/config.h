@@ -1,0 +1,101 @@
+// Simulation and policy configuration for an experiment run.
+#ifndef NUMALP_SRC_CORE_CONFIG_H_
+#define NUMALP_SRC_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/carrefour/carrefour.h"
+#include "src/hw/interconnect.h"
+#include "src/hw/mem_ctrl.h"
+#include "src/hw/tlb.h"
+#include "src/hw/walker.h"
+
+namespace numalp {
+
+// Cycle costs of the simulated machine and OS (2GHz reference clock).
+struct CostModel {
+  Cycles cpu_per_access = 3;  // pipeline + cache-hit cost of one access
+  Cycles tlb_l2_hit = 7;
+
+  // Page faults: fixed kernel-entry/locking cost (subject to contention on
+  // the page-table lock, Boyd-Wickizer et al. [3]) plus page zeroing.
+  Cycles fault_fixed = 3500;
+  double fault_zero_per_byte = 0.25;
+  double fault_contention_slope = 0.05;  // per additional concurrently-faulting core
+  double fault_contention_max = 4.0;
+
+  // Policy mechanics (charged to the epoch's wall time as kernel overhead).
+  Cycles migrate_fixed = 3000;
+  double migrate_per_byte = 0.12;
+  Cycles split_fixed = 2500;
+  Cycles promote_fixed = 4000;
+  double promote_per_byte = 0.12;
+  Cycles shootdown_per_op = 3000;
+  Cycles per_ibs_sample = 300;  // interrupt + processing, on the sampling core
+  Cycles policy_fixed_per_epoch = 10'000;
+  // Calibration of kernel page-work wall charges. A simulated epoch stands
+  // for one second (~2e9 cycles) but simulates ~1e6 cycles of accesses, while
+  // sampled page counts shrink far less, so naive charging overstates
+  // relative overhead; this divisor recovers the paper's measured 1-4%
+  // Carrefour overhead (Section 4.2).
+  double kernel_time_scale = 4.0;
+};
+
+struct SimConfig {
+  std::uint64_t seed = 42;
+  std::uint64_t accesses_per_thread_per_epoch = 4096;
+  int max_epochs = 600;
+  std::uint64_t ibs_interval = 128;  // one sample per N accesses per core
+  double clock_ghz = 2.0;           // converts cycles to wall time in reports
+  // khugepaged budget per epoch. The paper polls every 10ms (~100 scans per
+  // 1s epoch) but Linux's scanner consolidates only a handful of windows per
+  // wake; promotion is deliberately slow, which also bounds the
+  // split/promote oscillation the paper discusses in Section 4.3.
+  int promote_scan_windows = 256;
+  int promote_max_per_epoch = 1;
+
+  TlbConfig tlb;
+  WalkerConfig walker;
+  MemCtrlConfig mem_ctrl;
+  InterconnectConfig interconnect;
+  CostModel costs;
+};
+
+// The six system configurations evaluated in the paper (Figures 1-5).
+enum class PolicyKind : std::uint8_t {
+  kLinux4K,           // default Linux, 4KB pages
+  kThp,               // Linux with transparent huge pages
+  kCarrefour2M,       // THP + Carrefour, no large-page awareness
+  kReactiveOnly,      // THP + Carrefour + reactive splitting component
+  kConservativeOnly,  // 4KB start + Carrefour + conservative enabling component
+  kCarrefourLp,       // the full system (Algorithm 1)
+};
+
+std::string_view NameOf(PolicyKind kind);
+
+struct PolicyConfig {
+  PolicyKind kind = PolicyKind::kLinux4K;
+  bool initial_thp_alloc = false;
+  bool initial_thp_promote = false;
+  bool use_carrefour = false;
+  bool use_reactive = false;
+  bool use_conservative = false;
+  CarrefourConfig carrefour;
+  // Carrefour-LP thresholds (Algorithm 1).
+  double walk_miss_threshold = 0.05;       // line 4
+  double fault_time_threshold = 0.05;      // line 7
+  double lar_gain_carrefour_pct = 15.0;    // line 10
+  double lar_gain_split_pct = 5.0;         // line 12
+  double hot_page_share_pct = 6.0;         // line 19 (Section 3.1 footnote)
+  // Demotion rate limit: splitting is a heavyweight operation under the page
+  // table lock (Section 4.3 mentions the scalability concern), so shared
+  // pages are demoted in bounded batches per iteration.
+  int max_shared_splits_per_epoch = 32;
+};
+
+PolicyConfig MakePolicyConfig(PolicyKind kind);
+
+}  // namespace numalp
+
+#endif  // NUMALP_SRC_CORE_CONFIG_H_

@@ -1,0 +1,49 @@
+#include "src/core/lar_estimator.h"
+
+namespace numalp {
+
+double EstimateCarrefourLarPct(const PageAggMap& pages, int num_nodes) {
+  std::uint64_t total = 0;
+  double local = 0.0;
+  for (const auto& [base, agg] : pages) {
+    if (agg.dram == 0) {
+      continue;
+    }
+    total += agg.total;
+    if (agg.SingleNode()) {
+      // Migrated to its one requesting node: all accesses local.
+      local += static_cast<double>(agg.total);
+    } else {
+      // Interleaved to a random node: expected locality 1/N.
+      local += static_cast<double>(agg.total) / static_cast<double>(num_nodes);
+    }
+  }
+  return total == 0 ? 100.0 : 100.0 * local / static_cast<double>(total);
+}
+
+LarEstimates EstimateLar(std::span<const IbsSample> samples,
+                         const AddressSpace& address_space,
+                         const PageAggMap& mapping_pages, int num_nodes) {
+  LarEstimates estimates;
+  // Current LAR over DRAM-serviced samples.
+  std::uint64_t dram = 0;
+  std::uint64_t dram_local = 0;
+  for (const IbsSample& sample : samples) {
+    if (!sample.dram) {
+      continue;
+    }
+    ++dram;
+    if (sample.req_node == sample.home_node) {
+      ++dram_local;
+    }
+  }
+  estimates.dram_samples = dram;
+  estimates.current_pct =
+      dram == 0 ? 100.0 : 100.0 * static_cast<double>(dram_local) / static_cast<double>(dram);
+  estimates.carrefour_pct = EstimateCarrefourLarPct(mapping_pages, num_nodes);
+  const PageAggMap pages_4k = AggregateSamples(samples, address_space, AggGranularity::k4K);
+  estimates.carrefour_split_pct = EstimateCarrefourLarPct(pages_4k, num_nodes);
+  return estimates;
+}
+
+}  // namespace numalp

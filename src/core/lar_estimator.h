@@ -1,0 +1,44 @@
+// What-if LAR estimation from IBS samples (Section 3.2.1).
+//
+// Given the epoch's samples, estimate the local access ratio that would be
+// obtained (a) right now, (b) after running Carrefour at the current page
+// granularity, and (c) after splitting every large page to 4KB and then
+// running Carrefour. Single-node pages are assumed migrated to their node
+// (all accesses become local); multi-node pages are assumed interleaved to a
+// random node (expected locality 1/num_nodes).
+//
+// Fidelity note: with realistic sampling rates most 4KB sub-pages of a large
+// page carry zero or one sample, so estimate (c) systematically over-predicts
+// the post-split LAR — exactly the mis-estimation failure the paper reports
+// for SSCA (predicted 59%, actual 25%, Section 4.1) and the reason the
+// conservative component exists.
+#ifndef NUMALP_SRC_CORE_LAR_ESTIMATOR_H_
+#define NUMALP_SRC_CORE_LAR_ESTIMATOR_H_
+
+#include <span>
+
+#include "src/hw/ibs.h"
+#include "src/metrics/numa_metrics.h"
+#include "src/vm/address_space.h"
+
+namespace numalp {
+
+struct LarEstimates {
+  double current_pct = 0.0;
+  double carrefour_pct = 0.0;        // migrate/interleave at current granularity
+  double carrefour_split_pct = 0.0;  // same, after demoting every large page
+  std::uint64_t dram_samples = 0;
+};
+
+// `mapping_pages` must be AggregateSamples(samples, as, kMapping); the 4KB
+// view is computed internally.
+LarEstimates EstimateLar(std::span<const IbsSample> samples,
+                         const AddressSpace& address_space,
+                         const PageAggMap& mapping_pages, int num_nodes);
+
+// Expected LAR if every page in `pages` were placed by Carrefour's rule.
+double EstimateCarrefourLarPct(const PageAggMap& pages, int num_nodes);
+
+}  // namespace numalp
+
+#endif  // NUMALP_SRC_CORE_LAR_ESTIMATOR_H_

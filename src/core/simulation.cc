@@ -1,0 +1,540 @@
+#include "src/core/simulation.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/log.h"
+#include "src/common/stats.h"
+
+namespace numalp {
+
+namespace {
+
+void MergePages(PageAggMap& into, const PageAggMap& from) {
+  for (const auto& [base, agg] : from) {
+    PageAgg& target = into[base];
+    target.size = agg.size;
+    target.home_node = agg.home_node;
+    target.total += agg.total;
+    target.dram += agg.dram;
+    target.core_mask |= agg.core_mask;
+    for (int n = 0; n < kMaxNodes; ++n) {
+      target.req_node_counts[static_cast<std::size_t>(n)] +=
+          agg.req_node_counts[static_cast<std::size_t>(n)];
+    }
+  }
+}
+
+}  // namespace
+
+double RunResult::LarPct() const {
+  const std::uint64_t dram = totals.dram_accesses();
+  return dram == 0
+             ? 100.0
+             : 100.0 * static_cast<double>(totals.dram_local) / static_cast<double>(dram);
+}
+
+double RunResult::ImbalancePct() const {
+  return numalp::ImbalancePct(std::span<const std::uint64_t>(node_request_totals));
+}
+
+double RunResult::WalkL2MissFrac() const {
+  const std::uint64_t walk = totals.walk_l2_miss;
+  const std::uint64_t data = totals.dram_accesses();
+  const std::uint64_t sum = walk + data;
+  return sum == 0 ? 0.0 : static_cast<double>(walk) / static_cast<double>(sum);
+}
+
+double RunResult::MaxFaultTimeSharePct() const {
+  if (total_cycles == 0) {
+    return 0.0;
+  }
+  Cycles max_fault = 0;
+  for (const auto& core : core_totals) {
+    max_fault = std::max(max_fault, core.fault_cycles);
+  }
+  return 100.0 * static_cast<double>(max_fault) / static_cast<double>(total_cycles);
+}
+
+double RunResult::SteadyMaxFaultSharePct() const {
+  double weighted = 0.0;
+  Cycles wall = 0;
+  for (const EpochRecord& record : history) {
+    if (record.in_setup) {
+      continue;
+    }
+    weighted += record.metrics.max_fault_time_share * static_cast<double>(record.wall);
+    wall += record.wall;
+  }
+  return wall == 0 ? 0.0 : 100.0 * weighted / static_cast<double>(wall);
+}
+
+double RunResult::MaxFaultTimeMs(double clock_ghz) const {
+  Cycles max_fault = 0;
+  for (const auto& core : core_totals) {
+    max_fault = std::max(max_fault, core.fault_cycles);
+  }
+  return static_cast<double>(max_fault) / (clock_ghz * 1e6);
+}
+
+double RunResult::PamupPct() const { return numalp::PamupPct(cumulative_pages); }
+
+int RunResult::Nhp() const { return CountHotPages(cumulative_pages); }
+
+double RunResult::PspPct() const { return numalp::PspPct(cumulative_pages); }
+
+double RunResult::RuntimeMs(double clock_ghz) const {
+  return static_cast<double>(total_cycles) / (clock_ghz * 1e6);
+}
+
+double ImprovementPct(const RunResult& baseline, const RunResult& run) {
+  const Cycles base = baseline.measured_cycles > 0 ? baseline.measured_cycles
+                                                   : baseline.total_cycles;
+  const Cycles mine = run.measured_cycles > 0 ? run.measured_cycles : run.total_cycles;
+  if (mine == 0) {
+    return 0.0;
+  }
+  return 100.0 * (static_cast<double>(base) / static_cast<double>(mine) - 1.0);
+}
+
+Simulation::Simulation(const Topology& topo, const WorkloadSpec& workload,
+                       const PolicyConfig& policy, const SimConfig& sim)
+    : topo_(topo),
+      workload_spec_(workload),
+      policy_(policy),
+      sim_(sim),
+      phys_(topo_),
+      address_space_(std::make_unique<AddressSpace>(phys_, topo_, thp_state_)),
+      walker_(sim_.walker),
+      mem_ctrl_(sim_.mem_ctrl),
+      interconnect_(sim_.interconnect, topo_),
+      ibs_(topo_.num_nodes(), topo_.num_cores(), sim_.ibs_interval, sim_.seed ^ 0x1b5u),
+      counters_(topo_.num_cores(), topo_.num_nodes()),
+      policy_rng_(sim_.seed ^ 0x9e37u),
+      carrefour_(policy_.carrefour, topo_.num_nodes(), sim_.seed ^ 0xc4fu),
+      khugepaged_(*address_space_) {
+  thp_state_.alloc_enabled = policy_.initial_thp_alloc;
+  thp_state_.promote_enabled = policy_.initial_thp_promote;
+  workload_ = std::make_unique<Workload>(workload_spec_, *address_space_, topo_.num_cores(),
+                                         sim_.seed);
+  tlbs_.reserve(static_cast<std::size_t>(topo_.num_cores()));
+  core_rngs_.reserve(static_cast<std::size_t>(topo_.num_cores()));
+  Rng seeder(sim_.seed ^ 0x7777u);
+  for (int c = 0; c < topo_.num_cores(); ++c) {
+    tlbs_.emplace_back(sim_.tlb);
+    core_rngs_.push_back(seeder.Fork());
+  }
+  fault_parts_.resize(static_cast<std::size_t>(topo_.num_cores()));
+  batches_.resize(static_cast<std::size_t>(topo_.num_cores()));
+  if (policy_.use_reactive || policy_.use_conservative) {
+    lp_ = std::make_unique<CarrefourLp>(policy_, thp_state_);
+  }
+}
+
+Simulation::~Simulation() = default;
+
+int Simulation::CoreOfThread(int thread) const {
+  // Round-robin thread pinning across nodes (the natural Linux scatter the
+  // paper's workloads run under): thread t -> node t % N.
+  const int nodes = topo_.num_nodes();
+  const int cores_per_node = topo_.node(0).num_cores;
+  return (thread % nodes) * cores_per_node + thread / nodes;
+}
+
+void Simulation::ProcessAccess(int core, int node, const WorkloadAccess& access) {
+  CoreCounters& cc = counters_.cores[static_cast<std::size_t>(core)];
+  Rng& rng = core_rngs_[static_cast<std::size_t>(core)];
+  ++cc.accesses;
+  Cycles cost = sim_.costs.cpu_per_access;
+
+  int home = 0;
+  Tlb& tlb = tlbs_[static_cast<std::size_t>(core)];
+  const TlbLookup hit = tlb.Lookup(access.va);
+  if (hit.level == TlbHitLevel::kL1) {
+    home = hit.node;
+  } else if (hit.level == TlbHitLevel::kL2) {
+    ++cc.tlb_l1_miss;
+    ++cc.tlb_l2_hit;
+    cost += sim_.costs.tlb_l2_hit;
+    home = hit.node;
+  } else {
+    ++cc.tlb_l1_miss;
+    auto mapping = address_space_->Translate(access.va);
+    if (!mapping.has_value()) {
+      const TouchResult touch = address_space_->Touch(access.va, node);
+      const FaultInfo& fault = *touch.fault;
+      switch (fault.size) {
+        case PageSize::k4K:
+          ++cc.faults_4k;
+          break;
+        case PageSize::k2M:
+          ++cc.faults_2m;
+          break;
+        case PageSize::k1G:
+          ++cc.faults_1g;
+          break;
+      }
+      cc.fault_bytes += fault.bytes;
+      FaultCycleParts& parts = fault_parts_[static_cast<std::size_t>(core)];
+      parts.fixed += sim_.costs.fault_fixed;
+      parts.zero += static_cast<Cycles>(sim_.costs.fault_zero_per_byte *
+                                        static_cast<double>(fault.bytes));
+      mapping = touch.mapping;
+    }
+    if (!migrate_on_touch_.empty()) {
+      const Addr piece = AlignDown(access.va, BytesOf(mapping->size));
+      const auto it = migrate_on_touch_.find(piece);
+      if (it != migrate_on_touch_.end()) {
+        migrate_on_touch_.erase(it);
+        if (mapping->node != node) {
+          if (auto moved = address_space_->MigratePage(piece, node)) {
+            cost += sim_.costs.fault_fixed / 2;  // hinting fault on this core
+            hint_kernel_cycles_ += sim_.costs.migrate_fixed +
+                                   static_cast<Cycles>(sim_.costs.migrate_per_byte *
+                                                       static_cast<double>(moved->bytes));
+            ++hint_migrations_;
+            mapping = address_space_->Translate(access.va);
+          }
+        }
+      }
+    }
+    ++cc.tlb_walks;
+    const WalkResult walk =
+        walker_.Walk(mapping->size, address_space_->page_table().table_bytes(), rng);
+    const double mlp = workload_->mlp(access.region);
+    cost += mlp > 1.0 ? static_cast<Cycles>(static_cast<double>(walk.cycles) / mlp)
+                      : walk.cycles;
+    if (walk.l2_miss) {
+      ++cc.walk_l2_miss;
+    }
+    tlb.Insert(mapping->page_base, mapping->size, mapping->pfn, mapping->node);
+    home = mapping->node;
+  }
+
+  // Does this access reach DRAM? (Per-region cache abstraction.)
+  const double intensity = workload_->dram_intensity(access.region);
+  const bool dram = rng.Bernoulli(intensity);
+  if (dram) {
+    ++counters_.node_requests[static_cast<std::size_t>(home)];
+    ++counters_.core_node_requests[static_cast<std::size_t>(core)][static_cast<std::size_t>(home)];
+    if (home == node) {
+      ++cc.dram_local;
+    } else {
+      ++cc.dram_remote;
+      ++counters_.node_incoming_remote[static_cast<std::size_t>(home)];
+    }
+  }
+  ibs_.Observe(access.va, core, node, home, dram);
+  cc.exec_cycles += cost;
+}
+
+Cycles Simulation::RunPolicies(Cycles wall_so_far, EpochRecord& record) {
+  // Kernel page work (migrations, splits, promotions, shootdowns) runs on
+  // per-node worker threads (Section 4.3: "all work generated by an
+  // interrupt is performed independently on each node"), so its wall-clock
+  // charge is divided by the node count; IBS interrupt time is paid on each
+  // sampling core, so it divides across cores.
+  Cycles kernel_cycles = 0;
+  Cycles overhead = 0;
+  std::vector<IbsSample> fresh = ibs_.Drain();
+  const PageAggMap fresh_pages =
+      AggregateSamples(fresh, *address_space_, AggGranularity::kMapping);
+  record.metrics = ComputeNumaMetrics(counters_, fresh_pages, std::max<Cycles>(wall_so_far, 1));
+  MergePages(cumulative_pages_, fresh_pages);
+  // Policy decisions accumulate samples over a sliding window of epochs: the
+  // kernel module keeps per-page statistics continuously, and at realistic
+  // IBS rates a single second yields too few samples per page to act on.
+  const std::vector<IbsSample> fresh_copy = fresh;  // estimator input (per-iteration)
+  sample_window_.push_back(std::move(fresh));
+  if (sample_window_.size() > kSampleWindowEpochs) {
+    sample_window_.erase(sample_window_.begin());
+  }
+  std::vector<IbsSample> samples;
+  for (const auto& epoch_samples : sample_window_) {
+    samples.insert(samples.end(), epoch_samples.begin(), epoch_samples.end());
+  }
+  const PageAggMap pages = AggregateSamples(samples, *address_space_, AggGranularity::kMapping);
+
+  std::vector<std::pair<Addr, PageSize>> shootdowns;
+  bool did_split = false;
+  const bool any_policy =
+      policy_.use_carrefour || policy_.use_reactive || policy_.use_conservative;
+  if (any_policy) {
+    const std::size_t fresh_count = sample_window_.empty() ? 0 : sample_window_.back().size();
+    overhead += sim_.costs.policy_fixed_per_epoch +
+                static_cast<Cycles>(fresh_count) * sim_.costs.per_ibs_sample /
+                    static_cast<Cycles>(topo_.num_cores());
+  }
+
+  if (lp_ != nullptr) {
+    LpObservation observation;
+    observation.walk_l2_miss_frac = record.metrics.walk_l2_miss_frac;
+    observation.max_fault_time_share = record.metrics.max_fault_time_share;
+    // Estimates use the iteration's own samples (the paper estimates each
+    // second from that second's IBS data); placement uses the accumulated
+    // per-page statistics.
+    observation.lar = EstimateLar(fresh_copy, *address_space_, fresh_pages, topo_.num_nodes());
+    observation.mapping_pages = &pages;
+    record.est_current_lar = observation.lar.current_pct;
+    record.est_carrefour_lar = observation.lar.carrefour_pct;
+    record.est_split_lar = observation.lar.carrefour_split_pct;
+
+    const LpDecision decision = lp_->Step(observation);
+    // Hot pages first (Algorithm 1 line 19): split, then interleave the
+    // constituent pages across nodes — migration alone cannot balance fewer
+    // hot pages than nodes. A hot page is usually also shared, so handling
+    // it before the shared-page pass preserves the interleave.
+    for (const auto& entry : decision.split_hot) {
+      const Addr base = entry.first;
+      const PageSize size = entry.second;
+      if (!address_space_->SplitLargePage(base)) {
+        continue;
+      }
+      kernel_cycles += sim_.costs.split_fixed + sim_.costs.shootdown_per_op;
+      ++record.splits;
+      carrefour_.Forget(base);
+      shootdowns.emplace_back(base, size);
+      did_split = true;
+      const PageSize piece = size == PageSize::k1G ? PageSize::k2M : PageSize::k4K;
+      const std::uint64_t step = BytesOf(piece);
+      for (Addr p = base; p < base + BytesOf(size); p += step) {
+        const int target =
+            static_cast<int>(policy_rng_.Uniform(static_cast<std::uint64_t>(topo_.num_nodes())));
+        if (auto moved = address_space_->MigratePage(p, target)) {
+          kernel_cycles += sim_.costs.migrate_fixed +
+                           static_cast<Cycles>(sim_.costs.migrate_per_byte *
+                                               static_cast<double>(moved->bytes)) +
+                           sim_.costs.shootdown_per_op;
+          ++record.migrations;
+          shootdowns.emplace_back(p, piece);
+        }
+      }
+    }
+    // Shared large pages (lines 15-18).
+    for (const auto& entry : decision.split_shared) {
+      const Addr base = entry.first;
+      if (address_space_->SplitLargePage(base)) {
+        kernel_cycles += sim_.costs.split_fixed + sim_.costs.shootdown_per_op;
+        ++record.splits;
+        carrefour_.Forget(base);
+        shootdowns.emplace_back(base, entry.second);
+        did_split = true;
+        // Lazy placement: each piece migrates to its next toucher's node.
+        const PageSize piece_size =
+            entry.second == PageSize::k1G ? PageSize::k2M : PageSize::k4K;
+        const std::uint64_t piece_step = BytesOf(piece_size);
+        for (Addr p = base; p < base + BytesOf(entry.second); p += piece_step) {
+          migrate_on_touch_.insert(p);
+        }
+      }
+    }
+  }
+
+  // Carrefour migration/interleave pass (Algorithm 1 line 20). If pages were
+  // split this epoch, re-aggregate so the plan sees the new granularity.
+  if (policy_.use_carrefour) {
+    const std::uint64_t accesses = counters_.TotalAccesses();
+    const double dram_rate =
+        accesses == 0
+            ? 0.0
+            : static_cast<double>(counters_.TotalDram()) / static_cast<double>(accesses);
+    if (carrefour_.ShouldRun(record.metrics.lar_pct, record.metrics.imbalance_pct, dram_rate)) {
+      const PageAggMap* plan_pages = &pages;
+      PageAggMap reaggregated;
+      if (did_split) {
+        reaggregated = AggregateSamples(samples, *address_space_, AggGranularity::kMapping);
+        plan_pages = &reaggregated;
+      }
+      const auto plan = carrefour_.Plan(*plan_pages, record.epoch);
+      for (const CarrefourAction& action : plan) {
+        if (auto moved = address_space_->MigratePage(action.page_base, action.target_node)) {
+          kernel_cycles += sim_.costs.migrate_fixed +
+                           static_cast<Cycles>(sim_.costs.migrate_per_byte *
+                                               static_cast<double>(moved->bytes)) +
+                           sim_.costs.shootdown_per_op;
+          ++record.migrations;
+          shootdowns.emplace_back(moved->page_base, moved->size);
+        }
+      }
+    }
+  }
+
+  // khugepaged runs only while THP is enabled (splitting disables allocation,
+  // which parks the scanner too — otherwise it would undo every split).
+  if (thp_state_.promote_enabled && thp_state_.alloc_enabled) {
+    const auto promotions =
+        khugepaged_.Scan(sim_.promote_scan_windows, sim_.promote_max_per_epoch);
+    for (const PromotionRecord& promo : promotions) {
+      kernel_cycles += sim_.costs.promote_fixed +
+                       static_cast<Cycles>(sim_.costs.promote_per_byte *
+                                           static_cast<double>(promo.bytes_copied)) +
+                       sim_.costs.shootdown_per_op;
+    }
+    record.promotions += promotions.size();
+    for (const PromotionRecord& promo : promotions) {
+      // The 512 stale 4KB translations of the consolidated window.
+      for (Addr p = promo.window_base; p < promo.window_base + kBytes2M; p += kBytes4K) {
+        shootdowns.emplace_back(p, PageSize::k4K);
+      }
+    }
+  }
+
+  for (const auto& [page_base, size] : shootdowns) {
+    for (Tlb& tlb : tlbs_) {
+      tlb.InvalidatePage(page_base, size);
+    }
+  }
+  overhead += static_cast<Cycles>(static_cast<double>(kernel_cycles) /
+                                  (static_cast<double>(topo_.num_nodes()) *
+                                   sim_.costs.kernel_time_scale));
+  return overhead;
+}
+
+RunResult Simulation::Run() {
+  RunResult result;
+  result.workload = workload_spec_.name;
+  result.machine = topo_.name();
+  result.policy = policy_.kind;
+  result.core_totals.resize(static_cast<std::size_t>(topo_.num_cores()));
+  result.node_request_totals.assign(static_cast<std::size_t>(topo_.num_nodes()), 0);
+
+  for (int epoch = 0; epoch < sim_.max_epochs; ++epoch) {
+    counters_.Reset();
+    std::fill(fault_parts_.begin(), fault_parts_.end(), FaultCycleParts{});
+    const bool epoch_in_setup = !workload_->SetupDone();
+
+    // Generate every thread's batch, then execute them in round-robin slices:
+    // threads run concurrently on the real machine, so first-touch races
+    // (which thread faults a shared 2MB window first) must interleave at a
+    // fine grain rather than letting thread 0 win everything.
+    // 32 accesses per slice: coarser slices let one thread first-touch tens
+    // of 2MB windows "before" its peers, which no concurrent machine does.
+    constexpr std::size_t kSliceAccesses = 32;
+    workload_->BeginEpoch();
+    for (int t = 0; t < topo_.num_cores(); ++t) {
+      workload_->FillBatch(t, sim_.accesses_per_thread_per_epoch, batches_[static_cast<std::size_t>(t)]);
+    }
+    for (std::size_t offset = 0; offset < sim_.accesses_per_thread_per_epoch;
+         offset += kSliceAccesses) {
+      const std::size_t slice_end =
+          std::min<std::size_t>(offset + kSliceAccesses, sim_.accesses_per_thread_per_epoch);
+      for (int t = 0; t < topo_.num_cores(); ++t) {
+        const int core = CoreOfThread(t);
+        const int node = topo_.NodeOfCore(core);
+        const auto& batch = batches_[static_cast<std::size_t>(t)];
+        for (std::size_t i = offset; i < slice_end && i < batch.size(); ++i) {
+          ProcessAccess(core, node, batch[i]);
+        }
+      }
+    }
+
+    // Page-table-lock contention: the fixed part of fault cost scales with
+    // the number of cores faulting concurrently this epoch ([3] in the
+    // paper; why THP's 512x fewer faults matter beyond zeroing).
+    int faulting_cores = 0;
+    for (const auto& core : counters_.cores) {
+      if (core.faults_4k + core.faults_2m + core.faults_1g > 0) {
+        ++faulting_cores;
+      }
+    }
+    const double contention =
+        std::min(sim_.costs.fault_contention_max,
+                 1.0 + sim_.costs.fault_contention_slope * std::max(0, faulting_cores - 1));
+    for (int c = 0; c < topo_.num_cores(); ++c) {
+      const FaultCycleParts& parts = fault_parts_[static_cast<std::size_t>(c)];
+      counters_.cores[static_cast<std::size_t>(c)].fault_cycles =
+          parts.zero + static_cast<Cycles>(static_cast<double>(parts.fixed) * contention);
+    }
+
+    // Resolve DRAM latencies from this epoch's controller load distribution.
+    const std::uint64_t ctrl_capacity = static_cast<std::uint64_t>(
+        sim_.mem_ctrl.capacity_fraction *
+        static_cast<double>(topo_.num_cores()) *
+        static_cast<double>(sim_.accesses_per_thread_per_epoch) /
+        static_cast<double>(topo_.num_nodes()));
+    const auto latencies = mem_ctrl_.Latencies(counters_.node_requests, ctrl_capacity);
+    const auto remote =
+        interconnect_.RemoteLatencies(counters_.node_incoming_remote);
+    for (int c = 0; c < topo_.num_cores(); ++c) {
+      const int node = topo_.NodeOfCore(c);
+      Cycles dram_cycles = 0;
+      for (int n = 0; n < topo_.num_nodes(); ++n) {
+        const std::uint64_t requests =
+            counters_.core_node_requests[static_cast<std::size_t>(c)][static_cast<std::size_t>(n)];
+        if (requests == 0) {
+          continue;
+        }
+        Cycles per_request = latencies[static_cast<std::size_t>(n)];
+        if (n != node) {
+          per_request += remote[static_cast<std::size_t>(node)][static_cast<std::size_t>(n)];
+        }
+        dram_cycles += requests * per_request;
+      }
+      counters_.cores[static_cast<std::size_t>(c)].dram_cycles = dram_cycles;
+    }
+
+    Cycles wall = 0;
+    for (const auto& core : counters_.cores) {
+      wall = std::max(wall, core.total_cycles());
+    }
+
+    EpochRecord record;
+    record.epoch = epoch;
+    record.in_setup = epoch_in_setup;
+    Cycles overhead = RunPolicies(wall, record);
+    overhead += static_cast<Cycles>(static_cast<double>(hint_kernel_cycles_) /
+                                    (static_cast<double>(topo_.num_nodes()) *
+                                     sim_.costs.kernel_time_scale));
+    record.migrations += hint_migrations_;
+    hint_kernel_cycles_ = 0;
+    hint_migrations_ = 0;
+    wall += overhead;
+    record.wall = wall;
+    record.policy_overhead = overhead;
+    record.thp_coverage = address_space_->LargePageCoverage();
+    record.thp_alloc_enabled = thp_state_.alloc_enabled;
+    record.thp_promote_enabled = thp_state_.promote_enabled;
+
+    result.total_cycles += wall;
+    if (!epoch_in_setup) {
+      result.measured_cycles += wall;
+    }
+    result.total_policy_overhead += overhead;
+    result.total_migrations += record.migrations;
+    result.total_splits += record.splits;
+    result.total_promotions += record.promotions;
+    for (int c = 0; c < topo_.num_cores(); ++c) {
+      result.core_totals[static_cast<std::size_t>(c)].Accumulate(
+          counters_.cores[static_cast<std::size_t>(c)]);
+    }
+    for (int n = 0; n < topo_.num_nodes(); ++n) {
+      result.node_request_totals[static_cast<std::size_t>(n)] +=
+          counters_.node_requests[static_cast<std::size_t>(n)];
+    }
+    result.history.push_back(record);
+
+    if (workload_->Done()) {
+      result.completed = true;
+      break;
+    }
+  }
+
+  result.epochs = static_cast<int>(result.history.size());
+  for (const auto& core : result.core_totals) {
+    result.totals.Accumulate(core);
+  }
+  result.final_thp_coverage = address_space_->LargePageCoverage();
+  result.cumulative_pages = std::move(cumulative_pages_);
+  cumulative_pages_ = PageAggMap{};
+  return result;
+}
+
+RunResult RunBenchmark(const Topology& topo, BenchmarkId bench, PolicyKind kind,
+                       const SimConfig& sim) {
+  const WorkloadSpec spec = MakeWorkloadSpec(bench, topo);
+  const PolicyConfig policy = MakePolicyConfig(kind);
+  Simulation simulation(topo, spec, policy, sim);
+  return simulation.Run();
+}
+
+}  // namespace numalp

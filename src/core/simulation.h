@@ -1,0 +1,171 @@
+// The experiment kernel: runs one workload on one simulated machine under one
+// policy configuration and produces the run's cycle count plus every metric
+// the paper reports (DESIGN.md Section 3 describes the epoch model).
+#ifndef NUMALP_SRC_CORE_SIMULATION_H_
+#define NUMALP_SRC_CORE_SIMULATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/carrefour/carrefour.h"
+#include "src/common/rng.h"
+#include "src/core/carrefour_lp.h"
+#include "src/core/config.h"
+#include "src/hw/counters.h"
+#include "src/hw/ibs.h"
+#include "src/hw/interconnect.h"
+#include "src/hw/mem_ctrl.h"
+#include "src/hw/tlb.h"
+#include "src/hw/walker.h"
+#include "src/mem/phys_mem.h"
+#include "src/metrics/numa_metrics.h"
+#include "src/topo/topology.h"
+#include "src/vm/address_space.h"
+#include "src/vm/thp.h"
+#include "src/workloads/workload.h"
+
+namespace numalp {
+
+struct EpochRecord {
+  int epoch = 0;
+  Cycles wall = 0;             // includes policy overhead
+  Cycles policy_overhead = 0;  // sampling + migration + split + promotion work
+  bool in_setup = false;       // some thread was still first-touching memory
+  NumaMetrics metrics;
+  double thp_coverage = 0.0;
+  std::uint64_t migrations = 0;
+  std::uint64_t splits = 0;
+  std::uint64_t promotions = 0;
+  bool thp_alloc_enabled = false;
+  bool thp_promote_enabled = false;
+  // Reactive-component estimates (when active).
+  double est_current_lar = 0.0;
+  double est_carrefour_lar = 0.0;
+  double est_split_lar = 0.0;
+};
+
+struct RunResult {
+  std::string workload;
+  std::string machine;
+  PolicyKind policy = PolicyKind::kLinux4K;
+  bool completed = false;
+  int epochs = 0;
+  Cycles total_cycles = 0;
+  // Wall cycles of steady-state (non-setup) epochs: what the paper's
+  // benchmarks report (NAS excludes initialization, SPECjbb measures
+  // steady throughput). Metis-style allocation happens *during* the steady
+  // phase and stays included.
+  Cycles measured_cycles = 0;
+  std::vector<EpochRecord> history;
+
+  // Cumulative counters (per core and machine-wide).
+  std::vector<CoreCounters> core_totals;
+  CoreCounters totals;
+  std::vector<std::uint64_t> node_request_totals;
+  std::uint64_t total_migrations = 0;
+  std::uint64_t total_splits = 0;
+  std::uint64_t total_promotions = 0;
+  Cycles total_policy_overhead = 0;
+  // IBS page aggregates merged over the whole run (mapping granularity).
+  PageAggMap cumulative_pages;
+  double final_thp_coverage = 0.0;
+
+  // --- Paper-metric helpers ----------------------------------------------
+  double LarPct() const;
+  double ImbalancePct() const;
+  double WalkL2MissFrac() const;
+  // Max over cores of (fault handler cycles / total run cycles), as a %.
+  double MaxFaultTimeSharePct() const;
+  // Same metric restricted to steady-state epochs (the paper's benchmarks
+  // amortize their startup over minutes of execution; our runs are seconds,
+  // so the one-time first-touch storm would otherwise dominate).
+  double SteadyMaxFaultSharePct() const;
+  // Max over cores of fault-handler time in milliseconds.
+  double MaxFaultTimeMs(double clock_ghz) const;
+  double PamupPct() const;
+  int Nhp() const;
+  double PspPct() const;
+  double RuntimeMs(double clock_ghz) const;
+};
+
+// Performance improvement of `run` over `baseline` in percent, the y-axis of
+// Figures 1-5 ("perf. improvement relative to default Linux").
+double ImprovementPct(const RunResult& baseline, const RunResult& run);
+
+class Simulation {
+ public:
+  Simulation(const Topology& topo, const WorkloadSpec& workload, const PolicyConfig& policy,
+             const SimConfig& sim);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  RunResult Run();
+
+  // Accessors for tests that drive epochs manually.
+  AddressSpace& address_space() { return *address_space_; }
+  ThpState& thp_state() { return thp_state_; }
+  const Topology& topology() const { return topo_; }
+
+ private:
+  struct FaultCycleParts {
+    Cycles fixed = 0;
+    Cycles zero = 0;
+  };
+
+  int CoreOfThread(int thread) const;
+  void ProcessAccess(int core, int node, const WorkloadAccess& access);
+  // Runs the policy stack at the epoch boundary; returns overhead cycles and
+  // fills the epoch record. `wall_so_far` is the app portion of the epoch.
+  Cycles RunPolicies(Cycles wall_so_far, EpochRecord& record);
+
+  Topology topo_;
+  WorkloadSpec workload_spec_;
+  PolicyConfig policy_;
+  SimConfig sim_;
+
+  PhysicalMemory phys_;
+  ThpState thp_state_;
+  std::unique_ptr<AddressSpace> address_space_;
+  std::unique_ptr<Workload> workload_;
+  std::vector<Tlb> tlbs_;
+  PageWalker walker_;
+  MemCtrlModel mem_ctrl_;
+  InterconnectModel interconnect_;
+  IbsEngine ibs_;
+  EpochCounters counters_;
+  std::vector<FaultCycleParts> fault_parts_;
+  std::vector<Rng> core_rngs_;
+  Rng policy_rng_;
+
+  Carrefour carrefour_;
+  std::unique_ptr<CarrefourLp> lp_;
+  KhugepagedScanner khugepaged_;
+
+  // Carrefour keeps per-page statistics for the lifetime of the run (the
+  // kernel module never resets them); bound the window only as a safety cap.
+  static constexpr std::size_t kSampleWindowEpochs = 512;
+
+  PageAggMap cumulative_pages_;
+  std::vector<std::vector<IbsSample>> sample_window_;
+  std::vector<std::vector<WorkloadAccess>> batches_;  // one per thread
+  // Pages demoted by the reactive component are placed lazily: the next
+  // touch migrates the piece to the toucher's node (NUMA hinting-fault
+  // placement — per-4KB-piece IBS evidence would take minutes to gather).
+  std::unordered_set<Addr> migrate_on_touch_;
+  Cycles hint_kernel_cycles_ = 0;
+  std::uint64_t hint_migrations_ = 0;
+};
+
+// Convenience wrapper used by benches and examples: builds the named
+// workload on `topo`, runs it under `kind`, returns the result.
+RunResult RunBenchmark(const Topology& topo, BenchmarkId bench, PolicyKind kind,
+                       const SimConfig& sim);
+
+}  // namespace numalp
+
+#endif  // NUMALP_SRC_CORE_SIMULATION_H_

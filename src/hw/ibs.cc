@@ -1,0 +1,46 @@
+#include "src/hw/ibs.h"
+
+namespace numalp {
+
+IbsEngine::IbsEngine(int num_nodes, int num_cores, std::uint64_t interval, std::uint64_t seed)
+    : interval_(interval == 0 ? 1 : interval) {
+  stores_.resize(static_cast<std::size_t>(num_nodes));
+  countdown_.resize(static_cast<std::size_t>(num_cores));
+  Rng rng(seed);
+  for (auto& c : countdown_) {
+    c = 1 + rng.Uniform(interval_);  // staggered phases
+  }
+}
+
+bool IbsEngine::Observe(Addr va, int core, int req_node, int home_node, bool dram) {
+  auto& countdown = countdown_[static_cast<std::size_t>(core)];
+  if (--countdown > 0) {
+    return false;
+  }
+  countdown = interval_;
+  IbsSample sample;
+  sample.va = va;
+  sample.core = static_cast<std::uint16_t>(core);
+  sample.req_node = static_cast<std::uint8_t>(req_node);
+  sample.home_node = static_cast<std::uint8_t>(home_node);
+  sample.dram = dram;
+  stores_[static_cast<std::size_t>(req_node)].push_back(sample);
+  ++total_samples_;
+  return true;
+}
+
+std::vector<IbsSample> IbsEngine::Drain() {
+  std::vector<IbsSample> all;
+  std::size_t total = 0;
+  for (const auto& store : stores_) {
+    total += store.size();
+  }
+  all.reserve(total);
+  for (auto& store : stores_) {
+    all.insert(all.end(), store.begin(), store.end());
+    store.clear();
+  }
+  return all;
+}
+
+}  // namespace numalp

@@ -1,0 +1,55 @@
+// Instruction-Based Sampling engine.
+//
+// AMD IBS tags every Nth retired op and reports, for memory ops, the data
+// virtual address, whether DRAM serviced the access, and which node did so.
+// Carrefour consumes exactly that tuple. Samples land in per-node stores —
+// the paper's fix for the lock-contention scalability problem they hit with
+// a centralized store on the 64-core machine (Section 4.3).
+#ifndef NUMALP_SRC_HW_IBS_H_
+#define NUMALP_SRC_HW_IBS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+
+namespace numalp {
+
+struct IbsSample {
+  Addr va = 0;
+  std::uint16_t core = 0;
+  std::uint8_t req_node = 0;   // node of the core issuing the access
+  std::uint8_t home_node = 0;  // node whose DRAM holds the page
+  bool dram = false;           // serviced from DRAM (not a cache)
+};
+
+class IbsEngine {
+ public:
+  // One sample every `interval` observed accesses per core (deterministic
+  // stride with a per-core phase so cores do not sample in lockstep).
+  IbsEngine(int num_nodes, int num_cores, std::uint64_t interval, std::uint64_t seed);
+
+  // Called for every simulated access; cheap counter decrement in the common
+  // case. Returns true when the access was sampled.
+  bool Observe(Addr va, int core, int req_node, int home_node, bool dram);
+
+  // Samples collected since the last Drain, store-ordered per node.
+  const std::vector<std::vector<IbsSample>>& stores() const { return stores_; }
+
+  // Moves all samples out (policy runs once per epoch).
+  std::vector<IbsSample> Drain();
+
+  std::uint64_t interval() const { return interval_; }
+  std::uint64_t total_samples() const { return total_samples_; }
+
+ private:
+  std::uint64_t interval_;
+  std::vector<std::uint64_t> countdown_;  // per core
+  std::vector<std::vector<IbsSample>> stores_;
+  std::uint64_t total_samples_ = 0;
+};
+
+}  // namespace numalp
+
+#endif  // NUMALP_SRC_HW_IBS_H_

@@ -1,0 +1,37 @@
+#include "src/hw/interconnect.h"
+
+#include <algorithm>
+
+namespace numalp {
+
+std::vector<std::vector<Cycles>> InterconnectModel::RemoteLatencies(
+    std::span<const std::uint64_t> incoming_remote) const {
+  const int nodes = topo_.num_nodes();
+  std::uint64_t total = 0;
+  for (std::uint64_t r : incoming_remote) {
+    total += r;
+  }
+  std::vector<double> factor(static_cast<std::size_t>(nodes), 1.0);
+  if (total > 0) {
+    for (int n = 0; n < nodes; ++n) {
+      const double share = static_cast<double>(incoming_remote[static_cast<std::size_t>(n)]) /
+                           static_cast<double>(total);
+      const double over = std::max(0.0, share * static_cast<double>(nodes) - 1.0);
+      factor[static_cast<std::size_t>(n)] =
+          std::min(config_.max_factor, 1.0 + config_.congestion_weight * over);
+    }
+  }
+  std::vector<std::vector<Cycles>> latency(
+      static_cast<std::size_t>(nodes), std::vector<Cycles>(static_cast<std::size_t>(nodes), 0));
+  for (int src = 0; src < nodes; ++src) {
+    for (int dst = 0; dst < nodes; ++dst) {
+      const double hops = static_cast<double>(topo_.Hops(src, dst));
+      latency[static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)] =
+          static_cast<Cycles>(static_cast<double>(config_.per_hop) * hops *
+                              factor[static_cast<std::size_t>(dst)]);
+    }
+  }
+  return latency;
+}
+
+}  // namespace numalp

@@ -1,0 +1,43 @@
+// HyperTransport interconnect model: remote accesses pay a per-hop latency,
+// inflated when the destination node receives a disproportionate share of
+// the machine's remote traffic (link congestion toward a hot node).
+#ifndef NUMALP_SRC_HW_INTERCONNECT_H_
+#define NUMALP_SRC_HW_INTERCONNECT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/topo/topology.h"
+
+namespace numalp {
+
+struct InterconnectConfig {
+  Cycles per_hop = 40;
+  // Congestion: latency factor 1 + weight * max(0, share * nodes - 1) where
+  // `share` is the destination's fraction of all remote traffic.
+  double congestion_weight = 0.4;
+  double max_factor = 2.0;
+};
+
+class InterconnectModel {
+ public:
+  InterconnectModel(const InterconnectConfig& config, const Topology& topo)
+      : config_(config), topo_(topo) {}
+
+  // Per-destination-node extra latency for one remote access, given this
+  // epoch's per-node incoming remote request counts. Entry [src][dst].
+  std::vector<std::vector<Cycles>> RemoteLatencies(
+      std::span<const std::uint64_t> incoming_remote) const;
+
+  const InterconnectConfig& config() const { return config_; }
+
+ private:
+  InterconnectConfig config_;
+  const Topology& topo_;
+};
+
+}  // namespace numalp
+
+#endif  // NUMALP_SRC_HW_INTERCONNECT_H_

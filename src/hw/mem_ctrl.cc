@@ -1,0 +1,35 @@
+#include "src/hw/mem_ctrl.h"
+
+#include <algorithm>
+
+namespace numalp {
+
+Cycles MemCtrlModel::LatencyForUtilization(double utilization) const {
+  // utilization is the controller's load relative to its provisioned
+  // capacity: <= 1 serves at base latency, then queueing grows the latency
+  // linearly until saturation at `saturation_utilization`.
+  const double u = std::max(0.0, utilization);
+  double multiplier = 1.0;
+  if (u > 1.0) {
+    const double t = std::min(1.0, (u - 1.0) / (config_.saturation_utilization - 1.0));
+    multiplier = 1.0 + (config_.max_multiplier - 1.0) * t;
+  }
+  return static_cast<Cycles>(static_cast<double>(config_.base_latency) * multiplier);
+}
+
+std::vector<Cycles> MemCtrlModel::Latencies(std::span<const std::uint64_t> node_requests,
+                                            std::uint64_t capacity) const {
+  const int nodes = static_cast<int>(node_requests.size());
+  std::vector<Cycles> latencies(static_cast<std::size_t>(nodes), config_.base_latency);
+  if (nodes == 0 || capacity == 0) {
+    return latencies;
+  }
+  for (int n = 0; n < nodes; ++n) {
+    const double u = static_cast<double>(node_requests[static_cast<std::size_t>(n)]) /
+                     static_cast<double>(capacity);
+    latencies[static_cast<std::size_t>(n)] = LatencyForUtilization(u);
+  }
+  return latencies;
+}
+
+}  // namespace numalp

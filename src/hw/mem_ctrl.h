@@ -1,0 +1,53 @@
+// Memory-controller queueing model.
+//
+// The paper (and Dashti et al. [6]) report that an overloaded controller
+// serves requests at ~1000 cycles versus ~200 when load is balanced. We model
+// per-node service latency as a convex function of the node's share of the
+// epoch's total DRAM traffic: a node serving its fair share (1/num_nodes)
+// runs at base latency; latency rises quadratically once the node's
+// utilization exceeds the provisioned headroom, capped at `max_multiplier`.
+#ifndef NUMALP_SRC_HW_MEM_CTRL_H_
+#define NUMALP_SRC_HW_MEM_CTRL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace numalp {
+
+struct MemCtrlConfig {
+  Cycles base_latency = 200;
+  // Absolute per-controller capacity per epoch, expressed as a fraction of
+  // (machine accesses per epoch / nodes): a controller saturates only when
+  // its absolute request rate is high — imbalance in a low-intensity
+  // workload is harmless (the paper's WC runs at 147% imbalance and still
+  // gains +109% from THP).
+  double capacity_fraction = 1.0;
+  double max_multiplier = 5.5;  // 200 -> 1100 cycles fully overloaded
+  // Utilization at which the latency multiplier reaches its cap.
+  double saturation_utilization = 2.0;
+};
+
+class MemCtrlModel {
+ public:
+  explicit MemCtrlModel(const MemCtrlConfig& config) : config_(config) {}
+
+  // Average service latency per node for an epoch with the given per-node
+  // request counts. `capacity` is the per-controller request capacity for
+  // the epoch (computed by the engine from the epoch's access volume).
+  std::vector<Cycles> Latencies(std::span<const std::uint64_t> node_requests,
+                                std::uint64_t capacity) const;
+
+  Cycles LatencyForUtilization(double utilization) const;
+
+  const MemCtrlConfig& config() const { return config_; }
+
+ private:
+  MemCtrlConfig config_;
+};
+
+}  // namespace numalp
+
+#endif  // NUMALP_SRC_HW_MEM_CTRL_H_

@@ -1,0 +1,90 @@
+// Two-level set-associative TLB with separate L1 arrays per page size and a
+// unified L2, modelled after the AMD family 10h/15h designs in the paper's
+// testbeds. Entries carry the translation payload (PFN + home node) so the
+// simulation engine can resolve a hit without touching the page table.
+#ifndef NUMALP_SRC_HW_TLB_H_
+#define NUMALP_SRC_HW_TLB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace numalp {
+
+struct TlbConfig {
+  // 64-entry L1 DTLB for 4KB pages (16 sets x 4 ways).
+  int l1_4k_sets = 16;
+  int l1_4k_ways = 4;
+  // 32-entry L1 for 2MB pages.
+  int l1_2m_sets = 8;
+  int l1_2m_ways = 4;
+  // 8-entry fully-associative array for 1GB pages.
+  int l1_1g_sets = 1;
+  int l1_1g_ways = 8;
+  // 1024-entry unified L2 (4KB + 2MB; 1GB entries are not L2-cached,
+  // matching the era's hardware).
+  int l2_sets = 128;
+  int l2_ways = 8;
+};
+
+enum class TlbHitLevel : std::uint8_t { kL1, kL2, kMiss };
+
+struct TlbLookup {
+  TlbHitLevel level = TlbHitLevel::kMiss;
+  Pfn pfn = 0;       // valid when level != kMiss
+  int node = 0;      // home NUMA node of the page
+  PageSize size = PageSize::k4K;
+};
+
+class Tlb {
+ public:
+  explicit Tlb(const TlbConfig& config);
+
+  // Probes all arrays in parallel (4KB / 2MB / 1GB VPNs).
+  TlbLookup Lookup(Addr va);
+
+  // Installs a translation in L1 (and L2 for 4KB/2MB).
+  void Insert(Addr va, PageSize size, Pfn pfn, int node);
+
+  // Precise shootdown of one page's translation (all arrays that could hold
+  // it). This is what an OS TLB shootdown IPI does; flushing everything on
+  // every policy action would overcharge policies by a full refill storm.
+  void InvalidatePage(Addr page_base, PageSize size);
+
+  void FlushAll();
+
+  std::uint64_t lookups() const { return lookups_; }
+
+ private:
+  struct Entry {
+    std::uint64_t tag = kInvalidTag;
+    Pfn pfn = 0;
+    std::uint32_t node = 0;
+    std::uint64_t last_used = 0;
+  };
+  struct Array {
+    int sets = 0;
+    int ways = 0;
+    std::vector<Entry> entries;  // sets * ways
+
+    void Init(int s, int w);
+    Entry* Find(std::uint64_t tag, std::uint64_t set_index);
+    void Install(std::uint64_t tag, std::uint64_t set_index, Pfn pfn, int node,
+                 std::uint64_t tick);
+    void Flush();
+  };
+
+  static constexpr std::uint64_t kInvalidTag = ~0ull;
+
+  Array l1_4k_;
+  Array l1_2m_;
+  Array l1_1g_;
+  Array l2_;  // tag includes the page size
+  std::uint64_t tick_ = 0;
+  std::uint64_t lookups_ = 0;
+};
+
+}  // namespace numalp
+
+#endif  // NUMALP_SRC_HW_TLB_H_

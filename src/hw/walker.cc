@@ -1,0 +1,25 @@
+#include "src/hw/walker.h"
+
+#include "src/vm/page_table.h"
+
+namespace numalp {
+
+double PageWalker::PteMissProbability(std::uint64_t table_bytes) const {
+  const double t = static_cast<double>(table_bytes);
+  return config_.miss_floor + config_.miss_span * t / (t + config_.half_sat_bytes);
+}
+
+WalkResult PageWalker::Walk(PageSize size, std::uint64_t table_bytes, Rng& rng) const {
+  WalkResult result;
+  const int levels = PageTable::WalkDepth(size);
+  result.cycles = config_.per_level * static_cast<Cycles>(levels - 1);
+  if (rng.Bernoulli(PteMissProbability(table_bytes))) {
+    result.l2_miss = true;
+    result.cycles += config_.pte_l2_hit + config_.pte_l2_miss_extra;
+  } else {
+    result.cycles += config_.pte_l2_hit;
+  }
+  return result;
+}
+
+}  // namespace numalp

@@ -1,0 +1,57 @@
+// Hardware page-table walker cost model.
+//
+// On a TLB miss the walker traverses the radix tree (4 levels for 4KB pages,
+// 3 for 2MB, 2 for 1GB). Upper levels are almost always held by the paging-
+// structure caches; the leaf PTE fetch, however, competes with application
+// data for the L2 cache, and its miss probability grows with the resident
+// page-table footprint. This is the mechanism behind the paper's key
+// conservative-component metric, "fraction of L2 misses caused by page table
+// walks" (Section 3.2.2): large pages shrink the page table, which both
+// lowers TLB miss counts and makes each remaining walk cheaper.
+#ifndef NUMALP_SRC_HW_WALKER_H_
+#define NUMALP_SRC_HW_WALKER_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+
+namespace numalp {
+
+struct WalkerConfig {
+  // Hardware walks overlap with out-of-order execution, so these are
+  // *effective* (exposed) costs, considerably below the raw fetch latency.
+  Cycles per_level = 10;          // paging-structure-cache / L1 hit per level
+  Cycles pte_l2_hit = 8;          // leaf PTE found in L2
+  Cycles pte_l2_miss_extra = 100; // leaf PTE fetched from L3/DRAM
+  // PTE L2-miss probability: p = floor + span * T / (T + half_sat) where T is
+  // the resident page-table footprint in bytes. Saturates at floor + span.
+  double miss_floor = 0.02;
+  double miss_span = 0.45;
+  double half_sat_bytes = 2.0 * 1024 * 1024;
+};
+
+struct WalkResult {
+  Cycles cycles = 0;
+  bool l2_miss = false;  // counts toward "L2 misses due to page table walks"
+};
+
+class PageWalker {
+ public:
+  explicit PageWalker(const WalkerConfig& config) : config_(config) {}
+
+  // One hardware walk for a page of `size` with `table_bytes` of resident
+  // paging structures. Deterministic given the Rng stream.
+  WalkResult Walk(PageSize size, std::uint64_t table_bytes, Rng& rng) const;
+
+  double PteMissProbability(std::uint64_t table_bytes) const;
+
+  const WalkerConfig& config() const { return config_; }
+
+ private:
+  WalkerConfig config_;
+};
+
+}  // namespace numalp
+
+#endif  // NUMALP_SRC_HW_WALKER_H_

@@ -1,0 +1,148 @@
+#include "src/mem/buddy_allocator.h"
+
+#include <cassert>
+
+#include "src/common/log.h"
+
+namespace numalp {
+
+BuddyAllocator::BuddyAllocator(Pfn base_pfn, std::uint64_t num_frames)
+    : base_pfn_(base_pfn), total_frames_(num_frames), free_lists_(kMaxOrder + 1) {
+  assert(IsAligned(base_pfn, 1ull << kMaxOrder));
+  // Greedily cover [base, base+num_frames) with maximal aligned free blocks.
+  Pfn cursor = base_pfn_;
+  std::uint64_t remaining = num_frames;
+  while (remaining > 0) {
+    int order = kMaxOrder;
+    while (order > 0 && (((cursor - base_pfn_) & ((1ull << order) - 1)) != 0 ||
+                         (1ull << order) > remaining)) {
+      --order;
+    }
+    free_lists_[static_cast<std::size_t>(order)].insert(cursor);
+    cursor += 1ull << order;
+    remaining -= 1ull << order;
+  }
+  free_frames_ = num_frames;
+}
+
+std::optional<Pfn> BuddyAllocator::Alloc(int order) {
+  assert(order >= 0 && order <= kMaxOrder);
+  // Find the smallest free order >= requested.
+  int found = -1;
+  for (int o = order; o <= kMaxOrder; ++o) {
+    if (!free_lists_[static_cast<std::size_t>(o)].empty()) {
+      found = o;
+      break;
+    }
+  }
+  if (found < 0) {
+    return std::nullopt;
+  }
+  auto& list = free_lists_[static_cast<std::size_t>(found)];
+  const Pfn block = *list.begin();
+  list.erase(list.begin());
+  // Split down to the requested order, returning the low half each time.
+  for (int o = found; o > order; --o) {
+    const Pfn upper_half = block + (1ull << (o - 1));
+    free_lists_[static_cast<std::size_t>(o - 1)].insert(upper_half);
+  }
+  allocated_[block] = order;
+  free_frames_ -= 1ull << order;
+  return block;
+}
+
+void BuddyAllocator::Free(Pfn pfn, int order) {
+  const auto it = allocated_.find(pfn);
+  assert(it != allocated_.end() && it->second == order);
+  allocated_.erase(it);
+  free_frames_ += 1ull << order;
+  // Coalesce upward while the buddy is free.
+  Pfn block = pfn;
+  int o = order;
+  while (o < kMaxOrder) {
+    const Pfn buddy = BuddyOf(block, o);
+    auto& list = free_lists_[static_cast<std::size_t>(o)];
+    const auto buddy_it = list.find(buddy);
+    if (buddy_it == list.end()) {
+      break;
+    }
+    list.erase(buddy_it);
+    block = block < buddy ? block : buddy;
+    ++o;
+  }
+  free_lists_[static_cast<std::size_t>(o)].insert(block);
+}
+
+void BuddyAllocator::SplitAllocated(Pfn pfn, int from_order, int to_order) {
+  assert(to_order < from_order);
+  const auto it = allocated_.find(pfn);
+  assert(it != allocated_.end() && it->second == from_order);
+  allocated_.erase(it);
+  const std::uint64_t step = 1ull << to_order;
+  for (Pfn p = pfn; p < pfn + (1ull << from_order); p += step) {
+    allocated_[p] = to_order;
+  }
+}
+
+bool BuddyAllocator::CanAlloc(int order) const {
+  for (int o = order; o <= kMaxOrder; ++o) {
+    if (!free_lists_[static_cast<std::size_t>(o)].empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool BuddyAllocator::IsAllocated(Pfn pfn) const {
+  // Exact block starts only; constituent frames of a larger block are covered
+  // by searching the predecessor entry.
+  auto it = allocated_.upper_bound(pfn);
+  if (it == allocated_.begin()) {
+    return false;
+  }
+  --it;
+  return pfn < it->first + (1ull << it->second);
+}
+
+int BuddyAllocator::LargestFreeOrder() const {
+  for (int o = kMaxOrder; o >= 0; --o) {
+    if (!free_lists_[static_cast<std::size_t>(o)].empty()) {
+      return o;
+    }
+  }
+  return -1;
+}
+
+double BuddyAllocator::FragmentationIndex() const {
+  if (free_frames_ == 0) {
+    return 0.0;
+  }
+  const int largest = LargestFreeOrder();
+  const double largest_frames = static_cast<double>(1ull << largest);
+  return 1.0 - largest_frames / static_cast<double>(free_frames_);
+}
+
+bool BuddyAllocator::CheckInvariants() const {
+  std::uint64_t counted_free = 0;
+  for (int o = 0; o <= kMaxOrder; ++o) {
+    for (Pfn pfn : free_lists_[static_cast<std::size_t>(o)]) {
+      if (pfn < base_pfn_ || pfn + (1ull << o) > end_pfn()) {
+        return false;
+      }
+      if (((pfn - base_pfn_) & ((1ull << o) - 1)) != 0) {
+        return false;
+      }
+      if (IsAllocated(pfn)) {
+        return false;
+      }
+      counted_free += 1ull << o;
+    }
+  }
+  std::uint64_t counted_alloc = 0;
+  for (const auto& [pfn, order] : allocated_) {
+    counted_alloc += 1ull << order;
+  }
+  return counted_free == free_frames_ && counted_free + counted_alloc == total_frames_;
+}
+
+}  // namespace numalp

@@ -1,0 +1,87 @@
+// Binary buddy allocator over a contiguous physical frame range.
+//
+// This is the per-node page-frame allocator of the simulated OS. It supports
+// orders 0 (4KB) through 18 (1GB), coalescing on free, and — crucial for
+// Carrefour-LP — *splitting an allocated block in place*: when a 2MB page is
+// demoted to 4KB pages, the physical block stays where it is but its
+// bookkeeping becomes 512 order-0 allocations so the constituent frames can
+// later be migrated and freed independently.
+#ifndef NUMALP_SRC_MEM_BUDDY_ALLOCATOR_H_
+#define NUMALP_SRC_MEM_BUDDY_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace numalp {
+
+// Largest supported order: 2^18 frames * 4KB = 1GB.
+inline constexpr int kMaxOrder = 18;
+
+class BuddyAllocator {
+ public:
+  // Manages frames [base_pfn, base_pfn + num_frames). base_pfn must be
+  // aligned to 2^kMaxOrder so buddy arithmetic works on global PFNs.
+  BuddyAllocator(Pfn base_pfn, std::uint64_t num_frames);
+
+  BuddyAllocator(const BuddyAllocator&) = delete;
+  BuddyAllocator& operator=(const BuddyAllocator&) = delete;
+  BuddyAllocator(BuddyAllocator&&) = default;
+  BuddyAllocator& operator=(BuddyAllocator&&) = default;
+
+  // Allocates 2^order contiguous frames; returns the first PFN, or nullopt
+  // when no sufficiently large block is free. Lowest-address block is chosen
+  // deterministically.
+  std::optional<Pfn> Alloc(int order);
+
+  // Frees a block previously returned by Alloc (or produced by
+  // SplitAllocated). Coalesces with free buddies.
+  void Free(Pfn pfn, int order);
+
+  // Rewrites the bookkeeping of an allocated block of `from_order` at `pfn`
+  // into 2^(from_order - to_order) allocated blocks of `to_order`. No frames
+  // move; this models THP demotion (2MB -> 512 x 4KB).
+  void SplitAllocated(Pfn pfn, int from_order, int to_order);
+
+  // True if a block of at least `order` is free (used by the THP fault path
+  // to decide whether a 2MB allocation is possible without fallback).
+  bool CanAlloc(int order) const;
+
+  bool IsAllocated(Pfn pfn) const;
+
+  std::uint64_t free_frames() const { return free_frames_; }
+  std::uint64_t total_frames() const { return total_frames_; }
+  Pfn base_pfn() const { return base_pfn_; }
+  Pfn end_pfn() const { return base_pfn_ + total_frames_; }
+
+  // -1 when nothing is free.
+  int LargestFreeOrder() const;
+
+  // 0 = one maximal free block; ->1 as free memory shatters into small
+  // blocks. Defined as 1 - largest_free_block_frames / free_frames.
+  double FragmentationIndex() const;
+
+  // Internal-consistency check used by the property tests: free lists are
+  // disjoint, aligned, inside the range, and disjoint from allocations.
+  bool CheckInvariants() const;
+
+ private:
+  Pfn BuddyOf(Pfn pfn, int order) const { return ((pfn - base_pfn_) ^ (1ull << order)) + base_pfn_; }
+
+  Pfn base_pfn_;
+  std::uint64_t total_frames_;
+  std::uint64_t free_frames_ = 0;
+  // Free blocks per order, keyed by first PFN (ordered: deterministic,
+  // lowest-address-first allocation like Linux's free lists).
+  std::vector<std::set<Pfn>> free_lists_;
+  // Allocated blocks: first PFN -> order. Kept for validation and splits.
+  std::map<Pfn, int> allocated_;
+};
+
+}  // namespace numalp
+
+#endif  // NUMALP_SRC_MEM_BUDDY_ALLOCATOR_H_

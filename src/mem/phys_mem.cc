@@ -1,0 +1,78 @@
+#include "src/mem/phys_mem.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace numalp {
+
+namespace {
+
+int CeilLog2(std::uint64_t x) {
+  int bits = 0;
+  while ((1ull << bits) < x) {
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+PhysicalMemory::PhysicalMemory(const Topology& topo) : topo_(topo) {
+  std::uint64_t max_frames = 0;
+  for (int n = 0; n < topo.num_nodes(); ++n) {
+    max_frames = std::max(max_frames, topo.node(n).dram_bytes / kBytes4K);
+  }
+  // Stride: power of two, at least one max-order block, covering every node.
+  node_shift_ = std::max(kMaxOrder, CeilLog2(max_frames));
+  allocators_.reserve(static_cast<std::size_t>(topo.num_nodes()));
+  for (int n = 0; n < topo.num_nodes(); ++n) {
+    const Pfn base = static_cast<Pfn>(n) << node_shift_;
+    allocators_.emplace_back(base, topo.node(n).dram_bytes / kBytes4K);
+  }
+  fallback_order_.resize(static_cast<std::size_t>(topo.num_nodes()));
+  for (int from = 0; from < topo.num_nodes(); ++from) {
+    auto& order = fallback_order_[static_cast<std::size_t>(from)];
+    for (int to = 0; to < topo.num_nodes(); ++to) {
+      order.push_back(to);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](int a, int b) { return topo.Hops(from, a) < topo.Hops(from, b); });
+  }
+}
+
+std::optional<PhysAlloc> PhysicalMemory::Alloc(int order, int preferred_node) {
+  for (int node : fallback_order_[static_cast<std::size_t>(preferred_node)]) {
+    if (auto pfn = allocator(node).Alloc(order)) {
+      return PhysAlloc{*pfn, node, node != preferred_node};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Pfn> PhysicalMemory::AllocOnNode(int order, int node) {
+  return allocator(node).Alloc(order);
+}
+
+void PhysicalMemory::Free(Pfn pfn, int order) { allocator(NodeOfPfn(pfn)).Free(pfn, order); }
+
+void PhysicalMemory::SplitAllocated(Pfn pfn, int from_order, int to_order) {
+  allocator(NodeOfPfn(pfn)).SplitAllocated(pfn, from_order, to_order);
+}
+
+std::uint64_t PhysicalMemory::FreeBytesOnNode(int node) const {
+  return node_allocator(node).free_frames() * kBytes4K;
+}
+
+std::uint64_t PhysicalMemory::TotalFreeBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& alloc : allocators_) {
+    total += alloc.free_frames() * kBytes4K;
+  }
+  return total;
+}
+
+bool PhysicalMemory::CanAllocOnNode(int order, int node) const {
+  return node_allocator(node).CanAlloc(order);
+}
+
+}  // namespace numalp

@@ -1,0 +1,69 @@
+// Machine-wide physical memory: one buddy allocator per NUMA node plus the
+// PFN -> node map and Linux-style allocation fallback ordered by hop distance.
+#ifndef NUMALP_SRC_MEM_PHYS_MEM_H_
+#define NUMALP_SRC_MEM_PHYS_MEM_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/mem/buddy_allocator.h"
+#include "src/topo/topology.h"
+
+namespace numalp {
+
+struct PhysAlloc {
+  Pfn pfn = 0;
+  int node = 0;
+  bool fallback = false;  // true when the preferred node was full
+};
+
+class PhysicalMemory {
+ public:
+  explicit PhysicalMemory(const Topology& topo);
+
+  PhysicalMemory(const PhysicalMemory&) = delete;
+  PhysicalMemory& operator=(const PhysicalMemory&) = delete;
+
+  // Allocates 2^order frames, preferring `preferred_node` and falling back to
+  // other nodes in increasing hop distance (ties by node id), like the Linux
+  // zonelist order. Returns nullopt only when every node is exhausted.
+  std::optional<PhysAlloc> Alloc(int order, int preferred_node);
+
+  // Strictly on `node`; no fallback.
+  std::optional<Pfn> AllocOnNode(int order, int node);
+
+  void Free(Pfn pfn, int order);
+
+  // Demotes an allocated block's bookkeeping in place (see BuddyAllocator).
+  void SplitAllocated(Pfn pfn, int from_order, int to_order);
+
+  int NodeOfPfn(Pfn pfn) const {
+    return static_cast<int>(pfn >> node_shift_);
+  }
+
+  const BuddyAllocator& node_allocator(int node) const {
+    return allocators_[static_cast<std::size_t>(node)];
+  }
+
+  std::uint64_t FreeBytesOnNode(int node) const;
+  std::uint64_t TotalFreeBytes() const;
+  bool CanAllocOnNode(int order, int node) const;
+
+  int num_nodes() const { return static_cast<int>(allocators_.size()); }
+
+ private:
+  BuddyAllocator& allocator(int node) { return allocators_[static_cast<std::size_t>(node)]; }
+
+  const Topology& topo_;
+  std::vector<BuddyAllocator> allocators_;
+  // PFN space gives each node a power-of-two stride so NodeOfPfn is a shift.
+  int node_shift_ = 0;
+  // Fallback order per preferred node (preferred first, then by hops).
+  std::vector<std::vector<int>> fallback_order_;
+};
+
+}  // namespace numalp
+
+#endif  // NUMALP_SRC_MEM_PHYS_MEM_H_

@@ -1,0 +1,87 @@
+// The paper's NUMA measurement vocabulary, computed from hardware counters
+// and IBS samples:
+//   LAR        local access ratio: % of DRAM accesses serviced by the
+//              requesting core's node (Section 2.2).
+//   Imbalance  stddev of per-controller request rates, % of mean.
+//   PAMUP      % of (DRAM-sampled) accesses going to the most-used page.
+//   NHP        number of hot pages: pages with > 6% of total accesses
+//              (Section 3.1, footnote 3).
+//   PSP        % of accesses to pages touched by >= 2 threads.
+//   plus the conservative component's inputs: fraction of L2 misses caused
+//   by page-table walks, and the max per-core share of time spent in the
+//   page-fault handler.
+#ifndef NUMALP_SRC_METRICS_NUMA_METRICS_H_
+#define NUMALP_SRC_METRICS_NUMA_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "src/common/units.h"
+#include "src/hw/counters.h"
+#include "src/hw/ibs.h"
+#include "src/vm/address_space.h"
+
+namespace numalp {
+
+inline constexpr int kMaxNodes = 16;
+inline constexpr double kHotPageSharePct = 6.0;
+
+// Granularity at which samples are folded into pages.
+enum class AggGranularity {
+  kMapping,  // the page size actually backing the address (what the OS sees)
+  k4K,       // force 4KB pages (the "what if we split" view)
+  k2M,       // force 2MB windows
+};
+
+struct PageAgg {
+  std::array<std::uint32_t, kMaxNodes> req_node_counts{};
+  std::uint64_t total = 0;
+  std::uint64_t dram = 0;
+  std::uint64_t core_mask = 0;  // bitmask of cores that touched the page
+  int home_node = -1;           // current physical placement (-1 if unmapped)
+  PageSize size = PageSize::k4K;
+
+  int DistinctNodes() const;
+  // Node issuing most sampled accesses to this page.
+  int MajorityReqNode() const;
+  bool SingleNode() const { return DistinctNodes() == 1; }
+  int SharerCount() const;
+};
+
+using PageAggMap = std::unordered_map<Addr, PageAgg>;
+
+// Folds samples into per-page aggregates at the requested granularity.
+// Samples for unmapped addresses are dropped.
+PageAggMap AggregateSamples(std::span<const IbsSample> samples,
+                            const AddressSpace& address_space, AggGranularity granularity);
+
+struct NumaMetrics {
+  double lar_pct = 0.0;
+  double imbalance_pct = 0.0;
+  double pamup_pct = 0.0;
+  int nhp = 0;
+  double psp_pct = 0.0;
+  double walk_l2_miss_frac = 0.0;     // of all L2 misses
+  double max_fault_time_share = 0.0;  // max over cores of fault cycles / wall
+};
+
+// LAR from counters (exact) plus sample-derived page metrics at the current
+// mapping granularity. `epoch_wall` is the wall time the fault share is
+// computed against.
+NumaMetrics ComputeNumaMetrics(const EpochCounters& counters, const PageAggMap& pages,
+                               Cycles epoch_wall);
+
+// Individual helpers (used by tests and the estimators).
+double LarPct(const EpochCounters& counters);
+double ControllerImbalancePct(const EpochCounters& counters);
+double WalkL2MissFraction(const EpochCounters& counters);
+double MaxFaultTimeShare(const EpochCounters& counters, Cycles epoch_wall);
+double PamupPct(const PageAggMap& pages);
+int CountHotPages(const PageAggMap& pages, double threshold_pct = kHotPageSharePct);
+double PspPct(const PageAggMap& pages);
+
+}  // namespace numalp
+
+#endif  // NUMALP_SRC_METRICS_NUMA_METRICS_H_

@@ -1,0 +1,103 @@
+#include "src/topo/topology.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "src/common/log.h"
+
+namespace numalp {
+
+namespace {
+
+// Fully connected hop matrix: one hop between any two distinct nodes.
+std::vector<std::vector<int>> FullyConnected(int nodes) {
+  std::vector<std::vector<int>> hops(static_cast<std::size_t>(nodes),
+                                     std::vector<int>(static_cast<std::size_t>(nodes), 1));
+  for (int i = 0; i < nodes; ++i) {
+    hops[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 0;
+  }
+  return hops;
+}
+
+// Opteron 6200 4-socket ladder: each socket holds two nodes (dies). Dies on
+// the same socket are one hop apart; each die has direct HT links to three
+// remote dies and reaches the remaining four in two hops. We reproduce that
+// connectivity pattern with a ring-plus-chords layout.
+std::vector<std::vector<int>> InterlagosLadder() {
+  constexpr int kNodes = 8;
+  auto hops = std::vector<std::vector<int>>(kNodes, std::vector<int>(kNodes, 2));
+  auto link = [&hops](int a, int b) {
+    hops[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = 1;
+    hops[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)] = 1;
+  };
+  for (int i = 0; i < kNodes; ++i) {
+    hops[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 0;
+  }
+  // Same-socket pairs.
+  link(0, 1);
+  link(2, 3);
+  link(4, 5);
+  link(6, 7);
+  // Cross-socket HT links (one die of each socket to one die of the next).
+  link(0, 2);
+  link(1, 3);
+  link(0, 4);
+  link(1, 5);
+  link(2, 6);
+  link(3, 7);
+  link(4, 6);
+  link(5, 7);
+  return hops;
+}
+
+}  // namespace
+
+Topology::Topology(std::string name, int nodes, int cores_per_node,
+                   std::uint64_t dram_bytes_per_node, std::vector<std::vector<int>> hops)
+    : name_(std::move(name)), hops_(std::move(hops)) {
+  nodes_.reserve(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) {
+    NodeInfo info;
+    info.id = i;
+    info.first_core = i * cores_per_node;
+    info.num_cores = cores_per_node;
+    info.dram_bytes = dram_bytes_per_node;
+    nodes_.push_back(info);
+  }
+  num_cores_ = nodes * cores_per_node;
+  core_to_node_.resize(static_cast<std::size_t>(num_cores_));
+  for (int c = 0; c < num_cores_; ++c) {
+    core_to_node_[static_cast<std::size_t>(c)] = c / cores_per_node;
+  }
+  for (const auto& row : hops_) {
+    for (int h : row) {
+      max_hops_ = std::max(max_hops_, h);
+    }
+  }
+}
+
+Topology Topology::MachineA(std::uint64_t memory_scale) {
+  const std::uint64_t dram = 12 * kGiB / std::max<std::uint64_t>(1, memory_scale);
+  return Topology("machineA", /*nodes=*/4, /*cores_per_node=*/6, dram, FullyConnected(4));
+}
+
+Topology Topology::MachineB(std::uint64_t memory_scale) {
+  const std::uint64_t dram = 64 * kGiB / std::max<std::uint64_t>(1, memory_scale);
+  return Topology("machineB", /*nodes=*/8, /*cores_per_node=*/8, dram, InterlagosLadder());
+}
+
+Topology Topology::Tiny(std::uint64_t dram_bytes_per_node) {
+  return Topology("tiny", /*nodes=*/2, /*cores_per_node=*/2, dram_bytes_per_node,
+                  FullyConnected(2));
+}
+
+std::uint64_t Topology::total_dram_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    total += node.dram_bytes;
+  }
+  return total;
+}
+
+}  // namespace numalp

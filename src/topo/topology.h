@@ -1,0 +1,69 @@
+// NUMA machine topology: nodes, cores, DRAM capacities, interconnect hops.
+//
+// Presets reproduce the paper's two evaluation machines (Section 2.1):
+//   Machine A: 2x AMD Opteron 6164 HE -> 4 NUMA nodes, 6 cores + 12GB each.
+//   Machine B: 4x AMD Opteron 6272   -> 8 NUMA nodes, 8 cores + 64GB each.
+// Both use HyperTransport 3.0 links; A is fully connected, B needs up to two
+// hops between sockets (the Opteron 6200 "Interlagos" ladder layout).
+//
+// DRAM capacities are divided by MachineConfig::memory_scale (default 48) so
+// experiments keep the paper's footprint-to-DRAM ratios while the simulator's
+// bookkeeping stays small; workload footprints are scaled identically.
+#ifndef NUMALP_SRC_TOPO_TOPOLOGY_H_
+#define NUMALP_SRC_TOPO_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace numalp {
+
+struct NodeInfo {
+  int id = 0;
+  int first_core = 0;
+  int num_cores = 0;
+  std::uint64_t dram_bytes = 0;
+};
+
+class Topology {
+ public:
+  // Uniform topology: `nodes` nodes with `cores_per_node` cores and
+  // `dram_bytes_per_node` DRAM each, plus an explicit hop matrix.
+  Topology(std::string name, int nodes, int cores_per_node, std::uint64_t dram_bytes_per_node,
+           std::vector<std::vector<int>> hops);
+
+  // Paper presets. `memory_scale` divides the per-node DRAM (>= 1).
+  static Topology MachineA(std::uint64_t memory_scale = 48);
+  static Topology MachineB(std::uint64_t memory_scale = 48);
+  // A tiny 2-node machine for unit tests.
+  static Topology Tiny(std::uint64_t dram_bytes_per_node = 64 * kMiB);
+
+  const std::string& name() const { return name_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_cores() const { return num_cores_; }
+  const NodeInfo& node(int id) const { return nodes_[static_cast<std::size_t>(id)]; }
+
+  int NodeOfCore(int core) const { return core_to_node_[static_cast<std::size_t>(core)]; }
+
+  // Interconnect hop count between nodes (0 when equal).
+  int Hops(int from, int to) const {
+    return hops_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+  }
+  int max_hops() const { return max_hops_; }
+
+  std::uint64_t total_dram_bytes() const;
+
+ private:
+  std::string name_;
+  std::vector<NodeInfo> nodes_;
+  std::vector<int> core_to_node_;
+  std::vector<std::vector<int>> hops_;
+  int num_cores_ = 0;
+  int max_hops_ = 0;
+};
+
+}  // namespace numalp
+
+#endif  // NUMALP_SRC_TOPO_TOPOLOGY_H_

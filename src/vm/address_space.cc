@@ -1,0 +1,270 @@
+#include "src/vm/address_space.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+#include "src/common/log.h"
+
+namespace numalp {
+
+AddressSpace::AddressSpace(PhysicalMemory& phys, const Topology& topo, ThpState& thp)
+    : phys_(phys), topo_(topo), thp_(thp), page_table_(phys, /*pt_node=*/0) {}
+
+Addr AddressSpace::MmapAnon(std::uint64_t bytes, VmaOptions opts) {
+  const std::uint64_t aligned = AlignUp(bytes, kBytes4K);
+  Vma vma;
+  vma.base = next_base_;
+  vma.bytes = aligned;
+  vma.opts = std::move(opts);
+  // 1GB-aligned bases with a guard gap keep large-page windows of distinct
+  // VMAs from sharing paging structures accidentally.
+  next_base_ = AlignUp(next_base_ + aligned + kBytes1G, kBytes1G);
+  vmas_.push_back(std::move(vma));
+  return vmas_.back().base;
+}
+
+Vma* AddressSpace::FindVma(Addr va) {
+  for (auto& vma : vmas_) {
+    if (va >= vma.base && va < vma.base + vma.bytes) {
+      return &vma;
+    }
+  }
+  return nullptr;
+}
+
+const Vma* AddressSpace::FindVma(Addr va) const {
+  return const_cast<AddressSpace*>(this)->FindVma(va);
+}
+
+std::optional<TranslateResult> AddressSpace::Translate(Addr va) const {
+  const auto mapping = page_table_.Lookup(va);
+  if (!mapping.has_value()) {
+    return std::nullopt;
+  }
+  TranslateResult result;
+  result.page_base = mapping->page_base;
+  result.pfn = mapping->pfn;
+  result.size = mapping->size;
+  result.node = phys_.NodeOfPfn(mapping->pfn);
+  return result;
+}
+
+int AddressSpace::PlacementNode(Vma& vma, int core_node) {
+  if (vma.opts.placement == NumaPlacement::kInterleave) {
+    return static_cast<int>(vma.interleave_cursor++ % static_cast<std::uint64_t>(topo_.num_nodes()));
+  }
+  return core_node;
+}
+
+void AddressSpace::NoteMapped(Addr page_base, PageSize size) {
+  mapped_bytes_ += BytesOf(size);
+  switch (size) {
+    case PageSize::k4K:
+      ++window_pop_[AlignDown(page_base, kBytes2M)];
+      break;
+    case PageSize::k2M:
+      window_pop_[page_base] = static_cast<int>(kFramesPer2M);
+      pages_2m_.insert(page_base);
+      break;
+    case PageSize::k1G:
+      for (Addr w = page_base; w < page_base + kBytes1G; w += kBytes2M) {
+        window_pop_[w] = static_cast<int>(kFramesPer2M);
+      }
+      pages_1g_.insert(page_base);
+      break;
+  }
+}
+
+void AddressSpace::NoteUnmapped(Addr page_base, PageSize size) {
+  mapped_bytes_ -= BytesOf(size);
+  switch (size) {
+    case PageSize::k4K:
+      --window_pop_[AlignDown(page_base, kBytes2M)];
+      break;
+    case PageSize::k2M:
+      window_pop_[page_base] = 0;
+      pages_2m_.erase(page_base);
+      break;
+    case PageSize::k1G:
+      for (Addr w = page_base; w < page_base + kBytes1G; w += kBytes2M) {
+        window_pop_[w] = 0;
+      }
+      pages_1g_.erase(page_base);
+      break;
+  }
+}
+
+TouchResult AddressSpace::Touch(Addr va, int core_node) {
+  if (auto mapping = Translate(va)) {
+    return TouchResult{*mapping, std::nullopt};
+  }
+  Vma* vma = FindVma(va);
+  if (vma == nullptr) {
+    NUMALP_LOG(LogLevel::kError) << "segfault: touch of unmapped VA " << va;
+    std::abort();
+  }
+  const int target = PlacementNode(*vma, core_node);
+  FaultInfo fault;
+
+  // Explicit huge pages (libhugetlbfs-style, Section 4.4) bypass THP state.
+  if (vma->opts.explicit_page.has_value()) {
+    const PageSize size = *vma->opts.explicit_page;
+    const Addr base = AlignDown(va, BytesOf(size));
+    const auto alloc = phys_.Alloc(OrderOf(size), target);
+    if (!alloc.has_value()) {
+      NUMALP_LOG(LogLevel::kError) << "out of memory for explicit " << NameOf(size) << " page";
+      std::abort();
+    }
+    page_table_.Map(base, alloc->pfn, size);
+    NoteMapped(base, size);
+    fault.size = size;
+    fault.bytes = BytesOf(size);
+    fault.node = alloc->node;
+    fault.fallback = alloc->fallback;
+    return TouchResult{*Translate(va), fault};
+  }
+
+  // THP path: back the fault with a 2MB page when the whole aligned window
+  // lies inside the VMA, nothing in it is mapped yet, and the target node has
+  // a free 2MB block.
+  if (thp_.alloc_enabled && vma->opts.thp_eligible) {
+    const Addr window = AlignDown(va, kBytes2M);
+    const bool window_in_vma = window >= vma->base && window + kBytes2M <= vma->base + vma->bytes;
+    if (window_in_vma && WindowPopulation(window) == 0) {
+      if (auto pfn = phys_.AllocOnNode(OrderOf(PageSize::k2M), target)) {
+        page_table_.Map(window, *pfn, PageSize::k2M);
+        NoteMapped(window, PageSize::k2M);
+        fault.size = PageSize::k2M;
+        fault.bytes = kBytes2M;
+        fault.node = target;
+        fault.fallback = false;
+        return TouchResult{*Translate(va), fault};
+      }
+    }
+  }
+
+  // Base-page fault.
+  const Addr base = AlignDown(va, kBytes4K);
+  const auto alloc = phys_.Alloc(/*order=*/0, target);
+  if (!alloc.has_value()) {
+    NUMALP_LOG(LogLevel::kError) << "out of physical memory on 4K fault";
+    std::abort();
+  }
+  page_table_.Map(base, alloc->pfn, PageSize::k4K);
+  NoteMapped(base, PageSize::k4K);
+  fault.size = PageSize::k4K;
+  fault.bytes = kBytes4K;
+  fault.node = alloc->node;
+  fault.fallback = alloc->fallback;
+  return TouchResult{*Translate(va), fault};
+}
+
+std::optional<MigrationRecord> AddressSpace::MigratePage(Addr page_base, int target_node) {
+  const auto mapping = page_table_.Lookup(page_base);
+  if (!mapping.has_value() || mapping->page_base != page_base) {
+    return std::nullopt;
+  }
+  const int from = phys_.NodeOfPfn(mapping->pfn);
+  if (from == target_node) {
+    return std::nullopt;
+  }
+  const int order = OrderOf(mapping->size);
+  const auto new_pfn = phys_.AllocOnNode(order, target_node);
+  if (!new_pfn.has_value()) {
+    return std::nullopt;  // target node full: skip, like Linux migrate_pages
+  }
+  const Pfn old_pfn = page_table_.ReplaceLeaf(page_base, *new_pfn);
+  phys_.Free(old_pfn, order);
+  MigrationRecord record;
+  record.page_base = page_base;
+  record.size = mapping->size;
+  record.from_node = from;
+  record.to_node = target_node;
+  record.bytes = BytesOf(mapping->size);
+  return record;
+}
+
+std::optional<SplitRecord> AddressSpace::SplitLargePage(Addr page_base) {
+  const auto mapping = page_table_.Lookup(page_base);
+  if (!mapping.has_value() || mapping->page_base != page_base ||
+      mapping->size == PageSize::k4K) {
+    return std::nullopt;
+  }
+  if (!page_table_.Split(page_base)) {
+    return std::nullopt;
+  }
+  SplitRecord record;
+  record.page_base = page_base;
+  record.from_size = mapping->size;
+  record.pieces = 512;
+  if (mapping->size == PageSize::k2M) {
+    phys_.SplitAllocated(mapping->pfn, OrderOf(PageSize::k2M), OrderOf(PageSize::k4K));
+    pages_2m_.erase(page_base);
+    // window_pop_ stays at 512: the window is still fully populated.
+  } else {
+    phys_.SplitAllocated(mapping->pfn, OrderOf(PageSize::k1G), OrderOf(PageSize::k2M));
+    pages_1g_.erase(page_base);
+    for (Addr w = page_base; w < page_base + kBytes1G; w += kBytes2M) {
+      pages_2m_.insert(w);
+    }
+  }
+  return record;
+}
+
+std::optional<PromotionRecord> AddressSpace::PromoteWindow(Addr window_base, int target_node) {
+  assert(IsAligned(window_base, kBytes2M));
+  if (WindowPopulation(window_base) != static_cast<int>(kFramesPer2M) ||
+      pages_2m_.count(window_base) != 0) {
+    return std::nullopt;
+  }
+  // Collect the 512 constituent 4KB frames; bail out if any mapping is not 4KB.
+  std::vector<Pfn> old_frames;
+  old_frames.reserve(kFramesPer2M);
+  bool all_4k = true;
+  page_table_.ForEachMappingIn(window_base, kBytes2M, [&](const PageTable::Mapping& m) {
+    if (m.size != PageSize::k4K) {
+      all_4k = false;
+    } else {
+      old_frames.push_back(m.pfn);
+    }
+  });
+  if (!all_4k || old_frames.size() != kFramesPer2M) {
+    return std::nullopt;
+  }
+  const auto new_pfn = phys_.AllocOnNode(OrderOf(PageSize::k2M), target_node);
+  if (!new_pfn.has_value()) {
+    return std::nullopt;
+  }
+  if (!page_table_.Promote2M(window_base, *new_pfn)) {
+    phys_.Free(*new_pfn, OrderOf(PageSize::k2M));
+    return std::nullopt;
+  }
+  for (Pfn pfn : old_frames) {
+    phys_.Free(pfn, /*order=*/0);
+  }
+  // Bookkeeping: 512 x 4KB out, one 2MB in.
+  mapped_bytes_ -= kFramesPer2M * kBytes4K;
+  NoteMapped(window_base, PageSize::k2M);
+  PromotionRecord record;
+  record.window_base = window_base;
+  record.node = target_node;
+  record.bytes_copied = kBytes2M;
+  return record;
+}
+
+int AddressSpace::WindowPopulation(Addr window_base) const {
+  const auto it = window_pop_.find(window_base);
+  return it == window_pop_.end() ? 0 : it->second;
+}
+
+double AddressSpace::LargePageCoverage() const {
+  if (mapped_bytes_ == 0) {
+    return 0.0;
+  }
+  const std::uint64_t large = static_cast<std::uint64_t>(pages_2m_.size()) * kBytes2M +
+                              static_cast<std::uint64_t>(pages_1g_.size()) * kBytes1G;
+  return static_cast<double>(large) / static_cast<double>(mapped_bytes_);
+}
+
+}  // namespace numalp

@@ -1,0 +1,135 @@
+// A process address space: VMAs, demand paging with first-touch / interleave
+// NUMA placement, THP-backed anonymous faults, and the page-placement
+// operations (migrate / split / promote) that Carrefour and Carrefour-LP
+// drive at runtime.
+#ifndef NUMALP_SRC_VM_ADDRESS_SPACE_H_
+#define NUMALP_SRC_VM_ADDRESS_SPACE_H_
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/mem/phys_mem.h"
+#include "src/topo/topology.h"
+#include "src/vm/migrate.h"
+#include "src/vm/page_table.h"
+#include "src/vm/thp.h"
+
+namespace numalp {
+
+enum class NumaPlacement : std::uint8_t {
+  kFirstTouch,  // Linux default: allocate on the faulting core's node
+  kInterleave,  // round-robin pages across nodes
+};
+
+struct VmaOptions {
+  std::string name;
+  bool thp_eligible = true;  // anonymous memory; mapped files are not (Section 2.1)
+  // When set, the VMA is backed by explicit huge pages of this size at fault
+  // time regardless of ThpState (the libhugetlbfs 1GB path of Section 4.4).
+  std::optional<PageSize> explicit_page;
+  NumaPlacement placement = NumaPlacement::kFirstTouch;
+};
+
+struct Vma {
+  Addr base = 0;
+  std::uint64_t bytes = 0;
+  VmaOptions opts;
+  std::uint64_t interleave_cursor = 0;
+};
+
+struct TranslateResult {
+  Addr page_base = 0;
+  Pfn pfn = 0;
+  PageSize size = PageSize::k4K;
+  int node = 0;
+};
+
+struct FaultInfo {
+  PageSize size = PageSize::k4K;
+  std::uint64_t bytes = 0;
+  int node = 0;
+  bool fallback = false;  // preferred node was full
+};
+
+struct TouchResult {
+  TranslateResult mapping;
+  std::optional<FaultInfo> fault;
+};
+
+class AddressSpace {
+ public:
+  AddressSpace(PhysicalMemory& phys, const Topology& topo, ThpState& thp);
+
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  // Reserves `bytes` of anonymous VA space (1GB-aligned base; no physical
+  // allocation until touched). Returns the VMA base address.
+  Addr MmapAnon(std::uint64_t bytes, VmaOptions opts);
+
+  std::optional<TranslateResult> Translate(Addr va) const;
+
+  // Translates `va`, taking a demand fault if unmapped. `core_node` is the
+  // NUMA node of the touching core (first-touch target).
+  TouchResult Touch(Addr va, int core_node);
+
+  // --- Placement operations used by the policies -------------------------
+
+  // Moves the page covering `page_base` to `target_node`. Fails (nullopt)
+  // when the page is already there or the target node has no room.
+  std::optional<MigrationRecord> MigratePage(Addr page_base, int target_node);
+
+  // Demotes a large page in place (2MB -> 4KB pieces, 1GB -> 2MB pieces).
+  std::optional<SplitRecord> SplitLargePage(Addr page_base);
+
+  // Consolidates a fully-populated, 4KB-mapped 2MB window into one huge page
+  // on `target_node` (khugepaged's operation).
+  std::optional<PromotionRecord> PromoteWindow(Addr window_base, int target_node);
+
+  // --- Introspection ------------------------------------------------------
+
+  // Bases of live 2MB / 1GB pages (iterated by splitting policies).
+  const std::set<Addr>& pages_2m() const { return pages_2m_; }
+  const std::set<Addr>& pages_1g() const { return pages_1g_; }
+
+  const std::vector<Vma>& vmas() const { return vmas_; }
+  const PageTable& page_table() const { return page_table_; }
+  const ThpState& thp() const { return thp_; }
+  const Topology& topology() const { return topo_; }
+  PhysicalMemory& phys() { return phys_; }
+
+  // 4KB pages mapped inside a 2MB window (512 once fully populated or backed
+  // by a huge page).
+  int WindowPopulation(Addr window_base) const;
+
+  std::uint64_t mapped_bytes() const { return mapped_bytes_; }
+  // Fraction of mapped bytes backed by 2MB or 1GB pages.
+  double LargePageCoverage() const;
+
+ private:
+  Vma* FindVma(Addr va);
+  const Vma* FindVma(Addr va) const;
+  int PlacementNode(Vma& vma, int core_node);
+  void NoteMapped(Addr page_base, PageSize size);
+  void NoteUnmapped(Addr page_base, PageSize size);
+
+  PhysicalMemory& phys_;
+  const Topology& topo_;
+  ThpState& thp_;
+  PageTable page_table_;
+  std::vector<Vma> vmas_;  // sorted by base
+  Addr next_base_ = 1ull << 32;
+  std::unordered_map<Addr, int> window_pop_;
+  std::set<Addr> pages_2m_;
+  std::set<Addr> pages_1g_;
+  std::uint64_t mapped_bytes_ = 0;
+};
+
+}  // namespace numalp
+
+#endif  // NUMALP_SRC_VM_ADDRESS_SPACE_H_

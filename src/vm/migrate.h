@@ -1,0 +1,36 @@
+// Records describing page-placement operations (migration, demotion,
+// promotion). The operations themselves live on AddressSpace; these records
+// flow back to the simulation engine, which charges their cycle costs and
+// performs TLB shootdowns.
+#ifndef NUMALP_SRC_VM_MIGRATE_H_
+#define NUMALP_SRC_VM_MIGRATE_H_
+
+#include <cstdint>
+
+#include "src/common/units.h"
+
+namespace numalp {
+
+struct MigrationRecord {
+  Addr page_base = 0;
+  PageSize size = PageSize::k4K;
+  int from_node = 0;
+  int to_node = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct SplitRecord {
+  Addr page_base = 0;
+  PageSize from_size = PageSize::k2M;
+  int pieces = 512;
+};
+
+struct PromotionRecord {
+  Addr window_base = 0;
+  int node = 0;
+  std::uint64_t bytes_copied = 0;
+};
+
+}  // namespace numalp
+
+#endif  // NUMALP_SRC_VM_MIGRATE_H_

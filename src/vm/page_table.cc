@@ -1,0 +1,207 @@
+#include "src/vm/page_table.h"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "src/common/log.h"
+
+namespace numalp {
+
+PageTable::PageTable(PhysicalMemory& phys, int pt_node) : phys_(phys), pt_node_(pt_node) {
+  root_ = NewTable(kTopLevel);
+}
+
+PageTable::~PageTable() {
+  if (root_ != nullptr) {
+    FreeTable(root_.get());
+    root_.reset();
+  }
+}
+
+std::unique_ptr<PageTable::Table> PageTable::NewTable(int level) {
+  auto table = std::make_unique<Table>();
+  table->level = level;
+  const auto alloc = phys_.Alloc(/*order=*/0, pt_node_);
+  if (!alloc.has_value()) {
+    NUMALP_LOG(LogLevel::kError) << "out of physical memory allocating a paging structure";
+    std::abort();
+  }
+  table->frame = alloc->pfn;
+  ++num_tables_;
+  return table;
+}
+
+void PageTable::FreeTable(Table* table) {
+  for (auto& entry : table->entries) {
+    if (entry.kind == Entry::Kind::kTable) {
+      FreeTable(entry.child.get());
+      entry.child.reset();
+    }
+    entry.kind = Entry::Kind::kEmpty;
+  }
+  phys_.Free(table->frame, /*order=*/0);
+  --num_tables_;
+}
+
+PageTable::Entry* PageTable::Descend(Addr va, int target_level, bool create) {
+  Table* table = root_.get();
+  for (int level = kTopLevel; level > target_level; --level) {
+    Entry& entry = table->entries[static_cast<std::size_t>(IndexAt(va, level))];
+    if (entry.kind == Entry::Kind::kLeaf) {
+      return nullptr;  // blocked by a larger mapping
+    }
+    if (entry.kind == Entry::Kind::kEmpty) {
+      if (!create) {
+        return nullptr;
+      }
+      entry.child = NewTable(level - 1);
+      entry.kind = Entry::Kind::kTable;
+      ++table->populated;
+    }
+    table = entry.child.get();
+  }
+  return &table->entries[static_cast<std::size_t>(IndexAt(va, target_level))];
+}
+
+std::optional<PageTable::Mapping> PageTable::Lookup(Addr va) const {
+  const Table* table = root_.get();
+  for (int level = kTopLevel; level >= 1; --level) {
+    const Entry& entry = table->entries[static_cast<std::size_t>(IndexAt(va, level))];
+    if (entry.kind == Entry::Kind::kEmpty) {
+      return std::nullopt;
+    }
+    if (entry.kind == Entry::Kind::kLeaf) {
+      const PageSize size = LeafSizeAt(level);
+      Mapping m;
+      m.page_base = AlignDown(va, BytesOf(size));
+      m.pfn = entry.pfn;
+      m.size = size;
+      return m;
+    }
+    table = entry.child.get();
+  }
+  return std::nullopt;
+}
+
+void PageTable::Map(Addr va, Pfn pfn, PageSize size) {
+  const int leaf_level = WalkDepth(PageSize::k4K) - WalkDepth(size) + 1;
+  Entry* entry = Descend(va, leaf_level, /*create=*/true);
+  assert(entry != nullptr && entry->kind == Entry::Kind::kEmpty);
+  entry->kind = Entry::Kind::kLeaf;
+  entry->pfn = pfn;
+  // Find the owning table to bump its population count.
+  Table* table = root_.get();
+  for (int level = kTopLevel; level > leaf_level; --level) {
+    table = table->entries[static_cast<std::size_t>(IndexAt(va, level))].child.get();
+  }
+  ++table->populated;
+  ++mapping_counts_[static_cast<std::size_t>(size)];
+}
+
+PageTable::Mapping PageTable::Unmap(Addr va) {
+  // Walk down remembering the path so empty tables can be reclaimed.
+  Table* path[kTopLevel + 1] = {};
+  Table* table = root_.get();
+  int level = kTopLevel;
+  for (; level >= 1; --level) {
+    path[level] = table;
+    Entry& entry = table->entries[static_cast<std::size_t>(IndexAt(va, level))];
+    assert(entry.kind != Entry::Kind::kEmpty);
+    if (entry.kind == Entry::Kind::kLeaf) {
+      const PageSize size = LeafSizeAt(level);
+      Mapping removed;
+      removed.page_base = AlignDown(va, BytesOf(size));
+      removed.pfn = entry.pfn;
+      removed.size = size;
+      entry.kind = Entry::Kind::kEmpty;
+      entry.pfn = 0;
+      --table->populated;
+      --mapping_counts_[static_cast<std::size_t>(size)];
+      // Reclaim now-empty tables bottom-up (never the root).
+      for (int l = level; l < kTopLevel; ++l) {
+        if (path[l]->populated > 0) {
+          break;
+        }
+        Table* parent = path[l + 1];
+        Entry& parent_entry = parent->entries[static_cast<std::size_t>(IndexAt(va, l + 1))];
+        FreeTable(parent_entry.child.get());
+        parent_entry.child.reset();
+        parent_entry.kind = Entry::Kind::kEmpty;
+        --parent->populated;
+      }
+      return removed;
+    }
+    table = entry.child.get();
+  }
+  assert(false && "Unmap of unmapped address");
+  return Mapping{};
+}
+
+bool PageTable::Split(Addr va) {
+  // Locate the leaf level of the large page.
+  Table* table = root_.get();
+  for (int level = kTopLevel; level >= 2; --level) {
+    Entry& entry = table->entries[static_cast<std::size_t>(IndexAt(va, level))];
+    if (entry.kind == Entry::Kind::kEmpty) {
+      return false;
+    }
+    if (entry.kind == Entry::Kind::kLeaf) {
+      const PageSize old_size = LeafSizeAt(level);
+      const Pfn base_pfn = entry.pfn;
+      auto child = NewTable(level - 1);
+      const PageSize child_size = LeafSizeAt(level - 1);
+      const std::uint64_t frames_per_child = BytesOf(child_size) / kBytes4K;
+      for (int i = 0; i < 512; ++i) {
+        Entry& sub = child->entries[static_cast<std::size_t>(i)];
+        sub.kind = Entry::Kind::kLeaf;
+        sub.pfn = base_pfn + frames_per_child * static_cast<std::uint64_t>(i);
+      }
+      child->populated = 512;
+      entry.kind = Entry::Kind::kTable;
+      entry.pfn = 0;
+      entry.child = std::move(child);
+      --mapping_counts_[static_cast<std::size_t>(old_size)];
+      mapping_counts_[static_cast<std::size_t>(child_size)] += 512;
+      return true;
+    }
+    table = entry.child.get();
+  }
+  return false;  // 4KB leaf: nothing to split
+}
+
+bool PageTable::Promote2M(Addr window_base, Pfn new_pfn) {
+  assert(IsAligned(window_base, kBytes2M));
+  Entry* pd_entry = Descend(window_base, /*target_level=*/2, /*create=*/false);
+  if (pd_entry == nullptr || pd_entry->kind != Entry::Kind::kTable) {
+    return false;
+  }
+  Table* pt = pd_entry->child.get();
+  if (pt->populated != 512) {
+    return false;
+  }
+  FreeTable(pt);
+  pd_entry->child.reset();
+  pd_entry->kind = Entry::Kind::kLeaf;
+  pd_entry->pfn = new_pfn;
+  mapping_counts_[static_cast<std::size_t>(PageSize::k4K)] -= 512;
+  ++mapping_counts_[static_cast<std::size_t>(PageSize::k2M)];
+  return true;
+}
+
+Pfn PageTable::ReplaceLeaf(Addr va, Pfn new_pfn) {
+  Table* table = root_.get();
+  for (int level = kTopLevel; level >= 1; --level) {
+    Entry& entry = table->entries[static_cast<std::size_t>(IndexAt(va, level))];
+    assert(entry.kind != Entry::Kind::kEmpty);
+    if (entry.kind == Entry::Kind::kLeaf) {
+      const Pfn old = entry.pfn;
+      entry.pfn = new_pfn;
+      return old;
+    }
+    table = entry.child.get();
+  }
+  assert(false && "ReplaceLeaf of unmapped address");
+  return 0;
+}
+
+}  // namespace numalp

@@ -1,0 +1,160 @@
+// Four-level x86-64 style radix page table.
+//
+// Paging structures are themselves backed by simulated physical frames, so
+// the table's resident footprint (`table_bytes()`) is a real, measurable
+// quantity — it drives the page-walker's L2-miss probability exactly the way
+// large page tables drive TLB-miss cost in the paper (Section 3.2.2).
+//
+// Leaf levels: PT (4KB), PD (2MB), PDPT (1GB). The table supports in-place
+// demotion (Split: 2MB -> 512 x 4KB, 1GB -> 512 x 2MB) and promotion
+// (Promote2M), the two mechanisms Carrefour-LP toggles at runtime.
+#ifndef NUMALP_SRC_VM_PAGE_TABLE_H_
+#define NUMALP_SRC_VM_PAGE_TABLE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "src/common/units.h"
+#include "src/mem/phys_mem.h"
+
+namespace numalp {
+
+class PageTable {
+ public:
+  struct Mapping {
+    Addr page_base = 0;
+    Pfn pfn = 0;  // first 4KB frame of the page
+    PageSize size = PageSize::k4K;
+  };
+
+  // `pt_node` is where paging-structure frames are allocated (with fallback).
+  PageTable(PhysicalMemory& phys, int pt_node);
+  ~PageTable();
+
+  PageTable(const PageTable&) = delete;
+  PageTable& operator=(const PageTable&) = delete;
+
+  std::optional<Mapping> Lookup(Addr va) const;
+
+  // Maps a page of `size` covering `va` (va is rounded down). The slot must
+  // be unmapped. Allocates intermediate tables as needed.
+  void Map(Addr va, Pfn pfn, PageSize size);
+
+  // Unmaps the page covering `va`; empty intermediate tables are reclaimed.
+  // Returns the removed mapping.
+  Mapping Unmap(Addr va);
+
+  // Demotes a large-page leaf in place: 2MB -> 512 4KB leaves, or 1GB -> 512
+  // 2MB leaves, preserving the physical block (constituent PFNs are
+  // contiguous). Returns false if `va` is not mapped by a large page.
+  bool Split(Addr va);
+
+  // Replaces a fully-populated PT (512 x 4KB) with a single 2MB leaf mapping
+  // `new_pfn`. The caller owns freeing the old data frames. Returns false if
+  // the region is not a fully-populated 4KB-mapped window.
+  bool Promote2M(Addr window_base, Pfn new_pfn);
+
+  // Points an existing leaf at a new physical block of the same size
+  // (page migration). Returns the old PFN.
+  Pfn ReplaceLeaf(Addr va, Pfn new_pfn);
+
+  // Resident bytes of paging structures (drives walker L2-miss probability).
+  std::uint64_t table_bytes() const { return num_tables_ * kBytes4K; }
+
+  std::uint64_t num_mappings(PageSize size) const {
+    return mapping_counts_[static_cast<std::size_t>(size)];
+  }
+
+  // Number of levels a hardware walk traverses to translate a page of `size`:
+  // 4KB -> 4, 2MB -> 3, 1GB -> 2.
+  static int WalkDepth(PageSize size) {
+    switch (size) {
+      case PageSize::k4K:
+        return 4;
+      case PageSize::k2M:
+        return 3;
+      case PageSize::k1G:
+        return 2;
+    }
+    return 4;
+  }
+
+  // Invokes fn(const Mapping&) for every mapping intersecting
+  // [base, base + bytes).
+  template <typename Fn>
+  void ForEachMappingIn(Addr base, std::uint64_t bytes, Fn&& fn) const {
+    ForEachImpl(root_.get(), kTopLevel, /*table_base=*/0, base, base + bytes, fn);
+  }
+
+ private:
+  static constexpr int kTopLevel = 4;
+
+  struct Table;
+
+  struct Entry {
+    enum class Kind : std::uint8_t { kEmpty, kTable, kLeaf };
+    Kind kind = Kind::kEmpty;
+    Pfn pfn = 0;  // leaf only
+    std::unique_ptr<Table> child;
+  };
+
+  struct Table {
+    Pfn frame = 0;  // simulated physical frame backing this structure
+    int level = 0;  // 4 = PML4 .. 1 = PT
+    int populated = 0;
+    std::array<Entry, 512> entries;
+  };
+
+  static int IndexAt(Addr va, int level) {
+    return static_cast<int>((va >> (kShift4K + 9 * (level - 1))) & 0x1ff);
+  }
+  static PageSize LeafSizeAt(int level) {
+    return level == 1 ? PageSize::k4K : (level == 2 ? PageSize::k2M : PageSize::k1G);
+  }
+
+  std::unique_ptr<Table> NewTable(int level);
+  void FreeTable(Table* table);
+  // Returns the entry for va at `target_level`, creating tables on the way
+  // when `create` is set; nullptr if the path is blocked by a leaf or absent.
+  Entry* Descend(Addr va, int target_level, bool create);
+
+  template <typename Fn>
+  void ForEachImpl(const Table* table, int level, Addr table_base, Addr lo, Addr hi,
+                   Fn&& fn) const {
+    if (table == nullptr) {
+      return;
+    }
+    const std::uint64_t span = 1ull << (kShift4K + 9 * (level - 1));
+    for (int i = 0; i < 512; ++i) {
+      const auto& entry = table->entries[static_cast<std::size_t>(i)];
+      if (entry.kind == Entry::Kind::kEmpty) {
+        continue;
+      }
+      const Addr entry_base = table_base + span * static_cast<std::uint64_t>(i);
+      if (entry_base >= hi || entry_base + span <= lo) {
+        continue;
+      }
+      if (entry.kind == Entry::Kind::kTable) {
+        ForEachImpl(entry.child.get(), level - 1, entry_base, lo, hi, fn);
+      } else {
+        Mapping m;
+        m.page_base = entry_base;
+        m.pfn = entry.pfn;
+        m.size = LeafSizeAt(level);
+        fn(m);
+      }
+    }
+  }
+
+  PhysicalMemory& phys_;
+  int pt_node_;
+  std::unique_ptr<Table> root_;
+  std::uint64_t num_tables_ = 0;
+  std::array<std::uint64_t, 3> mapping_counts_{};
+};
+
+}  // namespace numalp
+
+#endif  // NUMALP_SRC_VM_PAGE_TABLE_H_

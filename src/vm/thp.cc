@@ -1,0 +1,91 @@
+#include "src/vm/thp.h"
+
+#include <array>
+#include <cstdint>
+
+#include "src/vm/address_space.h"
+
+namespace numalp {
+
+namespace {
+
+// Up to 8 nodes on the paper's machines; sized generously.
+constexpr int kMaxNodes = 16;
+
+}  // namespace
+
+KhugepagedScanner::KhugepagedScanner(AddressSpace& address_space)
+    : address_space_(address_space) {}
+
+std::vector<PromotionRecord> KhugepagedScanner::Scan(int max_windows, int max_promotions) {
+  std::vector<PromotionRecord> promoted;
+  const auto& vmas = address_space_.vmas();
+  if (vmas.empty()) {
+    return promoted;
+  }
+  int examined = 0;
+  // Resume from the cursor; stop after one full pass or when budgets run out.
+  std::size_t vma_index = vma_cursor_ >= vmas.size() ? 0 : vma_cursor_;
+  std::uint64_t window = window_cursor_;
+  std::size_t vmas_visited = 0;
+  while (examined < max_windows && static_cast<int>(promoted.size()) < max_promotions &&
+         vmas_visited <= vmas.size()) {
+    const Vma& vma = vmas[vma_index];
+    const Addr first_window = AlignUp(vma.base, kBytes2M);
+    const Addr end = vma.base + vma.bytes;
+    const std::uint64_t num_windows =
+        end > first_window ? (end - first_window) / kBytes2M : 0;
+    const bool eligible = vma.opts.thp_eligible && !vma.opts.explicit_page.has_value();
+    while (eligible && window < num_windows && examined < max_windows &&
+           static_cast<int>(promoted.size()) < max_promotions) {
+      const Addr base = first_window + window * kBytes2M;
+      ++window;
+      ++examined;
+      if (address_space_.WindowPopulation(base) != static_cast<int>(kFramesPer2M) ||
+          address_space_.pages_2m().count(base) != 0) {
+        continue;
+      }
+      // Majority node of the constituent 4KB frames.
+      std::array<int, kMaxNodes> node_counts{};
+      address_space_.page_table().ForEachMappingIn(
+          base, kBytes2M, [&](const PageTable::Mapping& m) {
+            if (m.size == PageSize::k4K) {
+              ++node_counts[static_cast<std::size_t>(
+                  address_space_.phys().NodeOfPfn(m.pfn))];
+            }
+          });
+      int majority = 0;
+      int total_frames = 0;
+      for (int n = 0; n < kMaxNodes; ++n) {
+        total_frames += node_counts[static_cast<std::size_t>(n)];
+        if (n > 0 && node_counts[static_cast<std::size_t>(n)] >
+                         node_counts[static_cast<std::size_t>(majority)]) {
+          majority = n;
+        }
+      }
+      // Anti-oscillation guard: windows whose frames are spread across nodes
+      // were interleaved on purpose (by Carrefour or a hot-page split);
+      // re-promoting them onto one node would recreate the hot page. Only
+      // consolidate windows that already live mostly on one node.
+      if (total_frames == 0 ||
+          node_counts[static_cast<std::size_t>(majority)] * 100 < total_frames * 55) {
+        continue;
+      }
+      if (auto record = address_space_.PromoteWindow(base, majority)) {
+        promoted.push_back(*record);
+      }
+    }
+    if (window >= num_windows || !eligible) {
+      window = 0;
+      vma_index = (vma_index + 1) % vmas.size();
+      ++vmas_visited;
+    } else {
+      break;  // window budget exhausted mid-VMA
+    }
+  }
+  vma_cursor_ = vma_index;
+  window_cursor_ = window;
+  return promoted;
+}
+
+}  // namespace numalp

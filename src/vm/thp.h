@@ -1,0 +1,44 @@
+// Transparent Huge Page state and the khugepaged-style promotion scanner.
+//
+// ThpState is the runtime toggle pair Carrefour-LP manipulates (Algorithm 1):
+// `alloc_enabled` backs anonymous faults with 2MB pages when possible;
+// `promote_enabled` lets the background scanner consolidate fully-populated
+// 2MB windows of 4KB pages into a huge page (the paper sets the promotion
+// check frequency to 10ms; we expose a per-epoch window budget instead).
+#ifndef NUMALP_SRC_VM_THP_H_
+#define NUMALP_SRC_VM_THP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace numalp {
+
+class AddressSpace;
+struct PromotionRecord;
+
+struct ThpState {
+  bool alloc_enabled = false;
+  bool promote_enabled = false;
+};
+
+class KhugepagedScanner {
+ public:
+  explicit KhugepagedScanner(AddressSpace& address_space);
+
+  // Scans up to `max_windows` candidate 2MB windows (resuming from the last
+  // cursor position) and promotes up to `max_promotions` fully-populated,
+  // 4KB-mapped windows onto their majority node. Returns what was promoted;
+  // the caller charges copy costs and performs TLB shootdowns.
+  std::vector<PromotionRecord> Scan(int max_windows, int max_promotions);
+
+ private:
+  AddressSpace& address_space_;
+  std::size_t vma_cursor_ = 0;
+  std::uint64_t window_cursor_ = 0;
+};
+
+}  // namespace numalp
+
+#endif  // NUMALP_SRC_VM_THP_H_

@@ -1,0 +1,300 @@
+#include "src/workloads/workload.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/log.h"
+
+namespace numalp {
+
+double WorkloadSpec::TotalShare() const {
+  double total = 0.0;
+  for (const auto& region : regions) {
+    total += region.access_share;
+  }
+  return total;
+}
+
+Workload::Workload(const WorkloadSpec& spec, AddressSpace& address_space, int num_threads,
+                   std::uint64_t seed)
+    : spec_(spec), num_threads_(num_threads) {
+  assert(num_threads_ > 0);
+  // Map every region plus an implicit per-thread scratch page (threads spin
+  // there while waiting for the setup barrier).
+  regions_.reserve(spec_.regions.size() + 1);
+  for (const auto& region_spec : spec_.regions) {
+    RegionRt rt;
+    rt.spec = &spec_.regions[static_cast<std::size_t>(&region_spec - spec_.regions.data())];
+    VmaOptions opts;
+    opts.name = region_spec.name;
+    opts.thp_eligible = region_spec.thp_eligible;
+    opts.explicit_page = region_spec.explicit_page;
+    rt.base = address_space.MmapAnon(region_spec.bytes, opts);
+    rt.pages = region_spec.bytes / kBytes4K;
+    rt.slice_pages = rt.pages / static_cast<std::uint64_t>(num_threads_);
+    if (region_spec.pattern == PatternKind::kZipf) {
+      rt.zipf.emplace(rt.pages, region_spec.zipf_s);
+    }
+    if (region_spec.pattern == PatternKind::kHotChunks) {
+      rt.chunks = region_spec.num_chunks > 0 ? region_spec.num_chunks : num_threads_;
+      rt.chunk_pages = std::max<std::uint64_t>(1, region_spec.chunk_bytes / kBytes4K);
+      rt.stride_pages = std::max<std::uint64_t>(rt.chunk_pages,
+                                                region_spec.chunk_stride / kBytes4K);
+      assert(static_cast<std::uint64_t>(rt.chunks) * rt.stride_pages <= rt.pages);
+    }
+    regions_.push_back(std::move(rt));
+  }
+  // Scratch region: one private 4KB page per thread.
+  {
+    RegionRt rt;
+    static const RegionSpec kScratchSpec = [] {
+      RegionSpec s;
+      s.name = "scratch";
+      s.dram_intensity = 0.01;
+      s.access_share = 0.0;
+      return s;
+    }();
+    rt.spec = &kScratchSpec;
+    VmaOptions opts;
+    opts.name = "scratch";
+    opts.thp_eligible = false;
+    rt.base = address_space.MmapAnon(static_cast<std::uint64_t>(num_threads_) * kBytes4K, opts);
+    rt.pages = static_cast<std::uint64_t>(num_threads_);
+    rt.slice_pages = 1;
+    scratch_region_ = static_cast<int>(regions_.size());
+    scratch_base_ = rt.base;
+    regions_.push_back(std::move(rt));
+  }
+
+  // Per-thread state + setup queues.
+  Rng seeder(seed);
+  threads_.resize(static_cast<std::size_t>(num_threads_));
+  for (int t = 0; t < num_threads_; ++t) {
+    ThreadRt& thread = threads_[static_cast<std::size_t>(t)];
+    thread.rng = seeder.Fork();
+    thread.seq_cursor.assign(regions_.size(), 0);
+    thread.alloc_cursor.assign(regions_.size(), 0);
+    // Desynchronize streaming phases: threads of a real program do not sweep
+    // their slices in lockstep, so each sequential cursor starts at a random
+    // position within its slice.
+    for (std::size_t r = 0; r < regions_.size(); ++r) {
+      if (regions_[r].spec->pattern == PatternKind::kSequential &&
+          regions_[r].slice_pages > 0) {
+        thread.seq_cursor[r] = thread.rng.Uniform(regions_[r].slice_pages);
+      }
+    }
+    // Scratch page first so the spin target exists immediately.
+    thread.setup.emplace_back(static_cast<std::uint32_t>(scratch_region_),
+                              static_cast<std::uint64_t>(t));
+  }
+  for (std::size_t r = 0; r < regions_.size(); ++r) {
+    const RegionRt& region = regions_[r];
+    if (region.spec->incremental || static_cast<int>(r) == scratch_region_) {
+      continue;
+    }
+    switch (region.spec->setup_owner) {
+      case SetupOwner::kRoundRobinPage:
+        for (std::uint64_t p = 0; p < region.pages; ++p) {
+          threads_[static_cast<std::size_t>(p % static_cast<std::uint64_t>(num_threads_))]
+              .setup.emplace_back(static_cast<std::uint32_t>(r), p);
+        }
+        break;
+      case SetupOwner::kPartitionOwner:
+        for (int t = 0; t < num_threads_; ++t) {
+          const std::uint64_t lo = static_cast<std::uint64_t>(t) * region.slice_pages;
+          for (std::uint64_t p = lo; p < lo + region.slice_pages; ++p) {
+            threads_[static_cast<std::size_t>(t)].setup.emplace_back(
+                static_cast<std::uint32_t>(r), p);
+          }
+        }
+        break;
+      case SetupOwner::kChunkOwner:
+        for (int c = 0; c < region.chunks; ++c) {
+          const int owner = c % num_threads_;
+          const std::uint64_t lo = static_cast<std::uint64_t>(c) * region.stride_pages;
+          for (std::uint64_t p = lo; p < lo + region.chunk_pages; ++p) {
+            threads_[static_cast<std::size_t>(owner)].setup.emplace_back(
+                static_cast<std::uint32_t>(r), p);
+          }
+        }
+        break;
+      case SetupOwner::kThreadZero:
+        for (std::uint64_t p = 0; p < region.pages; ++p) {
+          threads_[0].setup.emplace_back(static_cast<std::uint32_t>(r), p);
+        }
+        break;
+    }
+  }
+  // Randomly rotate each thread's setup queue (keeping the scratch page
+  // first): on real machines the winner of a first-touch race for a shared
+  // 2MB window is effectively random among the threads whose data it spans;
+  // without this, deterministic thread ordering would always hand shared
+  // windows to the lowest thread id.
+  for (auto& thread : threads_) {
+    auto& queue = thread.setup;
+    if (queue.size() > 2) {
+      const std::size_t offset = 1 + thread.rng.Uniform(queue.size() - 1);
+      std::rotate(queue.begin() + 1, queue.begin() + static_cast<std::ptrdiff_t>(offset),
+                  queue.end());
+    }
+  }
+  setup_remaining_threads_ = num_threads_;
+
+  // Steady-state region selection CDF.
+  const double total_share = spec_.TotalShare();
+  double accum = 0.0;
+  share_cdf_.assign(regions_.size(), 1.0);
+  for (std::size_t r = 0; r < regions_.size(); ++r) {
+    accum += regions_[r].spec->access_share / (total_share > 0 ? total_share : 1.0);
+    share_cdf_[r] = accum;
+  }
+  share_cdf_.back() = 1.0;
+}
+
+Addr Workload::PageVa(const RegionRt& region, std::uint64_t page, Rng& rng) const {
+  // Random cache-line-aligned offset inside the 4KB page.
+  return region.base + page * kBytes4K + rng.Uniform(kBytes4K / 64) * 64;
+}
+
+void Workload::BeginEpoch() { barrier_this_epoch_ = setup_remaining_threads_ > 0; }
+
+void Workload::FillBatch(int thread, std::size_t n, std::vector<WorkloadAccess>& out) {
+  out.clear();
+  out.reserve(n);
+  ThreadRt& state = threads_[static_cast<std::size_t>(thread)];
+  std::size_t produced = 0;
+  // Setup phase: drain this thread's first-touch queue.
+  while (state.setup_cursor < state.setup.size() && produced < n) {
+    const auto [region_index, page] = state.setup[state.setup_cursor++];
+    const RegionRt& region = regions_[region_index];
+    WorkloadAccess access;
+    access.va = PageVa(region, page, state.rng);
+    access.region = static_cast<std::uint8_t>(region_index);
+    access.write = true;  // initialization writes
+    out.push_back(access);
+    ++produced;
+    if (state.setup_cursor == state.setup.size()) {
+      --setup_remaining_threads_;
+    }
+  }
+  // Barrier: for the whole epoch in which any thread still initializes,
+  // finished threads spin on their scratch page instead of racing ahead and
+  // first-touching pages that belong to another thread's init loop.
+  const bool barrier = barrier_this_epoch_;
+  while (produced < n) {
+    if (barrier) {
+      WorkloadAccess access;
+      access.va = scratch_base_ + static_cast<std::uint64_t>(thread) * kBytes4K +
+                  state.rng.Uniform(kBytes4K / 64) * 64;
+      access.region = static_cast<std::uint8_t>(scratch_region_);
+      access.write = false;
+      out.push_back(access);
+    } else {
+      out.push_back(SteadyAccess(thread));
+      ++state.steady_issued;
+    }
+    ++produced;
+  }
+}
+
+WorkloadAccess Workload::SteadyAccess(int thread) {
+  ThreadRt& state = threads_[static_cast<std::size_t>(thread)];
+  Rng& rng = state.rng;
+  // Region by access share.
+  const double u = rng.NextDouble();
+  std::size_t region_index = 0;
+  while (region_index + 1 < share_cdf_.size() && share_cdf_[region_index] <= u) {
+    ++region_index;
+  }
+  const RegionRt& region = regions_[region_index];
+  const RegionSpec& rspec = *region.spec;
+
+  std::uint64_t page = 0;
+  if (rspec.incremental) {
+    std::uint64_t& cursor = state.alloc_cursor[region_index];
+    const std::uint64_t slice_lo =
+        static_cast<std::uint64_t>(thread) * region.slice_pages;
+    const bool can_grow = cursor < region.slice_pages;
+    const bool fresh = can_grow && (cursor == 0 || rng.Bernoulli(rspec.fresh_fraction));
+    if (fresh) {
+      page = slice_lo + cursor;
+      ++cursor;
+    } else {
+      page = slice_lo + rng.Uniform(std::max<std::uint64_t>(1, cursor));
+    }
+  } else {
+    switch (rspec.pattern) {
+      case PatternKind::kUniform:
+        page = rng.Uniform(region.pages);
+        break;
+      case PatternKind::kZipf: {
+        const std::uint64_t rank = region.zipf->Sample(rng);
+        const int blocks = rspec.zipf_block_shuffle;
+        if (blocks > 1 && region.pages >= static_cast<std::uint64_t>(blocks)) {
+          const std::uint64_t stride = region.pages / static_cast<std::uint64_t>(blocks);
+          page = (rank % static_cast<std::uint64_t>(blocks)) * stride +
+                 rank / static_cast<std::uint64_t>(blocks);
+          if (page >= region.pages) {
+            page = rank;  // tail ranks past the blocked area map identically
+          }
+        } else {
+          // Identity rank -> page: hot pages cluster at the region start,
+          // the way early-allocated hot objects cluster in heaps.
+          page = rank;
+        }
+        break;
+      }
+      case PatternKind::kHotChunks: {
+        const std::uint64_t chunk = rng.Uniform(static_cast<std::uint64_t>(region.chunks));
+        page = chunk * region.stride_pages + rng.Uniform(region.chunk_pages);
+        break;
+      }
+      case PatternKind::kPartitioned: {
+        std::uint64_t slice = static_cast<std::uint64_t>(thread);
+        if (!rng.Bernoulli(rspec.local_fraction)) {
+          // Boundary sharing with a neighbouring thread's slice.
+          const int neighbor = rng.Bernoulli(0.5) ? thread + 1 : thread + num_threads_ - 1;
+          slice = static_cast<std::uint64_t>(neighbor % num_threads_);
+        }
+        page = slice * region.slice_pages + rng.Uniform(std::max<std::uint64_t>(1, region.slice_pages));
+        break;
+      }
+      case PatternKind::kSequential: {
+        std::uint64_t& cursor = state.seq_cursor[region_index];
+        const std::uint64_t slice_lo =
+            static_cast<std::uint64_t>(thread) * region.slice_pages;
+        page = slice_lo + cursor;
+        // A stream touches ~16 cache lines per page before moving on, so the
+        // page advances once per ~16 modelled accesses (TLB-realistic).
+        if (rng.Bernoulli(1.0 / 16)) {
+          cursor = (cursor + 1) % std::max<std::uint64_t>(1, region.slice_pages);
+        }
+        break;
+      }
+    }
+  }
+  WorkloadAccess access;
+  access.va = PageVa(region, page, rng);
+  access.region = static_cast<std::uint8_t>(region_index);
+  access.write = rng.Bernoulli(spec_.write_fraction);
+  return access;
+}
+
+bool Workload::Done() const {
+  for (const auto& thread : threads_) {
+    if (thread.steady_issued < spec_.steady_accesses_per_thread) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t Workload::footprint_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& region : regions_) {
+    total += region.pages * kBytes4K;
+  }
+  return total;
+}
+
+}  // namespace numalp

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "src/core/carrefour_lp.h"
+#include "src/core/config.h"
+
+namespace numalp {
+namespace {
+
+PageAgg SharedLargePage(std::uint64_t samples, int sharers, PageSize size = PageSize::k2M) {
+  PageAgg agg;
+  agg.size = size;
+  agg.total = samples;
+  agg.dram = samples;
+  agg.home_node = 0;
+  agg.req_node_counts[0] = static_cast<std::uint32_t>(samples / 2);
+  agg.req_node_counts[1] = static_cast<std::uint32_t>(samples - samples / 2);
+  agg.core_mask = (1ull << sharers) - 1;
+  return agg;
+}
+
+class CarrefourLpTest : public ::testing::Test {
+ protected:
+  CarrefourLpTest() : config_(MakePolicyConfig(PolicyKind::kCarrefourLp)), lp_(config_, thp_) {
+    thp_.alloc_enabled = true;
+    thp_.promote_enabled = true;
+  }
+
+  LpObservation Observe(double walk_frac, double fault_share, double current, double carrefour,
+                        double split, const PageAggMap& pages) {
+    LpObservation obs;
+    obs.walk_l2_miss_frac = walk_frac;
+    obs.max_fault_time_share = fault_share;
+    obs.lar.current_pct = current;
+    obs.lar.carrefour_pct = carrefour;
+    obs.lar.carrefour_split_pct = split;
+    obs.mapping_pages = &pages;
+    return obs;
+  }
+
+  ThpState thp_;
+  PolicyConfig config_;
+  CarrefourLp lp_;
+  PageAggMap empty_;
+};
+
+TEST_F(CarrefourLpTest, ConservativeEnablesBothOnTlbPressure) {
+  thp_.alloc_enabled = false;
+  thp_.promote_enabled = false;
+  lp_.Step(Observe(/*walk=*/0.10, /*fault=*/0.0, 50, 55, 55, empty_));
+  EXPECT_TRUE(thp_.alloc_enabled);
+  EXPECT_TRUE(thp_.promote_enabled);
+}
+
+TEST_F(CarrefourLpTest, ConservativeEnablesAllocOnlyOnFaultPressure) {
+  thp_.alloc_enabled = false;
+  thp_.promote_enabled = false;
+  // Algorithm 1 lines 7-8: pages already faulted gain nothing from promotion.
+  lp_.Step(Observe(/*walk=*/0.0, /*fault=*/0.10, 50, 55, 55, empty_));
+  EXPECT_TRUE(thp_.alloc_enabled);
+  EXPECT_FALSE(thp_.promote_enabled);
+}
+
+TEST_F(CarrefourLpTest, ConservativeIdleBelowThresholds) {
+  thp_.alloc_enabled = false;
+  thp_.promote_enabled = false;
+  lp_.Step(Observe(0.01, 0.01, 90, 91, 91, empty_));
+  EXPECT_FALSE(thp_.alloc_enabled);
+  EXPECT_FALSE(thp_.promote_enabled);
+}
+
+TEST_F(CarrefourLpTest, MigrationGainSuppressesSplitting) {
+  PageAggMap pages;
+  pages[0] = SharedLargePage(20, 4);
+  // Carrefour alone promises +20 points: no split (line 10-11).
+  const LpDecision decision = lp_.Step(Observe(0.1, 0.0, 40, 60, 70, pages));
+  EXPECT_FALSE(decision.split_pages_flag);
+  EXPECT_TRUE(decision.split_shared.empty());
+  EXPECT_TRUE(thp_.alloc_enabled);
+}
+
+TEST_F(CarrefourLpTest, SplitGainTriggersSharedDemotion) {
+  PageAggMap pages;
+  pages[0] = SharedLargePage(20, 4);
+  pages[kBytes2M] = SharedLargePage(20, 1);  // single-sharer page: not split
+  // Carrefour alone: +5 (below 15). Splitting: +10 (above 5) -> split.
+  const LpDecision decision = lp_.Step(Observe(0.1, 0.0, 40, 45, 50, pages));
+  EXPECT_TRUE(decision.split_pages_flag);
+  ASSERT_EQ(decision.split_shared.size(), 1u);
+  EXPECT_EQ(decision.split_shared[0].first, 0u);
+  EXPECT_FALSE(thp_.alloc_enabled);  // line 17
+}
+
+TEST_F(CarrefourLpTest, SplitFlagStickyUntilMigrationGainReturns) {
+  PageAggMap pages;
+  pages[0] = SharedLargePage(20, 4);
+  lp_.Step(Observe(0.0, 0.0, 40, 45, 50, pages));  // sets SPLIT_PAGES
+  EXPECT_TRUE(lp_.split_pages_flag());
+  // Neither condition fires: the flag keeps its value (Algorithm 1 keeps
+  // SPLIT_PAGES state across iterations).
+  lp_.Step(Observe(0.0, 0.0, 40, 42, 41, pages));
+  EXPECT_TRUE(lp_.split_pages_flag());
+  // Migration gain returns: flag clears.
+  lp_.Step(Observe(0.0, 0.0, 40, 60, 41, pages));
+  EXPECT_FALSE(lp_.split_pages_flag());
+}
+
+TEST_F(CarrefourLpTest, HotPagesAlwaysSplit) {
+  PageAggMap pages;
+  pages[0] = SharedLargePage(95, 4);      // 95% of samples: hot
+  pages[kBytes2M] = SharedLargePage(5, 4);  // 5%: below the 6% bar
+  // No split-gain; migration gain high (no shared demotion)...
+  const LpDecision decision = lp_.Step(Observe(0.0, 0.0, 40, 60, 41, pages));
+  // ...but the hot page is split and interleaved regardless (line 19).
+  ASSERT_EQ(decision.split_hot.size(), 1u);
+  EXPECT_EQ(decision.split_hot[0].first, 0u);
+}
+
+TEST_F(CarrefourLpTest, SmallPagesNeverListed) {
+  PageAggMap pages;
+  PageAgg small = SharedLargePage(100, 4);
+  small.size = PageSize::k4K;
+  pages[0] = small;
+  const LpDecision decision = lp_.Step(Observe(0.0, 0.0, 40, 45, 50, pages));
+  EXPECT_TRUE(decision.split_shared.empty());
+  EXPECT_TRUE(decision.split_hot.empty());
+}
+
+TEST_F(CarrefourLpTest, SharedSplitRateLimit) {
+  PolicyConfig config = MakePolicyConfig(PolicyKind::kCarrefourLp);
+  config.max_shared_splits_per_epoch = 4;
+  ThpState thp;
+  thp.alloc_enabled = true;
+  CarrefourLp lp(config, thp);
+  PageAggMap pages;
+  for (int i = 0; i < 20; ++i) {
+    pages[static_cast<Addr>(i) * kBytes2M] = SharedLargePage(10, 3);
+  }
+  LpObservation obs;
+  obs.lar.current_pct = 40;
+  obs.lar.carrefour_pct = 45;
+  obs.lar.carrefour_split_pct = 60;
+  obs.mapping_pages = &pages;
+  const LpDecision decision = lp.Step(obs);
+  EXPECT_EQ(decision.split_shared.size(), 4u);
+}
+
+TEST_F(CarrefourLpTest, OneGigHotPageSplit) {
+  PageAggMap pages;
+  pages[0] = SharedLargePage(100, 8, PageSize::k1G);
+  const LpDecision decision = lp_.Step(Observe(0.0, 0.0, 20, 25, 27, pages));
+  ASSERT_EQ(decision.split_hot.size(), 1u);
+  EXPECT_EQ(decision.split_hot[0].second, PageSize::k1G);
+}
+
+TEST_F(CarrefourLpTest, ComponentsDisabledByPolicyKind) {
+  // Carrefour-2M: no LP components; reactive-only: no conservative.
+  const PolicyConfig c2m = MakePolicyConfig(PolicyKind::kCarrefour2M);
+  EXPECT_FALSE(c2m.use_reactive);
+  EXPECT_FALSE(c2m.use_conservative);
+  const PolicyConfig reactive = MakePolicyConfig(PolicyKind::kReactiveOnly);
+  EXPECT_TRUE(reactive.use_reactive);
+  EXPECT_FALSE(reactive.use_conservative);
+  const PolicyConfig conservative = MakePolicyConfig(PolicyKind::kConservativeOnly);
+  EXPECT_FALSE(conservative.initial_thp_alloc);  // starts with 4KB pages
+  EXPECT_TRUE(conservative.use_conservative);
+  const PolicyConfig lp = MakePolicyConfig(PolicyKind::kCarrefourLp);
+  EXPECT_TRUE(lp.initial_thp_alloc);  // Section 3.2: enable large pages first
+  EXPECT_TRUE(lp.use_carrefour && lp.use_reactive && lp.use_conservative);
+}
+
+}  // namespace
+}  // namespace numalp

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "src/carrefour/carrefour.h"
+#include "src/core/lar_estimator.h"
+
+namespace numalp {
+namespace {
+
+PageAgg MakeAgg(std::initializer_list<std::pair<int, int>> node_counts, int home,
+                PageSize size = PageSize::k4K, std::uint64_t cores = 1) {
+  PageAgg agg;
+  for (const auto& [node, count] : node_counts) {
+    agg.req_node_counts[static_cast<std::size_t>(node)] =
+        static_cast<std::uint32_t>(count);
+    agg.total += static_cast<std::uint64_t>(count);
+  }
+  agg.dram = agg.total;
+  agg.home_node = home;
+  agg.size = size;
+  agg.core_mask = (1ull << cores) - 1;
+  return agg;
+}
+
+TEST(CarrefourTest, SingleNodePageMigratesToItsNode) {
+  Carrefour carrefour(CarrefourConfig{}, 4, 1);
+  PageAggMap pages;
+  pages[0x1000] = MakeAgg({{2, 8}}, /*home=*/0);
+  const auto plan = carrefour.Plan(pages, 0);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].kind, CarrefourAction::Kind::kMigrate);
+  EXPECT_EQ(plan[0].target_node, 2);
+}
+
+TEST(CarrefourTest, SingleNodePageAlreadyHomeNoAction) {
+  Carrefour carrefour(CarrefourConfig{}, 4, 1);
+  PageAggMap pages;
+  pages[0x1000] = MakeAgg({{2, 8}}, /*home=*/2);
+  EXPECT_TRUE(carrefour.Plan(pages, 0).empty());
+}
+
+TEST(CarrefourTest, MultiNodePageInterleavedOnce) {
+  Carrefour carrefour(CarrefourConfig{}, 4, 1);
+  PageAggMap pages;
+  pages[0x1000] = MakeAgg({{0, 5}, {1, 5}}, /*home=*/0, PageSize::k2M, 2);
+  const auto first = carrefour.Plan(pages, 0);
+  // Either moved to a random node or (1-in-4) already there.
+  EXPECT_LE(first.size(), 1u);
+  // Hysteresis: no re-interleave on later epochs.
+  EXPECT_TRUE(carrefour.Plan(pages, 1).empty());
+  EXPECT_TRUE(carrefour.Plan(pages, 20).empty());
+}
+
+TEST(CarrefourTest, MinSamplesFiltersNoise) {
+  CarrefourConfig config;
+  config.min_samples_per_page = 2;
+  config.min_samples_migrate = 4;
+  Carrefour carrefour(config, 4, 1);
+  PageAggMap pages;
+  pages[0x1000] = MakeAgg({{1, 1}}, /*home=*/0);  // 1 sample: below floor
+  pages[0x2000] = MakeAgg({{1, 3}}, /*home=*/0);  // 3 samples: below migrate bar
+  EXPECT_TRUE(carrefour.Plan(pages, 0).empty());
+  pages[0x3000] = MakeAgg({{1, 4}}, /*home=*/0);  // enough evidence
+  EXPECT_EQ(carrefour.Plan(pages, 0).size(), 1u);
+}
+
+TEST(CarrefourTest, CooldownBlocksPingPong) {
+  CarrefourConfig config;
+  config.per_page_cooldown_epochs = 8;
+  Carrefour carrefour(config, 4, 1);
+  PageAggMap pages;
+  pages[0x1000] = MakeAgg({{2, 8}}, /*home=*/0);
+  EXPECT_EQ(carrefour.Plan(pages, 0).size(), 1u);
+  // The accessor flips: cooldown suppresses immediate re-migration.
+  pages[0x1000] = MakeAgg({{3, 8}}, /*home=*/2);
+  EXPECT_TRUE(carrefour.Plan(pages, 4).empty());
+  EXPECT_EQ(carrefour.Plan(pages, 9).size(), 1u);
+}
+
+TEST(CarrefourTest, ForgetClearsState) {
+  Carrefour carrefour(CarrefourConfig{}, 4, 1);
+  PageAggMap pages;
+  pages[0x1000] = MakeAgg({{0, 5}, {1, 5}}, /*home=*/3, PageSize::k2M, 2);
+  carrefour.Plan(pages, 0);
+  carrefour.Forget(0x1000);
+  // After Forget, the page may be interleaved again.
+  const auto plan = carrefour.Plan(pages, 20);
+  EXPECT_LE(plan.size(), 1u);  // interleave target may coincide with home
+}
+
+TEST(CarrefourTest, GatingRequiresMemoryIntensity) {
+  Carrefour carrefour(CarrefourConfig{}, 4, 1);
+  EXPECT_FALSE(carrefour.ShouldRun(/*lar=*/20.0, /*imbalance=*/90.0, /*dram_rate=*/0.001));
+  EXPECT_TRUE(carrefour.ShouldRun(20.0, 90.0, 0.5));
+}
+
+TEST(CarrefourTest, GatingTriggersOnLowLarOrHighImbalance) {
+  Carrefour carrefour(CarrefourConfig{}, 4, 1);
+  EXPECT_TRUE(carrefour.ShouldRun(/*lar=*/50.0, /*imbalance=*/0.0, 0.5));
+  EXPECT_TRUE(carrefour.ShouldRun(/*lar=*/95.0, /*imbalance=*/60.0, 0.5));
+  EXPECT_FALSE(carrefour.ShouldRun(/*lar=*/95.0, /*imbalance=*/5.0, 0.5));
+}
+
+TEST(CarrefourTest, ActionBudgetRespected) {
+  CarrefourConfig config;
+  config.max_actions_per_epoch = 3;
+  config.min_samples_migrate = 2;
+  config.min_samples_per_page = 2;
+  Carrefour carrefour(config, 4, 1);
+  PageAggMap pages;
+  for (Addr base = 0; base < 10 * kBytes4K; base += kBytes4K) {
+    pages[base] = MakeAgg({{1, 4}}, /*home=*/0);
+  }
+  EXPECT_LE(carrefour.Plan(pages, 0).size(), 3u);
+}
+
+TEST(LarEstimatorTest, CarrefourEstimateOnSingleNodePages) {
+  PageAggMap pages;
+  pages[0x1000] = MakeAgg({{1, 10}}, 0);  // single-node: counts as fully local
+  EXPECT_DOUBLE_EQ(EstimateCarrefourLarPct(pages, 4), 100.0);
+}
+
+TEST(LarEstimatorTest, CarrefourEstimateOnSharedPages) {
+  PageAggMap pages;
+  pages[0x1000] = MakeAgg({{0, 5}, {1, 5}}, 0);  // interleaved: 1/N locality
+  EXPECT_DOUBLE_EQ(EstimateCarrefourLarPct(pages, 4), 25.0);
+}
+
+TEST(LarEstimatorTest, MixtureWeightsBySamples) {
+  PageAggMap pages;
+  pages[0x1000] = MakeAgg({{1, 30}}, 0);          // 30 samples -> local
+  pages[0x2000] = MakeAgg({{0, 5}, {1, 5}}, 0);   // 10 samples -> 25%
+  EXPECT_NEAR(EstimateCarrefourLarPct(pages, 4), (30.0 + 10 * 0.25) / 40 * 100, 1e-9);
+}
+
+TEST(LarEstimatorTest, SingleSampleOptimismBias) {
+  // The paper's mis-estimation mechanism: pages with one sample look
+  // single-node, so the estimate saturates toward 100% even for a uniformly
+  // shared region.
+  PageAggMap pages;
+  for (Addr base = 0; base < 64 * kBytes4K; base += kBytes4K) {
+    pages[base] = MakeAgg({{static_cast<int>((base >> 12) % 4), 1}}, 0);
+  }
+  EXPECT_DOUBLE_EQ(EstimateCarrefourLarPct(pages, 4), 100.0);
+}
+
+}  // namespace
+}  // namespace numalp

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/mem/buddy_allocator.h"
+#include "src/mem/phys_mem.h"
+#include "src/topo/topology.h"
+
+namespace numalp {
+namespace {
+
+TEST(BuddyTest, AllocFreeRoundtrip) {
+  BuddyAllocator buddy(0, 1024);
+  const auto pfn = buddy.Alloc(0);
+  ASSERT_TRUE(pfn.has_value());
+  EXPECT_EQ(buddy.free_frames(), 1023u);
+  buddy.Free(*pfn, 0);
+  EXPECT_EQ(buddy.free_frames(), 1024u);
+  EXPECT_TRUE(buddy.CheckInvariants());
+}
+
+TEST(BuddyTest, LowestAddressFirst) {
+  BuddyAllocator buddy(0, 1024);
+  EXPECT_EQ(*buddy.Alloc(0), 0u);
+  EXPECT_EQ(*buddy.Alloc(0), 1u);
+  EXPECT_EQ(*buddy.Alloc(0), 2u);
+}
+
+TEST(BuddyTest, CoalescesBackToFullBlock) {
+  BuddyAllocator buddy(0, 1 << 10);
+  std::vector<Pfn> pages;
+  for (int i = 0; i < 1 << 10; ++i) {
+    pages.push_back(*buddy.Alloc(0));
+  }
+  EXPECT_EQ(buddy.free_frames(), 0u);
+  EXPECT_FALSE(buddy.Alloc(0).has_value());
+  for (Pfn pfn : pages) {
+    buddy.Free(pfn, 0);
+  }
+  EXPECT_EQ(buddy.LargestFreeOrder(), 10);
+  EXPECT_TRUE(buddy.CheckInvariants());
+}
+
+TEST(BuddyTest, LargeOrderAllocation) {
+  BuddyAllocator buddy(0, 1 << 18);
+  const auto huge = buddy.Alloc(18);  // 1GB
+  ASSERT_TRUE(huge.has_value());
+  EXPECT_EQ(buddy.free_frames(), 0u);
+  buddy.Free(*huge, 18);
+  EXPECT_EQ(buddy.free_frames(), 1ull << 18);
+}
+
+TEST(BuddyTest, MixedOrdersDoNotOverlap) {
+  BuddyAllocator buddy(0, 1 << 12);
+  std::set<Pfn> seen;
+  std::vector<std::pair<Pfn, int>> blocks;
+  for (int order : {0, 3, 9, 0, 5, 9, 0}) {
+    const auto pfn = buddy.Alloc(order);
+    ASSERT_TRUE(pfn.has_value());
+    for (Pfn p = *pfn; p < *pfn + (1ull << order); ++p) {
+      EXPECT_TRUE(seen.insert(p).second) << "overlapping allocation at " << p;
+    }
+    blocks.emplace_back(*pfn, order);
+  }
+  for (const auto& [pfn, order] : blocks) {
+    buddy.Free(pfn, order);
+  }
+  EXPECT_TRUE(buddy.CheckInvariants());
+}
+
+TEST(BuddyTest, SplitAllocatedAllowsPieceFrees) {
+  BuddyAllocator buddy(0, 1 << 12);
+  const Pfn block = *buddy.Alloc(9);  // 2MB
+  buddy.SplitAllocated(block, 9, 0);
+  // Free every other piece; the rest stay allocated.
+  for (Pfn p = block; p < block + 512; p += 2) {
+    buddy.Free(p, 0);
+  }
+  EXPECT_EQ(buddy.free_frames(), (1ull << 12) - 512 + 256);
+  EXPECT_TRUE(buddy.CheckInvariants());
+  for (Pfn p = block + 1; p < block + 512; p += 2) {
+    buddy.Free(p, 0);
+  }
+  EXPECT_EQ(buddy.LargestFreeOrder(), 12);
+}
+
+TEST(BuddyTest, CanAllocReflectsFragmentation) {
+  BuddyAllocator buddy(0, 1 << 10);
+  EXPECT_TRUE(buddy.CanAlloc(10));
+  const Pfn one = *buddy.Alloc(0);
+  EXPECT_FALSE(buddy.CanAlloc(10));
+  EXPECT_TRUE(buddy.CanAlloc(9));
+  buddy.Free(one, 0);
+  EXPECT_TRUE(buddy.CanAlloc(10));
+}
+
+TEST(BuddyTest, FragmentationIndex) {
+  BuddyAllocator buddy(0, 1 << 10);
+  EXPECT_DOUBLE_EQ(buddy.FragmentationIndex(), 0.0);
+  // Allocate the whole range as 4K pages and free every other one: free
+  // memory is maximally shattered.
+  std::vector<Pfn> pages;
+  for (int i = 0; i < 1 << 10; ++i) {
+    pages.push_back(*buddy.Alloc(0));
+  }
+  for (std::size_t i = 0; i < pages.size(); i += 2) {
+    buddy.Free(pages[i], 0);
+  }
+  EXPECT_GT(buddy.FragmentationIndex(), 0.99);
+}
+
+TEST(BuddyTest, IsAllocatedCoversInteriorFrames) {
+  BuddyAllocator buddy(0, 1 << 12);
+  const Pfn block = *buddy.Alloc(9);
+  EXPECT_TRUE(buddy.IsAllocated(block));
+  EXPECT_TRUE(buddy.IsAllocated(block + 17));
+  EXPECT_FALSE(buddy.IsAllocated(block + 512));
+}
+
+TEST(BuddyTest, NonPowerOfTwoRange) {
+  BuddyAllocator buddy(0, 1000);  // not a power of two
+  EXPECT_EQ(buddy.free_frames(), 1000u);
+  EXPECT_TRUE(buddy.CheckInvariants());
+  std::vector<Pfn> all;
+  while (auto pfn = buddy.Alloc(0)) {
+    all.push_back(*pfn);
+  }
+  EXPECT_EQ(all.size(), 1000u);
+  for (Pfn pfn : all) {
+    buddy.Free(pfn, 0);
+  }
+  EXPECT_TRUE(buddy.CheckInvariants());
+}
+
+// Property test: random alloc/free sequences conserve frames and never break
+// the allocator's internal invariants.
+class BuddyPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BuddyPropertyTest, RandomOpsPreserveInvariants) {
+  Rng rng(GetParam());
+  BuddyAllocator buddy(0, 1 << 13);
+  std::vector<std::pair<Pfn, int>> live;
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || rng.Bernoulli(0.55)) {
+      const int order = static_cast<int>(rng.Uniform(10));
+      if (auto pfn = buddy.Alloc(order)) {
+        live.emplace_back(*pfn, order);
+      }
+    } else {
+      const std::size_t index = rng.Uniform(live.size());
+      auto [pfn, order] = live[index];
+      live[index] = live.back();
+      live.pop_back();
+      if (order > 0 && rng.Bernoulli(0.2)) {
+        // Sometimes split in place and free the pieces separately.
+        buddy.SplitAllocated(pfn, order, 0);
+        for (Pfn p = pfn; p < pfn + (1ull << order); ++p) {
+          buddy.Free(p, 0);
+        }
+      } else {
+        buddy.Free(pfn, order);
+      }
+    }
+    if (step % 250 == 0) {
+      ASSERT_TRUE(buddy.CheckInvariants()) << "at step " << step;
+    }
+  }
+  for (const auto& [pfn, order] : live) {
+    buddy.Free(pfn, order);
+  }
+  EXPECT_TRUE(buddy.CheckInvariants());
+  EXPECT_EQ(buddy.free_frames(), 1ull << 13);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuddyPropertyTest, ::testing::Values(1, 7, 42, 1234, 98765));
+
+TEST(PhysMemTest, NodeOfPfnPartition) {
+  const Topology topo = Topology::MachineA();
+  PhysicalMemory phys(topo);
+  for (int node = 0; node < topo.num_nodes(); ++node) {
+    const auto pfn = phys.AllocOnNode(0, node);
+    ASSERT_TRUE(pfn.has_value());
+    EXPECT_EQ(phys.NodeOfPfn(*pfn), node);
+  }
+}
+
+TEST(PhysMemTest, PreferredNodeHonored) {
+  PhysicalMemory phys(Topology::Tiny());
+  const auto alloc = phys.Alloc(0, 1);
+  ASSERT_TRUE(alloc.has_value());
+  EXPECT_EQ(alloc->node, 1);
+  EXPECT_FALSE(alloc->fallback);
+}
+
+TEST(PhysMemTest, FallbackWhenPreferredFull) {
+  PhysicalMemory phys(Topology::Tiny(4 * kMiB));  // 1024 frames per node
+  // Exhaust node 0.
+  while (phys.AllocOnNode(0, 0).has_value()) {
+  }
+  const auto alloc = phys.Alloc(0, 0);
+  ASSERT_TRUE(alloc.has_value());
+  EXPECT_EQ(alloc->node, 1);
+  EXPECT_TRUE(alloc->fallback);
+}
+
+TEST(PhysMemTest, StrictAllocFailsWhenNodeFull) {
+  PhysicalMemory phys(Topology::Tiny(4 * kMiB));
+  while (phys.AllocOnNode(0, 0).has_value()) {
+  }
+  EXPECT_FALSE(phys.AllocOnNode(0, 0).has_value());
+  EXPECT_TRUE(phys.AllocOnNode(0, 1).has_value());
+}
+
+TEST(PhysMemTest, FreeBytesAccounting) {
+  PhysicalMemory phys(Topology::Tiny(4 * kMiB));
+  const std::uint64_t initial = phys.FreeBytesOnNode(0);
+  const auto pfn = phys.AllocOnNode(9, 0);
+  ASSERT_TRUE(pfn.has_value());
+  EXPECT_EQ(phys.FreeBytesOnNode(0), initial - kBytes2M);
+  phys.Free(*pfn, 9);
+  EXPECT_EQ(phys.FreeBytesOnNode(0), initial);
+}
+
+TEST(PhysMemTest, FallbackPrefersCloserNodesOnMachineB) {
+  const Topology topo = Topology::MachineB();
+  PhysicalMemory phys(topo);
+  // Exhaust node 0 at order 0 by allocating everything.
+  while (phys.AllocOnNode(0, 0).has_value()) {
+  }
+  const auto alloc = phys.Alloc(0, 0);
+  ASSERT_TRUE(alloc.has_value());
+  // The fallback node must be one hop away from node 0 (nodes 1, 2 or 4).
+  EXPECT_EQ(topo.Hops(0, alloc->node), 1);
+}
+
+}  // namespace
+}  // namespace numalp

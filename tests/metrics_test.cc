@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "src/metrics/numa_metrics.h"
+#include "src/topo/topology.h"
+#include "src/vm/thp.h"
+
+namespace numalp {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  MetricsTest() : topo_(Topology::Tiny(256 * kMiB)), phys_(topo_), as_(phys_, topo_, thp_) {}
+
+  IbsSample Sample(Addr va, int core, int req_node, int home_node, bool dram = true) {
+    IbsSample s;
+    s.va = va;
+    s.core = static_cast<std::uint16_t>(core);
+    s.req_node = static_cast<std::uint8_t>(req_node);
+    s.home_node = static_cast<std::uint8_t>(home_node);
+    s.dram = dram;
+    return s;
+  }
+
+  Topology topo_;
+  PhysicalMemory phys_;
+  ThpState thp_;
+  AddressSpace as_;
+};
+
+TEST_F(MetricsTest, AggregateAtMappingGranularity) {
+  thp_.alloc_enabled = true;
+  const Addr big = as_.MmapAnon(4 * kMiB, {});
+  as_.Touch(big, 0);  // 2M page
+  std::vector<IbsSample> samples;
+  samples.push_back(Sample(big + 100, 0, 0, 0));
+  samples.push_back(Sample(big + kBytes4K * 300, 1, 1, 0));
+  const PageAggMap pages = AggregateSamples(samples, as_, AggGranularity::kMapping);
+  ASSERT_EQ(pages.size(), 1u);  // both land in the one 2M page
+  const PageAgg& agg = pages.begin()->second;
+  EXPECT_EQ(agg.total, 2u);
+  EXPECT_EQ(agg.size, PageSize::k2M);
+  EXPECT_EQ(agg.DistinctNodes(), 2);
+  EXPECT_EQ(agg.SharerCount(), 2);
+}
+
+TEST_F(MetricsTest, AggregateAt4KGranularitySeparates) {
+  thp_.alloc_enabled = true;
+  const Addr big = as_.MmapAnon(4 * kMiB, {});
+  as_.Touch(big, 0);
+  std::vector<IbsSample> samples;
+  samples.push_back(Sample(big + 100, 0, 0, 0));
+  samples.push_back(Sample(big + kBytes4K * 300, 1, 1, 0));
+  const PageAggMap pages = AggregateSamples(samples, as_, AggGranularity::k4K);
+  EXPECT_EQ(pages.size(), 2u);
+  for (const auto& [base, agg] : pages) {
+    EXPECT_TRUE(agg.SingleNode());
+  }
+}
+
+TEST_F(MetricsTest, UnmappedSamplesDropped) {
+  std::vector<IbsSample> samples;
+  samples.push_back(Sample(0xdead0000, 0, 0, 0));
+  EXPECT_TRUE(AggregateSamples(samples, as_, AggGranularity::kMapping).empty());
+}
+
+TEST_F(MetricsTest, PamupFindsDominantPage) {
+  const Addr base = as_.MmapAnon(kMiB, {});
+  as_.Touch(base, 0);
+  as_.Touch(base + kBytes4K, 0);
+  std::vector<IbsSample> samples;
+  for (int i = 0; i < 9; ++i) {
+    samples.push_back(Sample(base + 64 * i, 0, 0, 0));
+  }
+  samples.push_back(Sample(base + kBytes4K, 1, 1, 0));
+  const PageAggMap pages = AggregateSamples(samples, as_, AggGranularity::kMapping);
+  EXPECT_NEAR(PamupPct(pages), 90.0, 0.1);
+  EXPECT_EQ(CountHotPages(pages), 2);  // 90% and 10%, both above 6%
+  EXPECT_EQ(CountHotPages(pages, 50.0), 1);
+}
+
+TEST_F(MetricsTest, PspCountsSharedPageAccesses) {
+  const Addr base = as_.MmapAnon(kMiB, {});
+  as_.Touch(base, 0);
+  as_.Touch(base + kBytes4K, 0);
+  std::vector<IbsSample> samples;
+  // Page 0: two cores (shared). Page 1: one core.
+  samples.push_back(Sample(base, 0, 0, 0));
+  samples.push_back(Sample(base + 64, 1, 1, 0));
+  samples.push_back(Sample(base + kBytes4K, 0, 0, 0));
+  samples.push_back(Sample(base + kBytes4K + 64, 0, 0, 0));
+  const PageAggMap pages = AggregateSamples(samples, as_, AggGranularity::kMapping);
+  EXPECT_NEAR(PspPct(pages), 50.0, 0.1);
+}
+
+TEST_F(MetricsTest, CachedOnlyPagesExcluded) {
+  const Addr base = as_.MmapAnon(kMiB, {});
+  as_.Touch(base, 0);
+  std::vector<IbsSample> samples;
+  samples.push_back(Sample(base, 0, 0, 0, /*dram=*/false));
+  const PageAggMap pages = AggregateSamples(samples, as_, AggGranularity::kMapping);
+  EXPECT_DOUBLE_EQ(PamupPct(pages), 0.0);
+  EXPECT_EQ(CountHotPages(pages), 0);
+  EXPECT_DOUBLE_EQ(PspPct(pages), 0.0);
+}
+
+TEST_F(MetricsTest, LarFromCounters) {
+  EpochCounters counters(2, 2);
+  counters.cores[0].dram_local = 30;
+  counters.cores[0].dram_remote = 10;
+  counters.cores[1].dram_local = 10;
+  counters.cores[1].dram_remote = 50;
+  EXPECT_DOUBLE_EQ(LarPct(counters), 40.0);
+}
+
+TEST_F(MetricsTest, WalkMissFraction) {
+  EpochCounters counters(1, 2);
+  counters.cores[0].walk_l2_miss = 15;
+  counters.cores[0].dram_local = 85;
+  EXPECT_NEAR(WalkL2MissFraction(counters), 0.15, 1e-9);
+}
+
+TEST_F(MetricsTest, MaxFaultTimeShareTakesMaxCore) {
+  EpochCounters counters(2, 2);
+  counters.cores[0].fault_cycles = 100;
+  counters.cores[1].fault_cycles = 400;
+  EXPECT_DOUBLE_EQ(MaxFaultTimeShare(counters, 1000), 0.4);
+}
+
+TEST_F(MetricsTest, ControllerImbalanceFromNodeRequests) {
+  EpochCounters counters(1, 4);
+  counters.node_requests = {100, 100, 100, 100};
+  EXPECT_DOUBLE_EQ(ControllerImbalancePct(counters), 0.0);
+  counters.node_requests = {400, 0, 0, 0};
+  EXPECT_NEAR(ControllerImbalancePct(counters), 173.2, 0.1);
+}
+
+TEST_F(MetricsTest, MajorityReqNode) {
+  PageAgg agg;
+  agg.req_node_counts[0] = 3;
+  agg.req_node_counts[1] = 7;
+  EXPECT_EQ(agg.MajorityReqNode(), 1);
+  EXPECT_FALSE(agg.SingleNode());
+  EXPECT_EQ(agg.DistinctNodes(), 2);
+}
+
+}  // namespace
+}  // namespace numalp

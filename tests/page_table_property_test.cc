@@ -1,0 +1,120 @@
+// Randomized property tests: the page table and address space stay
+// consistent under arbitrary interleavings of map/unmap/split/promote/
+// migrate, and physical frames are conserved.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/mem/phys_mem.h"
+#include "src/topo/topology.h"
+#include "src/vm/address_space.h"
+#include "src/vm/page_table.h"
+
+namespace numalp {
+namespace {
+
+class PageTablePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PageTablePropertyTest, RandomMapUnmapStaysConsistent) {
+  const Topology topo = Topology::Tiny(256 * kMiB);
+  PhysicalMemory phys(topo);
+  PageTable table(phys, 0);
+  Rng rng(GetParam());
+  // Model: VA slot -> pfn for 4K pages in a 64MB arena.
+  std::map<Addr, Pfn> model;
+  const std::uint64_t slots = 16384;
+  for (int step = 0; step < 5000; ++step) {
+    const Addr va = rng.Uniform(slots) * kBytes4K;
+    const auto it = model.find(va);
+    if (it == model.end()) {
+      const Pfn pfn = rng.Uniform(1 << 16);
+      table.Map(va, pfn, PageSize::k4K);
+      model[va] = pfn;
+    } else {
+      const PageTable::Mapping removed = table.Unmap(va);
+      EXPECT_EQ(removed.pfn, it->second);
+      model.erase(it);
+    }
+  }
+  // Every model entry must be visible with the right pfn; probe some
+  // unmapped slots too.
+  for (const auto& [va, pfn] : model) {
+    const auto mapping = table.Lookup(va);
+    ASSERT_TRUE(mapping.has_value());
+    EXPECT_EQ(mapping->pfn, pfn);
+  }
+  EXPECT_EQ(table.num_mappings(PageSize::k4K), model.size());
+  for (int i = 0; i < 100; ++i) {
+    const Addr va = rng.Uniform(slots) * kBytes4K;
+    EXPECT_EQ(table.Lookup(va).has_value(), model.count(va) == 1);
+  }
+  // Unmapping everything reclaims all paging structures except the root.
+  while (!model.empty()) {
+    table.Unmap(model.begin()->first);
+    model.erase(model.begin());
+  }
+  EXPECT_EQ(table.table_bytes(), kBytes4K);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageTablePropertyTest, ::testing::Values(3, 17, 404, 9001));
+
+class AddressSpacePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AddressSpacePropertyTest, RandomPlacementOpsConserveFrames) {
+  const Topology topo = Topology::Tiny(256 * kMiB);
+  PhysicalMemory phys(topo);
+  ThpState thp;
+  thp.alloc_enabled = true;
+  AddressSpace as(phys, topo, thp);
+  Rng rng(GetParam());
+
+  const std::uint64_t total_free_before = phys.TotalFreeBytes();
+  const Addr base = as.MmapAnon(64 * kMiB, {});
+  // Touch everything (mixture of 2M windows; toggling THP creates a 4K mix).
+  for (Addr va = base; va < base + 64 * kMiB; va += kBytes4K) {
+    thp.alloc_enabled = rng.Bernoulli(0.7);
+    as.Touch(va, static_cast<int>(rng.Uniform(2)));
+  }
+  // Random placement churn.
+  for (int step = 0; step < 2000; ++step) {
+    const Addr va = base + rng.Uniform(64 * kMiB / kBytes4K) * kBytes4K;
+    const auto mapping = as.Translate(va);
+    ASSERT_TRUE(mapping.has_value());
+    switch (rng.Uniform(3)) {
+      case 0:
+        as.MigratePage(mapping->page_base, static_cast<int>(rng.Uniform(2)));
+        break;
+      case 1:
+        as.SplitLargePage(mapping->page_base);
+        break;
+      case 2: {
+        const Addr window = AlignDown(va, kBytes2M);
+        as.PromoteWindow(window, static_cast<int>(rng.Uniform(2)));
+        break;
+      }
+    }
+    // Whatever happened, the address must still translate and the mapped
+    // byte count must be exact.
+    ASSERT_TRUE(as.Translate(va).has_value());
+    ASSERT_EQ(as.mapped_bytes(), 64 * kMiB + 0u);
+  }
+  // Frame conservation: free + mapped + paging structures == free before
+  // mapping (the root paging frame predates the snapshot, hence +4KB).
+  const std::uint64_t paging = as.page_table().table_bytes();
+  EXPECT_EQ(phys.TotalFreeBytes() + as.mapped_bytes() + paging, total_free_before + kBytes4K);
+  // Large-page bookkeeping agrees with the page table.
+  std::uint64_t two_m_count = 0;
+  as.page_table().ForEachMappingIn(base, 64 * kMiB, [&](const PageTable::Mapping& m) {
+    if (m.size == PageSize::k2M) {
+      ++two_m_count;
+    }
+  });
+  EXPECT_EQ(two_m_count, as.pages_2m().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AddressSpacePropertyTest, ::testing::Values(5, 23, 777));
+
+}  // namespace
+}  // namespace numalp

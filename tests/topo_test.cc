@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "src/topo/topology.h"
+
+namespace numalp {
+namespace {
+
+TEST(TopologyTest, MachineAShape) {
+  const Topology topo = Topology::MachineA();
+  EXPECT_EQ(topo.num_nodes(), 4);
+  EXPECT_EQ(topo.num_cores(), 24);
+  EXPECT_EQ(topo.node(0).num_cores, 6);
+  EXPECT_EQ(topo.name(), "machineA");
+}
+
+TEST(TopologyTest, MachineBShape) {
+  const Topology topo = Topology::MachineB();
+  EXPECT_EQ(topo.num_nodes(), 8);
+  EXPECT_EQ(topo.num_cores(), 64);
+  EXPECT_EQ(topo.node(0).num_cores, 8);
+}
+
+TEST(TopologyTest, MemoryScaleDividesDram) {
+  const Topology unscaled = Topology::MachineA(1);
+  const Topology scaled = Topology::MachineA(48);
+  EXPECT_EQ(unscaled.node(0).dram_bytes, 12 * kGiB);
+  EXPECT_EQ(scaled.node(0).dram_bytes, 12 * kGiB / 48);
+}
+
+TEST(TopologyTest, HopsDiagonalZeroAndSymmetric) {
+  for (const Topology& topo : {Topology::MachineA(), Topology::MachineB()}) {
+    for (int i = 0; i < topo.num_nodes(); ++i) {
+      EXPECT_EQ(topo.Hops(i, i), 0);
+      for (int j = 0; j < topo.num_nodes(); ++j) {
+        EXPECT_EQ(topo.Hops(i, j), topo.Hops(j, i));
+        if (i != j) {
+          EXPECT_GE(topo.Hops(i, j), 1);
+        }
+      }
+    }
+  }
+}
+
+TEST(TopologyTest, MachineAFullyConnected) {
+  const Topology topo = Topology::MachineA();
+  EXPECT_EQ(topo.max_hops(), 1);
+}
+
+TEST(TopologyTest, MachineBHasTwoHopPairs) {
+  const Topology topo = Topology::MachineB();
+  EXPECT_EQ(topo.max_hops(), 2);
+  // Same-socket pairs are direct.
+  EXPECT_EQ(topo.Hops(0, 1), 1);
+  EXPECT_EQ(topo.Hops(6, 7), 1);
+}
+
+TEST(TopologyTest, CoreToNodeMapping) {
+  const Topology topo = Topology::MachineB();
+  EXPECT_EQ(topo.NodeOfCore(0), 0);
+  EXPECT_EQ(topo.NodeOfCore(7), 0);
+  EXPECT_EQ(topo.NodeOfCore(8), 1);
+  EXPECT_EQ(topo.NodeOfCore(63), 7);
+}
+
+TEST(TopologyTest, TotalDram) {
+  const Topology topo = Topology::Tiny(64 * kMiB);
+  EXPECT_EQ(topo.total_dram_bytes(), 128 * kMiB);
+}
+
+TEST(TopologyTest, NodeInfoFirstCore) {
+  const Topology topo = Topology::MachineA();
+  EXPECT_EQ(topo.node(2).first_core, 12);
+  EXPECT_EQ(topo.node(3).id, 3);
+}
+
+}  // namespace
+}  // namespace numalp

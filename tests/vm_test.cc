@@ -1,0 +1,354 @@
+#include <gtest/gtest.h>
+
+#include "src/mem/phys_mem.h"
+#include "src/topo/topology.h"
+#include "src/vm/address_space.h"
+#include "src/vm/page_table.h"
+#include "src/vm/thp.h"
+
+namespace numalp {
+namespace {
+
+class PageTableTest : public ::testing::Test {
+ protected:
+  PageTableTest() : topo_(Topology::Tiny(256 * kMiB)), phys_(topo_), table_(phys_, 0) {}
+
+  Topology topo_;
+  PhysicalMemory phys_;
+  PageTable table_;
+};
+
+TEST_F(PageTableTest, MapLookup4K) {
+  table_.Map(0x1000, 77, PageSize::k4K);
+  const auto mapping = table_.Lookup(0x1abc);
+  ASSERT_TRUE(mapping.has_value());
+  EXPECT_EQ(mapping->pfn, 77u);
+  EXPECT_EQ(mapping->size, PageSize::k4K);
+  EXPECT_EQ(mapping->page_base, 0x1000u);
+  EXPECT_FALSE(table_.Lookup(0x2000).has_value());
+}
+
+TEST_F(PageTableTest, MapLookup2MAnd1G) {
+  table_.Map(5 * kBytes2M, 512, PageSize::k2M);
+  table_.Map(3 * kBytes1G, 1 << 18, PageSize::k1G);
+  const auto two_m = table_.Lookup(5 * kBytes2M + 12345);
+  ASSERT_TRUE(two_m.has_value());
+  EXPECT_EQ(two_m->size, PageSize::k2M);
+  EXPECT_EQ(two_m->page_base, 5 * kBytes2M);
+  const auto one_g = table_.Lookup(3 * kBytes1G + 999999);
+  ASSERT_TRUE(one_g.has_value());
+  EXPECT_EQ(one_g->size, PageSize::k1G);
+}
+
+TEST_F(PageTableTest, MappingCounts) {
+  table_.Map(0, 1, PageSize::k4K);
+  table_.Map(kBytes4K, 2, PageSize::k4K);
+  table_.Map(kBytes1G, 3, PageSize::k2M);
+  EXPECT_EQ(table_.num_mappings(PageSize::k4K), 2u);
+  EXPECT_EQ(table_.num_mappings(PageSize::k2M), 1u);
+  table_.Unmap(0);
+  EXPECT_EQ(table_.num_mappings(PageSize::k4K), 1u);
+}
+
+TEST_F(PageTableTest, UnmapReclaimsEmptyTables) {
+  const std::uint64_t before = table_.table_bytes();
+  table_.Map(7 * kBytes1G, 42, PageSize::k4K);
+  EXPECT_GT(table_.table_bytes(), before);
+  table_.Unmap(7 * kBytes1G);
+  EXPECT_EQ(table_.table_bytes(), before);
+}
+
+TEST_F(PageTableTest, TableBytesGrowWithFootprint) {
+  const std::uint64_t before = table_.table_bytes();
+  // 1024 x 4K pages need 2 PT pages plus upper levels.
+  for (std::uint64_t i = 0; i < 1024; ++i) {
+    table_.Map(i * kBytes4K, i, PageSize::k4K);
+  }
+  EXPECT_GE(table_.table_bytes(), before + 2 * kBytes4K);
+}
+
+TEST_F(PageTableTest, Split2MPreservesPhysicalContiguity) {
+  table_.Map(0, 1024, PageSize::k2M);
+  ASSERT_TRUE(table_.Split(0));
+  EXPECT_EQ(table_.num_mappings(PageSize::k4K), 512u);
+  EXPECT_EQ(table_.num_mappings(PageSize::k2M), 0u);
+  for (std::uint64_t i = 0; i < 512; ++i) {
+    const auto mapping = table_.Lookup(i * kBytes4K);
+    ASSERT_TRUE(mapping.has_value());
+    EXPECT_EQ(mapping->pfn, 1024 + i);
+    EXPECT_EQ(mapping->size, PageSize::k4K);
+  }
+}
+
+TEST_F(PageTableTest, Split1GYields2MPieces) {
+  table_.Map(0, 0, PageSize::k1G);
+  ASSERT_TRUE(table_.Split(0));
+  EXPECT_EQ(table_.num_mappings(PageSize::k2M), 512u);
+  const auto mapping = table_.Lookup(5 * kBytes2M);
+  ASSERT_TRUE(mapping.has_value());
+  EXPECT_EQ(mapping->size, PageSize::k2M);
+  EXPECT_EQ(mapping->pfn, 5 * kFramesPer2M);
+}
+
+TEST_F(PageTableTest, SplitOf4KFails) {
+  table_.Map(0, 9, PageSize::k4K);
+  EXPECT_FALSE(table_.Split(0));
+}
+
+TEST_F(PageTableTest, Promote2MRequiresFullPopulation) {
+  for (std::uint64_t i = 0; i < 511; ++i) {
+    table_.Map(i * kBytes4K, i, PageSize::k4K);
+  }
+  EXPECT_FALSE(table_.Promote2M(0, 4096));
+  table_.Map(511 * kBytes4K, 511, PageSize::k4K);
+  EXPECT_TRUE(table_.Promote2M(0, 4096));
+  const auto mapping = table_.Lookup(100 * kBytes4K);
+  ASSERT_TRUE(mapping.has_value());
+  EXPECT_EQ(mapping->size, PageSize::k2M);
+  EXPECT_EQ(mapping->pfn, 4096u);
+}
+
+TEST_F(PageTableTest, ReplaceLeafReturnsOldPfn) {
+  table_.Map(0, 10, PageSize::k4K);
+  EXPECT_EQ(table_.ReplaceLeaf(0, 20), 10u);
+  EXPECT_EQ(table_.Lookup(0)->pfn, 20u);
+}
+
+TEST_F(PageTableTest, WalkDepthPerSize) {
+  EXPECT_EQ(PageTable::WalkDepth(PageSize::k4K), 4);
+  EXPECT_EQ(PageTable::WalkDepth(PageSize::k2M), 3);
+  EXPECT_EQ(PageTable::WalkDepth(PageSize::k1G), 2);
+}
+
+TEST_F(PageTableTest, ForEachMappingInRange) {
+  table_.Map(0, 1, PageSize::k4K);
+  table_.Map(kBytes4K, 2, PageSize::k4K);
+  table_.Map(kBytes2M, 3, PageSize::k2M);
+  int count = 0;
+  table_.ForEachMappingIn(0, 2 * kBytes2M, [&](const PageTable::Mapping& m) {
+    ++count;
+    EXPECT_LE(m.page_base, 2 * kBytes2M);
+  });
+  EXPECT_EQ(count, 3);
+  count = 0;
+  table_.ForEachMappingIn(kBytes2M, kBytes2M, [&](const PageTable::Mapping&) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+class AddressSpaceTest : public ::testing::Test {
+ protected:
+  AddressSpaceTest() : topo_(Topology::Tiny(256 * kMiB)), phys_(topo_), as_(phys_, topo_, thp_) {}
+
+  Topology topo_;
+  PhysicalMemory phys_;
+  ThpState thp_;
+  AddressSpace as_;
+};
+
+TEST_F(AddressSpaceTest, MmapReturnsAlignedDisjointRegions) {
+  const Addr a = as_.MmapAnon(10 * kMiB, {});
+  const Addr b = as_.MmapAnon(10 * kMiB, {});
+  EXPECT_TRUE(IsAligned(a, kBytes1G));
+  EXPECT_TRUE(IsAligned(b, kBytes1G));
+  EXPECT_GE(b, a + 10 * kMiB);
+}
+
+TEST_F(AddressSpaceTest, TranslateUnmappedIsEmpty) {
+  const Addr base = as_.MmapAnon(kMiB, {});
+  EXPECT_FALSE(as_.Translate(base).has_value());
+}
+
+TEST_F(AddressSpaceTest, FirstTouchAllocates4KOnTouchersNode) {
+  const Addr base = as_.MmapAnon(kMiB, {});
+  const TouchResult touch = as_.Touch(base + 5000, /*core_node=*/1);
+  ASSERT_TRUE(touch.fault.has_value());
+  EXPECT_EQ(touch.fault->size, PageSize::k4K);
+  EXPECT_EQ(touch.fault->node, 1);
+  EXPECT_EQ(touch.mapping.node, 1);
+  // Second touch: no fault.
+  EXPECT_FALSE(as_.Touch(base + 5001, 0).fault.has_value());
+  EXPECT_EQ(as_.mapped_bytes(), kBytes4K);
+}
+
+TEST_F(AddressSpaceTest, ThpBacksFaultWith2M) {
+  thp_.alloc_enabled = true;
+  const Addr base = as_.MmapAnon(8 * kMiB, {});
+  const TouchResult touch = as_.Touch(base + 3 * kBytes4K, 0);
+  ASSERT_TRUE(touch.fault.has_value());
+  EXPECT_EQ(touch.fault->size, PageSize::k2M);
+  EXPECT_EQ(as_.pages_2m().size(), 1u);
+  EXPECT_EQ(as_.WindowPopulation(base), 512);
+  EXPECT_DOUBLE_EQ(as_.LargePageCoverage(), 1.0);
+}
+
+TEST_F(AddressSpaceTest, ThpSkipsIneligibleVma) {
+  thp_.alloc_enabled = true;
+  VmaOptions opts;
+  opts.thp_eligible = false;  // file-backed mapping
+  const Addr base = as_.MmapAnon(8 * kMiB, opts);
+  EXPECT_EQ(as_.Touch(base, 0).fault->size, PageSize::k4K);
+}
+
+TEST_F(AddressSpaceTest, ThpSkipsPartiallyPopulatedWindow) {
+  const Addr base = as_.MmapAnon(8 * kMiB, {});
+  as_.Touch(base, 0);  // 4K while THP off
+  thp_.alloc_enabled = true;
+  // Same window: already populated -> must stay 4K.
+  EXPECT_EQ(as_.Touch(base + kBytes4K, 0).fault->size, PageSize::k4K);
+  // Untouched window: 2M.
+  EXPECT_EQ(as_.Touch(base + kBytes2M, 0).fault->size, PageSize::k2M);
+}
+
+TEST_F(AddressSpaceTest, InterleavePlacementRoundRobins) {
+  VmaOptions opts;
+  opts.placement = NumaPlacement::kInterleave;
+  const Addr base = as_.MmapAnon(kMiB, opts);
+  const int first = as_.Touch(base, 0).fault->node;
+  const int second = as_.Touch(base + kBytes4K, 0).fault->node;
+  EXPECT_NE(first, second);  // two nodes on the tiny machine
+}
+
+TEST_F(AddressSpaceTest, Explicit1GPage) {
+  VmaOptions opts;
+  opts.explicit_page = PageSize::k1G;
+  // Tiny topology lacks 1G per node; use a bigger machine for this test.
+  const Topology big = Topology::MachineB(/*memory_scale=*/8);
+  PhysicalMemory phys(big);
+  ThpState thp;
+  AddressSpace as(phys, big, thp);
+  const Addr base = as.MmapAnon(2 * kBytes1G, opts);
+  const TouchResult touch = as.Touch(base + 123456, 3);
+  ASSERT_TRUE(touch.fault.has_value());
+  EXPECT_EQ(touch.fault->size, PageSize::k1G);
+  EXPECT_EQ(as.pages_1g().size(), 1u);
+  EXPECT_EQ(touch.mapping.node, 3);
+}
+
+TEST_F(AddressSpaceTest, MigratePageMovesAndFreesOld) {
+  const Addr base = as_.MmapAnon(kMiB, {});
+  as_.Touch(base, 0);
+  const std::uint64_t free0 = phys_.FreeBytesOnNode(0);
+  const std::uint64_t free1 = phys_.FreeBytesOnNode(1);
+  const auto record = as_.MigratePage(base, 1);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->from_node, 0);
+  EXPECT_EQ(record->to_node, 1);
+  EXPECT_EQ(as_.Translate(base)->node, 1);
+  EXPECT_EQ(phys_.FreeBytesOnNode(0), free0 + kBytes4K);
+  EXPECT_EQ(phys_.FreeBytesOnNode(1), free1 - kBytes4K);
+}
+
+TEST_F(AddressSpaceTest, MigrateToSameNodeIsNoop) {
+  const Addr base = as_.MmapAnon(kMiB, {});
+  as_.Touch(base, 0);
+  EXPECT_FALSE(as_.MigratePage(base, 0).has_value());
+}
+
+TEST_F(AddressSpaceTest, SplitLargePageBookkeeping) {
+  thp_.alloc_enabled = true;
+  const Addr base = as_.MmapAnon(4 * kMiB, {});
+  as_.Touch(base, 1);
+  ASSERT_EQ(as_.pages_2m().size(), 1u);
+  const auto record = as_.SplitLargePage(base);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->pieces, 512);
+  EXPECT_TRUE(as_.pages_2m().empty());
+  EXPECT_EQ(as_.WindowPopulation(base), 512);
+  // Constituent pieces can now migrate independently.
+  EXPECT_TRUE(as_.MigratePage(base + 5 * kBytes4K, 0).has_value());
+  EXPECT_EQ(as_.Translate(base + 5 * kBytes4K)->node, 0);
+  EXPECT_EQ(as_.Translate(base)->node, 1);
+}
+
+TEST_F(AddressSpaceTest, SplitOf4KPageFails) {
+  const Addr base = as_.MmapAnon(kMiB, {});
+  as_.Touch(base, 0);
+  EXPECT_FALSE(as_.SplitLargePage(base).has_value());
+}
+
+TEST_F(AddressSpaceTest, PromoteWindowConsolidates) {
+  const Addr base = as_.MmapAnon(4 * kMiB, {});
+  for (std::uint64_t i = 0; i < 512; ++i) {
+    as_.Touch(base + i * kBytes4K, 0);
+  }
+  EXPECT_EQ(as_.WindowPopulation(base), 512);
+  const auto record = as_.PromoteWindow(base, 1);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->node, 1);
+  EXPECT_EQ(as_.Translate(base + 17 * kBytes4K)->size, PageSize::k2M);
+  EXPECT_EQ(as_.Translate(base)->node, 1);
+  EXPECT_EQ(as_.pages_2m().size(), 1u);
+}
+
+TEST_F(AddressSpaceTest, PromotePartialWindowFails) {
+  const Addr base = as_.MmapAnon(4 * kMiB, {});
+  as_.Touch(base, 0);
+  EXPECT_FALSE(as_.PromoteWindow(base, 0).has_value());
+}
+
+TEST_F(AddressSpaceTest, SplitThenPromoteRoundTrips) {
+  thp_.alloc_enabled = true;
+  const Addr base = as_.MmapAnon(4 * kMiB, {});
+  as_.Touch(base, 0);
+  ASSERT_TRUE(as_.SplitLargePage(base).has_value());
+  const auto record = as_.PromoteWindow(base, 0);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(as_.Translate(base)->size, PageSize::k2M);
+  EXPECT_EQ(as_.pages_2m().size(), 1u);
+}
+
+class KhugepagedTest : public ::testing::Test {
+ protected:
+  KhugepagedTest() : topo_(Topology::Tiny(256 * kMiB)), phys_(topo_), as_(phys_, topo_, thp_) {}
+
+  Topology topo_;
+  PhysicalMemory phys_;
+  ThpState thp_;
+  AddressSpace as_;
+};
+
+TEST_F(KhugepagedTest, PromotesFullyPopulatedSameNodeWindow) {
+  const Addr base = as_.MmapAnon(2 * kMiB, {});
+  for (std::uint64_t i = 0; i < 512; ++i) {
+    as_.Touch(base + i * kBytes4K, 0);
+  }
+  KhugepagedScanner scanner(as_);
+  const auto promoted = scanner.Scan(1024, 8);
+  ASSERT_EQ(promoted.size(), 1u);
+  EXPECT_EQ(promoted[0].node, 0);
+  EXPECT_EQ(as_.Translate(base)->size, PageSize::k2M);
+}
+
+TEST_F(KhugepagedTest, SkipsInterleavedWindow) {
+  const Addr base = as_.MmapAnon(2 * kMiB, {});
+  // Alternate placement: no majority above 55%.
+  for (std::uint64_t i = 0; i < 512; ++i) {
+    as_.Touch(base + i * kBytes4K, static_cast<int>(i % 2));
+  }
+  KhugepagedScanner scanner(as_);
+  EXPECT_TRUE(scanner.Scan(1024, 8).empty());
+}
+
+TEST_F(KhugepagedTest, RespectsPromotionBudget) {
+  const Addr base = as_.MmapAnon(8 * kMiB, {});
+  for (std::uint64_t i = 0; i < 4 * 512; ++i) {
+    as_.Touch(base + i * kBytes4K, 0);
+  }
+  KhugepagedScanner scanner(as_);
+  EXPECT_EQ(scanner.Scan(1024, 2).size(), 2u);
+  EXPECT_EQ(scanner.Scan(1024, 8).size(), 2u);  // cursor resumes
+}
+
+TEST_F(KhugepagedTest, SkipsExplicitAndIneligibleVmas) {
+  VmaOptions ineligible;
+  ineligible.thp_eligible = false;
+  const Addr base = as_.MmapAnon(2 * kMiB, ineligible);
+  for (std::uint64_t i = 0; i < 512; ++i) {
+    as_.Touch(base + i * kBytes4K, 0);
+  }
+  KhugepagedScanner scanner(as_);
+  EXPECT_TRUE(scanner.Scan(1024, 8).empty());
+}
+
+}  // namespace
+}  // namespace numalp

@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "src/topo/topology.h"
+#include "src/vm/thp.h"
+#include "src/workloads/spec.h"
+#include "src/workloads/workload.h"
+
+namespace numalp {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() : topo_(Topology::Tiny(512 * kMiB)), phys_(topo_), as_(phys_, topo_, thp_) {}
+
+  Topology topo_;
+  PhysicalMemory phys_;
+  ThpState thp_;
+  AddressSpace as_;
+};
+
+WorkloadSpec SimpleSpec() {
+  WorkloadSpec spec;
+  spec.name = "test";
+  spec.steady_accesses_per_thread = 1000;
+  RegionSpec region;
+  region.name = "data";
+  region.bytes = 4 * kMiB;
+  region.access_share = 1.0;
+  region.pattern = PatternKind::kPartitioned;
+  region.local_fraction = 1.0;
+  region.setup_owner = SetupOwner::kPartitionOwner;
+  spec.regions = {region};
+  return spec;
+}
+
+TEST_F(WorkloadTest, AllBenchmarkSpecsConstructOnBothMachines) {
+  for (const Topology& topo : {Topology::MachineA(), Topology::MachineB()}) {
+    for (BenchmarkId id : FullSuite()) {
+      const WorkloadSpec spec = MakeWorkloadSpec(id, topo);
+      EXPECT_FALSE(spec.regions.empty()) << NameOf(id);
+      EXPECT_GT(spec.TotalShare(), 0.0) << NameOf(id);
+      std::uint64_t footprint = 0;
+      for (const auto& region : spec.regions) {
+        footprint += region.bytes;
+      }
+      // Every model must fit the simulated machine's DRAM with room for page
+      // tables and metadata.
+      EXPECT_LT(footprint, topo.total_dram_bytes() * 9 / 10)
+          << NameOf(id) << " on " << topo.name();
+    }
+  }
+}
+
+TEST_F(WorkloadTest, SuiteSubsetsPartitionFigure1) {
+  const auto affected = AffectedSubset();
+  const auto unaffected = UnaffectedSubset();
+  EXPECT_EQ(affected.size() + unaffected.size(), FullSuite().size());
+  std::set<BenchmarkId> all(affected.begin(), affected.end());
+  all.insert(unaffected.begin(), unaffected.end());
+  EXPECT_EQ(all.size(), FullSuite().size());
+}
+
+TEST_F(WorkloadTest, BatchGenerationIsDeterministic) {
+  Workload a(SimpleSpec(), as_, 4, 99);
+  PhysicalMemory phys2(topo_);
+  ThpState thp2;
+  AddressSpace as2(phys2, topo_, thp2);
+  Workload b(SimpleSpec(), as2, 4, 99);
+  std::vector<WorkloadAccess> batch_a;
+  std::vector<WorkloadAccess> batch_b;
+  for (int t = 0; t < 4; ++t) {
+    a.BeginEpoch();
+    b.BeginEpoch();
+    a.FillBatch(t, 256, batch_a);
+    b.FillBatch(t, 256, batch_b);
+    ASSERT_EQ(batch_a.size(), batch_b.size());
+    for (std::size_t i = 0; i < batch_a.size(); ++i) {
+      EXPECT_EQ(batch_a[i].va - a.region_base(0), batch_b[i].va - b.region_base(0));
+    }
+  }
+}
+
+TEST_F(WorkloadTest, SetupTouchesEveryPageExactlyOnce) {
+  Workload workload(SimpleSpec(), as_, 4, 7);
+  std::unordered_set<std::uint64_t> touched;
+  std::vector<WorkloadAccess> batch;
+  const Addr base = workload.region_base(0);
+  // Drain everything until setup completes.
+  for (int epoch = 0; epoch < 10 && !workload.SetupDone(); ++epoch) {
+    workload.BeginEpoch();
+    for (int t = 0; t < 4; ++t) {
+      workload.FillBatch(t, 512, batch);
+      for (const auto& access : batch) {
+        if (access.va >= base && access.va < base + 4 * kMiB) {
+          const std::uint64_t page = (access.va - base) / kBytes4K;
+          touched.insert(page);
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(workload.SetupDone());
+  EXPECT_EQ(touched.size(), 4 * kMiB / kBytes4K);
+}
+
+TEST_F(WorkloadTest, PartitionedSteadyAccessesStayInOwnSlice) {
+  Workload workload(SimpleSpec(), as_, 4, 7);
+  std::vector<WorkloadAccess> batch;
+  // Finish setup.
+  while (!workload.SetupDone()) {
+    workload.BeginEpoch();
+    for (int t = 0; t < 4; ++t) {
+      workload.FillBatch(t, 512, batch);
+    }
+  }
+  const Addr base = workload.region_base(0);
+  const std::uint64_t slice_bytes = kMiB;  // 4MiB over 4 threads
+  workload.BeginEpoch();
+  for (int t = 0; t < 4; ++t) {
+    workload.FillBatch(t, 256, batch);
+    for (const auto& access : batch) {
+      if (access.region != 0) {
+        continue;
+      }
+      const std::uint64_t offset = access.va - base;
+      EXPECT_EQ(offset / slice_bytes, static_cast<std::uint64_t>(t))
+          << "thread " << t << " escaped its slice (local_fraction=1)";
+    }
+  }
+}
+
+TEST_F(WorkloadTest, HotChunksStayInChunkGeometry) {
+  WorkloadSpec spec;
+  spec.name = "hot";
+  spec.steady_accesses_per_thread = 100;
+  RegionSpec region;
+  region.name = "chunks";
+  region.bytes = 2 * kMiB;
+  region.access_share = 1.0;
+  region.pattern = PatternKind::kHotChunks;
+  region.chunk_bytes = 16 * kKiB;
+  region.chunk_stride = 256 * kKiB;
+  region.num_chunks = 8;
+  region.setup_owner = SetupOwner::kChunkOwner;
+  spec.regions = {region};
+  Workload workload(spec, as_, 4, 3);
+  while (!workload.SetupDone()) {
+    workload.BeginEpoch();
+    std::vector<WorkloadAccess> batch;
+    for (int t = 0; t < 4; ++t) {
+      workload.FillBatch(t, 512, batch);
+    }
+  }
+  const Addr base = workload.region_base(0);
+  std::vector<WorkloadAccess> batch;
+  workload.BeginEpoch();
+  for (int t = 0; t < 4; ++t) {
+    workload.FillBatch(t, 128, batch);
+    for (const auto& access : batch) {
+      if (access.region != 0) {
+        continue;
+      }
+      const std::uint64_t offset = access.va - base;
+      // Inside a chunk: offset % stride < chunk size.
+      EXPECT_LT(offset % (256 * kKiB), 16 * kKiB);
+      EXPECT_LT(offset / (256 * kKiB), 8u);
+    }
+  }
+}
+
+TEST_F(WorkloadTest, IncrementalRegionGrowsFreshPagesInOrder) {
+  WorkloadSpec spec;
+  spec.name = "alloc";
+  spec.steady_accesses_per_thread = 2000;
+  RegionSpec region;
+  region.name = "growing";
+  region.bytes = 8 * kMiB;
+  region.access_share = 1.0;
+  region.incremental = true;
+  region.fresh_fraction = 0.5;
+  spec.regions = {region};
+  Workload workload(spec, as_, 2, 5);
+  const Addr base = workload.region_base(0);
+  std::vector<WorkloadAccess> batch;
+  std::uint64_t max_page_thread0 = 0;
+  workload.BeginEpoch();
+  workload.FillBatch(0, 64, batch);  // finish scratch setup
+  workload.BeginEpoch();
+  workload.FillBatch(1, 64, batch);
+  workload.BeginEpoch();
+  workload.FillBatch(0, 512, batch);
+  std::uint64_t fresh_count = 0;
+  std::unordered_set<std::uint64_t> seen;
+  for (const auto& access : batch) {
+    if (access.region != 0) {
+      continue;
+    }
+    const std::uint64_t page = (access.va - base) / kBytes4K;
+    // Thread 0's arena is the first half of the region.
+    EXPECT_LT(page, 8 * kMiB / kBytes4K / 2);
+    if (seen.insert(page).second) {
+      ++fresh_count;
+      EXPECT_GE(page, max_page_thread0);  // fresh pages appear in order
+      max_page_thread0 = page;
+    }
+  }
+  EXPECT_GT(fresh_count, 100u);  // ~50% fresh
+}
+
+TEST_F(WorkloadTest, DoneAfterSteadyBudget) {
+  WorkloadSpec spec = SimpleSpec();
+  spec.steady_accesses_per_thread = 100;
+  Workload workload(spec, as_, 2, 1);
+  EXPECT_FALSE(workload.Done());
+  std::vector<WorkloadAccess> batch;
+  for (int epoch = 0; epoch < 50 && !workload.Done(); ++epoch) {
+    workload.BeginEpoch();
+    for (int t = 0; t < 2; ++t) {
+      workload.FillBatch(t, 300, batch);
+    }
+  }
+  EXPECT_TRUE(workload.Done());
+  EXPECT_GE(workload.steady_issued(0), 100u);
+}
+
+TEST_F(WorkloadTest, ZipfBlockShuffleSpreadsHotRanks) {
+  WorkloadSpec spec;
+  spec.name = "zipf";
+  spec.steady_accesses_per_thread = 100;
+  RegionSpec region;
+  region.name = "heap";
+  region.bytes = 16 * kMiB;  // 4096 pages
+  region.access_share = 1.0;
+  region.pattern = PatternKind::kZipf;
+  region.zipf_s = 1.1;
+  region.zipf_block_shuffle = 16;
+  spec.regions = {region};
+  Workload workload(spec, as_, 2, 11);
+  while (!workload.SetupDone()) {
+    workload.BeginEpoch();
+    std::vector<WorkloadAccess> batch;
+    for (int t = 0; t < 2; ++t) {
+      workload.FillBatch(t, 2048, batch);
+    }
+  }
+  // Steady accesses must spread across many distinct 2MB windows (with
+  // identity layout the hot head would sit in window 0).
+  std::set<std::uint64_t> windows;
+  std::vector<WorkloadAccess> batch;
+  workload.BeginEpoch();
+  workload.FillBatch(0, 1024, batch);
+  const Addr base = workload.region_base(0);
+  for (const auto& access : batch) {
+    if (access.region == 0) {
+      windows.insert((access.va - base) / kBytes2M);
+    }
+  }
+  EXPECT_GE(windows.size(), 6u);
+}
+
+TEST_F(WorkloadTest, FileBackedRegionsAreNotThpEligible) {
+  const WorkloadSpec wc = MakeWorkloadSpec(BenchmarkId::kWC, topo_);
+  bool found_file_region = false;
+  for (const auto& region : wc.regions) {
+    if (!region.thp_eligible) {
+      found_file_region = true;
+    }
+  }
+  EXPECT_TRUE(found_file_region) << "WC's input must be file-mapped (no THP)";
+}
+
+TEST_F(WorkloadTest, CgHasHotChunkRegion) {
+  const WorkloadSpec cg = MakeWorkloadSpec(BenchmarkId::kCG_D, Topology::MachineB());
+  bool found = false;
+  for (const auto& region : cg.regions) {
+    if (region.pattern == PatternKind::kHotChunks) {
+      found = true;
+      // The paper's geometry: chunks coalesce 8-into-1 under 2MB pages.
+      EXPECT_EQ(region.chunk_stride, 256 * kKiB);
+      EXPECT_LT(region.chunk_bytes, region.chunk_stride);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace numalp

@@ -1,0 +1,149 @@
+// numalp_run — command-line driver for single experiments.
+//
+//   numalp_run --workload CG.D --machine B --policy carrefour-lp \
+//              [--seed N] [--epochs N] [--ibs-interval N] [--per-epoch]
+//
+// Prints the run's headline metrics (and, with --per-epoch, the full epoch
+// trace including the reactive component's LAR estimates), always against
+// the Linux-4K baseline of the same seed.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "src/core/config.h"
+#include "src/core/simulation.h"
+#include "src/topo/topology.h"
+#include "src/workloads/spec.h"
+
+namespace {
+
+std::optional<numalp::BenchmarkId> ParseWorkload(const std::string& name) {
+  for (numalp::BenchmarkId id : numalp::FullSuite()) {
+    if (name == numalp::NameOf(id)) {
+      return id;
+    }
+  }
+  if (name == "streamcluster") {
+    return numalp::BenchmarkId::kStreamcluster;
+  }
+  return std::nullopt;
+}
+
+std::optional<numalp::PolicyKind> ParsePolicy(const std::string& name) {
+  if (name == "linux" || name == "linux-4k") {
+    return numalp::PolicyKind::kLinux4K;
+  }
+  if (name == "thp") {
+    return numalp::PolicyKind::kThp;
+  }
+  if (name == "carrefour-2m" || name == "carrefour") {
+    return numalp::PolicyKind::kCarrefour2M;
+  }
+  if (name == "reactive") {
+    return numalp::PolicyKind::kReactiveOnly;
+  }
+  if (name == "conservative") {
+    return numalp::PolicyKind::kConservativeOnly;
+  }
+  if (name == "carrefour-lp" || name == "lp") {
+    return numalp::PolicyKind::kCarrefourLp;
+  }
+  return std::nullopt;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: numalp_run --workload <name> [--machine A|B] [--policy <p>]\n"
+               "                  [--seed N] [--epochs N] [--ibs-interval N] [--per-epoch]\n"
+               "  workloads: the paper suite (BT.B CG.D ... SPECjbb) plus streamcluster\n"
+               "  policies:  linux-4k thp carrefour-2m reactive conservative carrefour-lp\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload_name = "CG.D";
+  std::string machine = "B";
+  std::string policy_name = "carrefour-lp";
+  numalp::SimConfig sim;
+  bool per_epoch = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--workload") {
+      workload_name = next();
+    } else if (arg == "--machine") {
+      machine = next();
+    } else if (arg == "--policy") {
+      policy_name = next();
+    } else if (arg == "--seed") {
+      sim.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--epochs") {
+      sim.max_epochs = std::atoi(next());
+    } else if (arg == "--ibs-interval") {
+      sim.ibs_interval = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--per-epoch") {
+      per_epoch = true;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+
+  const auto bench = ParseWorkload(workload_name);
+  const auto policy = ParsePolicy(policy_name);
+  if (!bench || !policy) {
+    Usage();
+    return 2;
+  }
+  const numalp::Topology topo =
+      machine == "A" ? numalp::Topology::MachineA() : numalp::Topology::MachineB();
+
+  const numalp::RunResult baseline =
+      numalp::RunBenchmark(topo, *bench, numalp::PolicyKind::kLinux4K, sim);
+  const numalp::RunResult run = *policy == numalp::PolicyKind::kLinux4K
+                                    ? baseline
+                                    : numalp::RunBenchmark(topo, *bench, *policy, sim);
+
+  std::printf("%s on %s under %s (seed %llu)\n", workload_name.c_str(), topo.name().c_str(),
+              std::string(numalp::NameOf(*policy)).c_str(),
+              static_cast<unsigned long long>(sim.seed));
+  std::printf("  runtime           %10.2f ms   (%+.1f%% vs Linux-4K)\n",
+              run.RuntimeMs(sim.clock_ghz), numalp::ImprovementPct(baseline, run));
+  std::printf("  LAR               %10.1f %%\n", run.LarPct());
+  std::printf("  imbalance         %10.1f %%\n", run.ImbalancePct());
+  std::printf("  PAMUP / NHP / PSP %8.1f%% / %d / %.1f%%\n", run.PamupPct(), run.Nhp(),
+              run.PspPct());
+  std::printf("  walk L2 misses    %10.2f %% of L2 misses\n", 100.0 * run.WalkL2MissFrac());
+  std::printf("  fault time (max)  %10.2f %% steady, %.1f ms total\n",
+              run.SteadyMaxFaultSharePct(), run.MaxFaultTimeMs(sim.clock_ghz));
+  std::printf("  policy actions    %llu migrations, %llu splits, %llu promotions\n",
+              static_cast<unsigned long long>(run.total_migrations),
+              static_cast<unsigned long long>(run.total_splits),
+              static_cast<unsigned long long>(run.total_promotions));
+  std::printf("  THP coverage      %10.1f %% of mapped bytes\n",
+              100.0 * run.final_thp_coverage);
+
+  if (per_epoch) {
+    std::printf("\n%3s %6s %6s %6s %6s %5s %5s %6s %6s %6s %5s\n", "ep", "wall-M", "LAR%",
+                "imbal", "fault%", "migr", "split", "estC", "estCF", "estSP", "thp");
+    for (const auto& e : run.history) {
+      std::printf("%3d %6.2f %6.1f %6.1f %6.2f %5llu %5llu %6.1f %6.1f %6.1f %5s\n", e.epoch,
+                  static_cast<double>(e.wall) / 1e6, e.metrics.lar_pct,
+                  e.metrics.imbalance_pct, 100.0 * e.metrics.max_fault_time_share,
+                  static_cast<unsigned long long>(e.migrations),
+                  static_cast<unsigned long long>(e.splits), e.est_current_lar,
+                  e.est_carrefour_lar, e.est_split_lar, e.thp_alloc_enabled ? "on" : "off");
+    }
+  }
+  return 0;
+}
