@@ -4,11 +4,16 @@
 // the paper's SSCA anecdote (predicted 59%, actual 25%). Denser sampling
 // shrinks the error but costs interrupt time; the paper's proposed fix is
 // hardware (a complete LWP implementation).
+//
+// The sweep varies SimConfig (the IBS interval), which the declarative grid
+// cannot express, so it is a flat RunSpec list on the ExperimentRunner:
+// per (benchmark, interval) one Carrefour-LP cell and one Linux-4K baseline.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "src/core/config.h"
-#include "src/core/simulation.h"
+#include "src/core/runner.h"
 #include "src/topo/topology.h"
 #include "src/workloads/spec.h"
 
@@ -21,18 +26,8 @@ struct EstimationStats {
   double overhead_pct = 0.0;
 };
 
-EstimationStats RunWithInterval(const numalp::Topology& topo, numalp::BenchmarkId bench,
-                                std::uint64_t interval) {
-  numalp::SimConfig sim;
-  sim.ibs_interval = interval;
-  const numalp::WorkloadSpec spec = numalp::MakeWorkloadSpec(bench, topo);
-  numalp::Simulation lp(topo, spec, numalp::MakePolicyConfig(numalp::PolicyKind::kCarrefourLp),
-                        sim);
-  const numalp::RunResult result = lp.Run();
-  numalp::Simulation base(topo, spec, numalp::MakePolicyConfig(numalp::PolicyKind::kLinux4K),
-                          sim);
-  const numalp::RunResult base_result = base.Run();
-
+EstimationStats Summarize(const numalp::RunResult& result,
+                          const numalp::RunResult& base_result) {
   EstimationStats stats;
   int counted = 0;
   for (const auto& record : result.history) {
@@ -60,12 +55,38 @@ EstimationStats RunWithInterval(const numalp::Topology& topo, numalp::BenchmarkI
 int main() {
   std::printf("Ablation: IBS sampling interval vs LAR estimation quality (machine A)\n\n");
   const numalp::Topology topo = numalp::Topology::MachineA();
-  for (numalp::BenchmarkId bench : {numalp::BenchmarkId::kSSCA, numalp::BenchmarkId::kUA_B}) {
+  const std::vector<numalp::BenchmarkId> benches = {numalp::BenchmarkId::kSSCA,
+                                                    numalp::BenchmarkId::kUA_B};
+  const std::vector<std::uint64_t> intervals = {512, 128, 64, 16, 4};
+
+  // Two cells per (benchmark, interval): Carrefour-LP then the baseline.
+  std::vector<numalp::RunSpec> cells;
+  for (numalp::BenchmarkId bench : benches) {
+    const numalp::WorkloadSpec spec = numalp::MakeWorkloadSpec(bench, topo);
+    for (std::uint64_t interval : intervals) {
+      numalp::SimConfig sim = numalp::WithEnvOverrides(numalp::SimConfig{});
+      sim.ibs_interval = interval;
+      numalp::RunSpec lp;
+      lp.topo = topo;
+      lp.workload = spec;
+      lp.policy = numalp::MakePolicyConfig(numalp::PolicyKind::kCarrefourLp);
+      lp.sim = sim;
+      cells.push_back(lp);
+      numalp::RunSpec base = lp;
+      base.policy = numalp::MakePolicyConfig(numalp::PolicyKind::kLinux4K);
+      cells.push_back(base);
+    }
+  }
+  const std::vector<numalp::RunResult> results = numalp::ExperimentRunner().Run(cells);
+
+  std::size_t cell = 0;
+  for (numalp::BenchmarkId bench : benches) {
     std::printf("%s\n", std::string(numalp::NameOf(bench)).c_str());
     std::printf("  %-10s %16s %12s %12s %10s\n", "interval", "est-split-LAR%",
                 "actual-LAR%", "LP-vs-4K", "overhead");
-    for (std::uint64_t interval : {512ull, 128ull, 64ull, 16ull, 4ull}) {
-      const EstimationStats stats = RunWithInterval(topo, bench, interval);
+    for (std::uint64_t interval : intervals) {
+      const EstimationStats stats = Summarize(results[cell], results[cell + 1]);
+      cell += 2;
       std::printf("  1/%-8llu %15.1f%% %11.1f%% %+11.1f%% %9.1f%%\n",
                   static_cast<unsigned long long>(interval), stats.mean_split_estimate,
                   stats.mean_actual_lar, stats.improvement, stats.overhead_pct);

@@ -3,30 +3,36 @@
 // LAR-gain bar for migration-only, the 5% LAR-gain bar for splitting, and
 // the 6% hot-page share. The paper reports the first two were "relatively
 // easy to tune"; this sweep shows the plateau they sit on.
+//
+// The sweeps vary PolicyConfig fields, which the declarative grid's policy
+// axis cannot express, so all three are batched into one flat RunSpec list
+// on the ExperimentRunner: one tuned Carrefour-LP cell per (sweep,
+// threshold point, benchmark) plus a single shared Linux-4K baseline per
+// benchmark, all on one thread pool.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "src/core/config.h"
-#include "src/core/simulation.h"
+#include "src/core/runner.h"
 #include "src/topo/topology.h"
 #include "src/workloads/spec.h"
 
 namespace {
 
-double RunWith(const numalp::Topology& topo, numalp::BenchmarkId bench,
-               double lar_gain_carrefour, double lar_gain_split, double hot_share) {
-  numalp::SimConfig sim;
-  const numalp::WorkloadSpec spec = numalp::MakeWorkloadSpec(bench, topo);
-  numalp::PolicyConfig policy = numalp::MakePolicyConfig(numalp::PolicyKind::kCarrefourLp);
-  policy.lar_gain_carrefour_pct = lar_gain_carrefour;
-  policy.lar_gain_split_pct = lar_gain_split;
-  policy.hot_page_share_pct = hot_share;
-  numalp::Simulation lp(topo, spec, policy, sim);
-  const numalp::RunResult lp_result = lp.Run();
-  numalp::Simulation base(topo, spec, numalp::MakePolicyConfig(numalp::PolicyKind::kLinux4K),
-                          sim);
-  return numalp::ImprovementPct(base.Run(), lp_result);
-}
+struct ThresholdPoint {
+  double lar_gain_carrefour = 15.0;
+  double lar_gain_split = 5.0;
+  double hot_share = 6.0;
+};
+
+struct Sweep {
+  const char* header;
+  std::vector<double> thresholds;
+  std::vector<ThresholdPoint> points;
+  std::vector<numalp::BenchmarkId> benches;
+  std::size_t first_cell = 0;  // position of the sweep's first LP cell
+};
 
 }  // namespace
 
@@ -34,27 +40,82 @@ int main() {
   const numalp::Topology topo = numalp::Topology::MachineB();
   std::printf("Ablation: Carrefour-LP thresholds (improvement over Linux-4K, machine B)\n\n");
 
-  std::printf("(a) migration-gain threshold (paper: 15%%), split-gain fixed at 5%%\n");
-  std::printf("%-10s %12s %12s\n", "threshold", "CG.D", "UA.B");
-  for (double t : {5.0, 10.0, 15.0, 25.0, 40.0}) {
-    std::printf("%9.0f%% %+11.1f%% %+11.1f%%\n", t,
-                RunWith(topo, numalp::BenchmarkId::kCG_D, t, 5.0, 6.0),
-                RunWith(topo, numalp::BenchmarkId::kUA_B, t, 5.0, 6.0));
+  const std::vector<numalp::BenchmarkId> pair = {numalp::BenchmarkId::kCG_D,
+                                                 numalp::BenchmarkId::kUA_B};
+  std::vector<Sweep> sweeps = {
+      {"(a) migration-gain threshold (paper: 15%), split-gain fixed at 5%\n",
+       {5.0, 10.0, 15.0, 25.0, 40.0},
+       {},
+       pair},
+      {"\n(b) split-gain threshold (paper: 5%), migration-gain fixed at 15%\n",
+       {1.0, 5.0, 10.0, 20.0, 50.0},
+       {},
+       pair},
+      {"\n(c) hot-page share threshold (paper: 6%)\n",
+       {2.0, 6.0, 12.0, 25.0, 100.0},
+       {},
+       {numalp::BenchmarkId::kCG_D}},
+  };
+  for (double t : sweeps[0].thresholds) {
+    sweeps[0].points.push_back({t, 5.0, 6.0});
+  }
+  for (double t : sweeps[1].thresholds) {
+    sweeps[1].points.push_back({15.0, t, 6.0});
+  }
+  for (double t : sweeps[2].thresholds) {
+    sweeps[2].points.push_back({15.0, 5.0, t});
   }
 
-  std::printf("\n(b) split-gain threshold (paper: 5%%), migration-gain fixed at 15%%\n");
-  std::printf("%-10s %12s %12s\n", "threshold", "CG.D", "UA.B");
-  for (double t : {1.0, 5.0, 10.0, 20.0, 50.0}) {
-    std::printf("%9.0f%% %+11.1f%% %+11.1f%%\n", t,
-                RunWith(topo, numalp::BenchmarkId::kCG_D, 15.0, t, 6.0),
-                RunWith(topo, numalp::BenchmarkId::kUA_B, 15.0, t, 6.0));
+  // One cell list for everything: a baseline per benchmark, then per sweep
+  // one LP cell per (point, benchmark) in point-major order.
+  const numalp::SimConfig sim = numalp::WithEnvOverrides(numalp::SimConfig{});
+  std::vector<numalp::RunSpec> cells;
+  std::vector<std::size_t> baseline_of(pair.size());
+  for (std::size_t b = 0; b < pair.size(); ++b) {
+    numalp::RunSpec base;
+    base.topo = topo;
+    base.workload = numalp::MakeWorkloadSpec(pair[b], topo);
+    base.policy = numalp::MakePolicyConfig(numalp::PolicyKind::kLinux4K);
+    base.sim = sim;
+    baseline_of[b] = cells.size();
+    cells.push_back(base);
   }
+  for (Sweep& sweep : sweeps) {
+    sweep.first_cell = cells.size();
+    for (const ThresholdPoint& point : sweep.points) {
+      for (numalp::BenchmarkId bench : sweep.benches) {
+        numalp::RunSpec lp;
+        lp.topo = topo;
+        lp.workload = numalp::MakeWorkloadSpec(bench, topo);
+        lp.policy = numalp::MakePolicyConfig(numalp::PolicyKind::kCarrefourLp);
+        lp.policy.lar_gain_carrefour_pct = point.lar_gain_carrefour;
+        lp.policy.lar_gain_split_pct = point.lar_gain_split;
+        lp.policy.hot_page_share_pct = point.hot_share;
+        lp.sim = sim;
+        cells.push_back(lp);
+      }
+    }
+  }
+  const std::vector<numalp::RunResult> results = numalp::ExperimentRunner().Run(cells);
 
-  std::printf("\n(c) hot-page share threshold (paper: 6%%)\n");
-  std::printf("%-10s %12s\n", "threshold", "CG.D");
-  for (double t : {2.0, 6.0, 12.0, 25.0, 100.0}) {
-    std::printf("%9.0f%% %+11.1f%%\n", t,
-                RunWith(topo, numalp::BenchmarkId::kCG_D, 15.0, 5.0, t));
+  for (const Sweep& sweep : sweeps) {
+    std::printf("%s", sweep.header);
+    std::printf("%-10s %12s", "threshold", "CG.D");
+    if (sweep.benches.size() > 1) {
+      std::printf(" %12s", "UA.B");
+    }
+    std::printf("\n");
+    std::size_t cell = sweep.first_cell;
+    for (std::size_t p = 0; p < sweep.points.size(); ++p) {
+      std::printf("%9.0f%%", sweep.thresholds[p]);
+      for (std::size_t b = 0; b < sweep.benches.size(); ++b) {
+        // Sweep bench lists are prefixes of `pair`, so index b addresses
+        // the matching baseline.
+        const numalp::RunResult& baseline = results[baseline_of[b]];
+        std::printf(" %+11.1f%%", numalp::ImprovementPct(baseline, results[cell++]));
+      }
+      std::printf("\n");
+    }
   }
   return 0;
 }

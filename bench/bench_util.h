@@ -1,4 +1,8 @@
-// Shared output helpers for the reproduction benches.
+// Shared output helpers for the reproduction benches. Every bench declares
+// its sweep as an ExperimentGrid (or a RunSpec list) and hands it to the
+// ExperimentRunner, so the full figure executes on one thread pool; set
+// NUMALP_JOBS to control the worker count (results are identical at any
+// value — see DESIGN.md Section 5).
 #ifndef NUMALP_BENCH_BENCH_UTIL_H_
 #define NUMALP_BENCH_BENCH_UTIL_H_
 
@@ -6,31 +10,51 @@
 #include <string>
 #include <vector>
 
-#include "src/core/experiment.h"
+#include "src/core/runner.h"
 
 namespace numalp_bench {
 
-// Prints one "figure" block: per-benchmark improvement bars for a set of
-// policies on one machine, mirroring the paper's bar charts as rows.
-inline void PrintFigureBlock(const char* title, const numalp::Topology& topo,
+// Prints one "figure" block for machine index `machine` of `results`:
+// per-benchmark improvement bars for the grid's policies, mirroring the
+// paper's bar charts as rows.
+inline void PrintFigureBlock(const char* title, const numalp::Topology& topo, int machine,
                              const std::vector<numalp::BenchmarkId>& benches,
                              const std::vector<numalp::PolicyKind>& policies,
-                             const numalp::SimConfig& sim, int seeds) {
+                             const numalp::GridResults& results) {
   std::printf("%s — %s\n", title, topo.name().c_str());
   std::printf("%-16s", "benchmark");
   for (numalp::PolicyKind kind : policies) {
     std::printf(" %14s", std::string(numalp::NameOf(kind)).c_str());
   }
   std::printf("\n");
-  for (numalp::BenchmarkId bench : benches) {
-    const auto summaries = numalp::ComparePolicies(topo, bench, policies, sim, seeds);
-    std::printf("%-16s", std::string(numalp::NameOf(bench)).c_str());
-    for (const auto& summary : summaries) {
+  for (std::size_t w = 0; w < benches.size(); ++w) {
+    std::printf("%-16s", std::string(numalp::NameOf(benches[w])).c_str());
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      const numalp::PolicySummary summary =
+          results.Summarize(machine, static_cast<int>(w), static_cast<int>(p));
       std::printf(" %+13.1f%%", summary.mean_improvement_pct);
     }
     std::printf("\n");
   }
   std::printf("\n");
+}
+
+// Runs one grid over all `machines` and prints a figure block per machine —
+// the whole multi-machine sweep shares a single thread pool.
+inline void PrintFigureBlocks(const char* title, const std::vector<numalp::Topology>& machines,
+                              const std::vector<numalp::BenchmarkId>& benches,
+                              const std::vector<numalp::PolicyKind>& policies,
+                              const numalp::SimConfig& sim, int seeds) {
+  numalp::ExperimentGrid grid;
+  grid.machines = machines;
+  grid.workloads = benches;
+  grid.policies = policies;
+  grid.num_seeds = seeds;
+  grid.sim = sim;
+  const numalp::GridResults results = numalp::RunGrid(grid);
+  for (std::size_t m = 0; m < machines.size(); ++m) {
+    PrintFigureBlock(title, machines[m], static_cast<int>(m), benches, policies, results);
+  }
 }
 
 }  // namespace numalp_bench

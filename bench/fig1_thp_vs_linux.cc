@@ -7,21 +7,24 @@
 #include <cstdio>
 #include <string>
 
-#include "src/core/experiment.h"
+#include "src/core/runner.h"
 #include "src/topo/topology.h"
 
 int main() {
-  numalp::SimConfig sim;
+  numalp::ExperimentGrid grid;
+  grid.machines = {numalp::Topology::MachineA(), numalp::Topology::MachineB()};
+  grid.workloads = numalp::FullSuite();
+  grid.policies = {numalp::PolicyKind::kThp};
+  grid.num_seeds = 3;
+  grid.sim = numalp::WithEnvOverrides(numalp::SimConfig{});
+  const numalp::GridResults results = numalp::RunGrid(grid);
+
   std::printf("Figure 1: THP performance improvement over Linux-4K (%%, mean of 3 seeds)\n");
   std::printf("%-16s %22s %22s\n", "benchmark", "machineA (min..max)", "machineB (min..max)");
-  const numalp::Topology machines[2] = {numalp::Topology::MachineA(),
-                                        numalp::Topology::MachineB()};
-  for (const numalp::BenchmarkId bench : numalp::FullSuite()) {
-    std::printf("%-16s", std::string(numalp::NameOf(bench)).c_str());
-    for (const auto& topo : machines) {
-      const auto summaries =
-          numalp::ComparePolicies(topo, bench, {numalp::PolicyKind::kThp}, sim, 3);
-      const auto& thp = summaries[0];
+  for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
+    std::printf("%-16s", std::string(numalp::NameOf(grid.workloads[w])).c_str());
+    for (int m = 0; m < results.num_machines(); ++m) {
+      const numalp::PolicySummary thp = results.Summarize(m, static_cast<int>(w), 0);
       std::printf(" %+7.1f%% (%+5.0f..%+5.0f)", thp.mean_improvement_pct,
                   thp.min_improvement_pct, thp.max_improvement_pct);
     }

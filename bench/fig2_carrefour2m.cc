@@ -8,14 +8,10 @@
 #include "src/topo/topology.h"
 
 int main() {
-  numalp::SimConfig sim;
-  const std::vector<numalp::PolicyKind> policies = {numalp::PolicyKind::kThp,
-                                                    numalp::PolicyKind::kCarrefour2M};
-  numalp_bench::PrintFigureBlock("Figure 2: improvement over Linux-4K",
-                                 numalp::Topology::MachineA(), numalp::AffectedSubset(),
-                                 policies, sim, /*seeds=*/3);
-  numalp_bench::PrintFigureBlock("Figure 2: improvement over Linux-4K",
-                                 numalp::Topology::MachineB(), numalp::AffectedSubset(),
-                                 policies, sim, /*seeds=*/3);
+  numalp_bench::PrintFigureBlocks(
+      "Figure 2: improvement over Linux-4K",
+      {numalp::Topology::MachineA(), numalp::Topology::MachineB()}, numalp::AffectedSubset(),
+      {numalp::PolicyKind::kThp, numalp::PolicyKind::kCarrefour2M},
+      numalp::WithEnvOverrides(numalp::SimConfig{}), /*seeds=*/3);
   return 0;
 }

@@ -11,15 +11,11 @@
 #include "src/topo/topology.h"
 
 int main() {
-  numalp::SimConfig sim;
-  const std::vector<numalp::PolicyKind> policies = {
-      numalp::PolicyKind::kCarrefour2M, numalp::PolicyKind::kConservativeOnly,
-      numalp::PolicyKind::kReactiveOnly, numalp::PolicyKind::kCarrefourLp};
-  numalp_bench::PrintFigureBlock("Figure 4: improvement over Linux-4K",
-                                 numalp::Topology::MachineA(), numalp::AffectedSubset(),
-                                 policies, sim, /*seeds=*/2);
-  numalp_bench::PrintFigureBlock("Figure 4: improvement over Linux-4K",
-                                 numalp::Topology::MachineB(), numalp::AffectedSubset(),
-                                 policies, sim, /*seeds=*/2);
+  numalp_bench::PrintFigureBlocks(
+      "Figure 4: improvement over Linux-4K",
+      {numalp::Topology::MachineA(), numalp::Topology::MachineB()}, numalp::AffectedSubset(),
+      {numalp::PolicyKind::kCarrefour2M, numalp::PolicyKind::kConservativeOnly,
+       numalp::PolicyKind::kReactiveOnly, numalp::PolicyKind::kCarrefourLp},
+      numalp::WithEnvOverrides(numalp::SimConfig{}), /*seeds=*/2);
   return 0;
 }

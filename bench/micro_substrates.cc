@@ -1,8 +1,11 @@
 // Microbenchmarks of the simulator substrates (google-benchmark): buddy
-// allocator, page-table map/lookup/split, TLB lookups, and the end-to-end
-// per-access cost of the simulation engine. These guard the simulator's own
-// performance (a full Figure-1 sweep runs ~2,500 simulated epochs).
+// allocator, page-table map/lookup/split, TLB lookups, the end-to-end
+// per-access cost of the simulation engine, and the ExperimentRunner's grid
+// dispatch. These guard the simulator's own performance (a full Figure-1
+// sweep runs ~2,500 simulated epochs).
 #include <benchmark/benchmark.h>
+
+#include "src/core/runner.h"
 
 #include "src/common/rng.h"
 #include "src/core/config.h"
@@ -77,6 +80,23 @@ void BM_SimulatedEpoch(benchmark::State& state) {
                           static_cast<std::int64_t>(sim.accesses_per_thread_per_epoch));
 }
 BENCHMARK(BM_SimulatedEpoch);
+
+// Grid dispatch overhead: a Tiny-machine grid of 2 policies x 2 seeds (6
+// cells with baselines) through the full RunGrid path at a given job count.
+void BM_ExperimentRunnerGrid(benchmark::State& state) {
+  numalp::ExperimentGrid grid;
+  grid.machines = {numalp::Topology::Tiny()};
+  grid.workloads = {numalp::BenchmarkId::kBT_B};
+  grid.policies = {numalp::PolicyKind::kThp, numalp::PolicyKind::kCarrefourLp};
+  grid.num_seeds = 2;
+  grid.sim.max_epochs = 1;
+  const numalp::ExperimentRunner runner(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(numalp::RunGrid(grid, runner));
+  }
+  state.SetItemsProcessed(state.iterations() * 6);
+}
+BENCHMARK(BM_ExperimentRunnerGrid)->Arg(1)->Arg(4);
 
 }  // namespace
 

@@ -11,18 +11,15 @@
 #include <cstdio>
 #include <string>
 
-#include "src/core/experiment.h"
+#include "src/core/runner.h"
 #include "src/topo/topology.h"
 
 namespace {
 
-void Profile(const numalp::Topology& topo, numalp::BenchmarkId bench) {
-  numalp::SimConfig sim;
-  const auto summaries = numalp::ComparePolicies(
-      topo, bench, {numalp::PolicyKind::kLinux4K, numalp::PolicyKind::kThp}, sim,
-      /*num_seeds=*/3);
-  const auto& linux = summaries[0];
-  const auto& thp = summaries[1];
+void Profile(const numalp::GridResults& results, const numalp::Topology& topo, int machine,
+             int workload, numalp::BenchmarkId bench) {
+  const numalp::PolicySummary linux = results.Summarize(machine, workload, 0);
+  const numalp::PolicySummary thp = results.Summarize(machine, workload, 1);
   std::printf("%-10s (%s)  THP perf %+6.1f%%\n", std::string(numalp::NameOf(bench)).c_str(),
               topo.name() == "machineA" ? "A" : "B", thp.mean_improvement_pct);
   std::printf("  %-34s %10s %10s\n", "metric", "Linux", "THP");
@@ -43,10 +40,32 @@ int main() {
   std::printf("Table 1: detailed analysis under Linux (4KB) vs THP (2MB)\n\n");
   const numalp::Topology a = numalp::Topology::MachineA();
   const numalp::Topology b = numalp::Topology::MachineB();
-  Profile(b, numalp::BenchmarkId::kCG_D);
-  Profile(b, numalp::BenchmarkId::kUA_C);
-  Profile(b, numalp::BenchmarkId::kWC);
-  Profile(a, numalp::BenchmarkId::kSSCA);
-  Profile(a, numalp::BenchmarkId::kSPECjbb);
+  const std::vector<numalp::PolicyKind> policies = {numalp::PolicyKind::kLinux4K,
+                                                    numalp::PolicyKind::kThp};
+  const numalp::SimConfig sim = numalp::WithEnvOverrides(numalp::SimConfig{});
+
+  // The table mixes machines, so it is two grids — one per machine — rather
+  // than a full cross product over unwanted (machine, benchmark) pairs;
+  // RunGrids executes both on one shared pool.
+  numalp::ExperimentGrid grid_b;
+  grid_b.machines = {b};
+  grid_b.workloads = {numalp::BenchmarkId::kCG_D, numalp::BenchmarkId::kUA_C,
+                      numalp::BenchmarkId::kWC};
+  grid_b.policies = policies;
+  grid_b.num_seeds = 3;
+  grid_b.sim = sim;
+
+  numalp::ExperimentGrid grid_a = grid_b;
+  grid_a.machines = {a};
+  grid_a.workloads = {numalp::BenchmarkId::kSSCA, numalp::BenchmarkId::kSPECjbb};
+
+  const std::vector<numalp::GridResults> results = numalp::RunGrids({grid_b, grid_a});
+
+  for (std::size_t w = 0; w < grid_b.workloads.size(); ++w) {
+    Profile(results[0], b, 0, static_cast<int>(w), grid_b.workloads[w]);
+  }
+  for (std::size_t w = 0; w < grid_a.workloads.size(); ++w) {
+    Profile(results[1], a, 0, static_cast<int>(w), grid_a.workloads[w]);
+  }
   return 0;
 }

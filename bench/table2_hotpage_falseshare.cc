@@ -10,21 +10,24 @@
 #include <cstdio>
 #include <string>
 
-#include "src/core/experiment.h"
+#include "src/core/runner.h"
 #include "src/topo/topology.h"
 
 int main() {
   std::printf("Table 2: hot-page and false-sharing metrics on machine A\n\n");
-  const numalp::Topology topo = numalp::Topology::MachineA();
-  numalp::SimConfig sim;
-  const std::vector<numalp::PolicyKind> policies = {numalp::PolicyKind::kLinux4K,
-                                                    numalp::PolicyKind::kThp,
-                                                    numalp::PolicyKind::kCarrefour2M};
-  for (numalp::BenchmarkId bench :
-       {numalp::BenchmarkId::kSPECjbb, numalp::BenchmarkId::kCG_D,
-        numalp::BenchmarkId::kUA_B}) {
-    const auto summaries = numalp::ComparePolicies(topo, bench, policies, sim, /*seeds=*/3);
-    std::printf("%s\n", std::string(numalp::NameOf(bench)).c_str());
+  numalp::ExperimentGrid grid;
+  grid.machines = {numalp::Topology::MachineA()};
+  grid.workloads = {numalp::BenchmarkId::kSPECjbb, numalp::BenchmarkId::kCG_D,
+                    numalp::BenchmarkId::kUA_B};
+  grid.policies = {numalp::PolicyKind::kLinux4K, numalp::PolicyKind::kThp,
+                   numalp::PolicyKind::kCarrefour2M};
+  grid.num_seeds = 3;
+  grid.sim = numalp::WithEnvOverrides(numalp::SimConfig{});
+  const numalp::GridResults results = numalp::RunGrid(grid);
+
+  for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
+    const auto summaries = results.SummarizeAll(0, static_cast<int>(w));
+    std::printf("%s\n", std::string(numalp::NameOf(grid.workloads[w])).c_str());
     std::printf("  %-12s %10s %10s %14s\n", "metric", "Linux", "THP", "Carrefour-2M");
     std::printf("  %-12s", "PAMUP");
     for (const auto& s : summaries) {

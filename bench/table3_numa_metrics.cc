@@ -9,17 +9,14 @@
 #include <cstdio>
 #include <string>
 
-#include "src/core/experiment.h"
+#include "src/core/runner.h"
 #include "src/topo/topology.h"
 
 namespace {
 
-void Row(const numalp::Topology& topo, numalp::BenchmarkId bench) {
-  numalp::SimConfig sim;
-  const std::vector<numalp::PolicyKind> policies = {
-      numalp::PolicyKind::kLinux4K, numalp::PolicyKind::kThp,
-      numalp::PolicyKind::kCarrefour2M, numalp::PolicyKind::kCarrefourLp};
-  const auto summaries = numalp::ComparePolicies(topo, bench, policies, sim, /*seeds=*/3);
+void Row(const numalp::GridResults& results, const numalp::Topology& topo, int workload,
+         numalp::BenchmarkId bench) {
+  const auto summaries = results.SummarizeAll(0, workload);
   std::printf("%-8s (%s)  LAR%%:", std::string(numalp::NameOf(bench)).c_str(),
               topo.name() == "machineA" ? "A" : "B");
   for (const auto& s : summaries) {
@@ -36,8 +33,30 @@ void Row(const numalp::Topology& topo, numalp::BenchmarkId bench) {
 
 int main() {
   std::printf("Table 3: NUMA metrics (columns: Linux-4K, THP, Carrefour-2M, Carrefour-LP)\n\n");
-  Row(numalp::Topology::MachineB(), numalp::BenchmarkId::kCG_D);
-  Row(numalp::Topology::MachineA(), numalp::BenchmarkId::kUA_B);
-  Row(numalp::Topology::MachineB(), numalp::BenchmarkId::kUA_C);
+  const numalp::Topology a = numalp::Topology::MachineA();
+  const numalp::Topology b = numalp::Topology::MachineB();
+  const std::vector<numalp::PolicyKind> policies = {
+      numalp::PolicyKind::kLinux4K, numalp::PolicyKind::kThp,
+      numalp::PolicyKind::kCarrefour2M, numalp::PolicyKind::kCarrefourLp};
+  const numalp::SimConfig sim = numalp::WithEnvOverrides(numalp::SimConfig{});
+
+  // Two per-machine grids executed on one shared pool (the table's rows mix
+  // machines, which a single cross product cannot express).
+  numalp::ExperimentGrid grid_b;
+  grid_b.machines = {b};
+  grid_b.workloads = {numalp::BenchmarkId::kCG_D, numalp::BenchmarkId::kUA_C};
+  grid_b.policies = policies;
+  grid_b.num_seeds = 3;
+  grid_b.sim = sim;
+
+  numalp::ExperimentGrid grid_a = grid_b;
+  grid_a.machines = {a};
+  grid_a.workloads = {numalp::BenchmarkId::kUA_B};
+
+  const std::vector<numalp::GridResults> results = numalp::RunGrids({grid_b, grid_a});
+
+  Row(results[0], b, 0, numalp::BenchmarkId::kCG_D);
+  Row(results[1], a, 0, numalp::BenchmarkId::kUA_B);
+  Row(results[0], b, 1, numalp::BenchmarkId::kUA_C);
   return 0;
 }

@@ -6,11 +6,15 @@
 // libhugetlbfs with explicitly 1GB-backed VMAs on a machine B instance with
 // memory scale 8 (so each node holds several 1GB frames), and show that
 // Carrefour-LP recovers by splitting the offending pages.
+//
+// Each benchmark's four configurations are declared as a flat RunSpec list
+// (the 1GB cells need a rewritten WorkloadSpec) and run on one thread pool.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "src/core/config.h"
-#include "src/core/simulation.h"
+#include "src/core/runner.h"
 #include "src/topo/topology.h"
 #include "src/workloads/spec.h"
 
@@ -23,41 +27,46 @@ numalp::WorkloadSpec With1GbPages(numalp::WorkloadSpec spec) {
   return spec;
 }
 
-void RunCase(const numalp::Topology& topo, numalp::BenchmarkId bench) {
-  numalp::SimConfig sim;
+// Cell order per benchmark: Linux-4K, THP-2M, explicit-1G, explicit-1G+LP.
+constexpr int kCellsPerCase = 4;
+
+std::vector<numalp::RunSpec> CaseCells(const numalp::Topology& topo,
+                                       numalp::BenchmarkId bench) {
+  const numalp::SimConfig sim = numalp::WithEnvOverrides(numalp::SimConfig{});
   numalp::WorkloadSpec base_spec = numalp::MakeWorkloadSpec(bench, topo);
   // Longer steady phase: recovery from a split 1GB page takes a few epochs,
   // and the paper's runs amortize that transient over minutes.
   base_spec.steady_accesses_per_thread *= 3;
   const numalp::WorkloadSpec huge_spec = With1GbPages(base_spec);
 
-  auto run = [&](const numalp::WorkloadSpec& spec, numalp::PolicyKind kind) {
-    numalp::Simulation simulation(topo, spec, numalp::MakePolicyConfig(kind), sim);
-    return simulation.Run();
+  auto cell = [&](const numalp::WorkloadSpec& spec, numalp::PolicyKind kind) {
+    numalp::RunSpec run;
+    run.topo = topo;
+    run.workload = spec;
+    run.policy = numalp::MakePolicyConfig(kind);
+    run.sim = sim;
+    return run;
   };
+  return {cell(base_spec, numalp::PolicyKind::kLinux4K),
+          cell(base_spec, numalp::PolicyKind::kThp),
+          cell(huge_spec, numalp::PolicyKind::kLinux4K),
+          cell(huge_spec, numalp::PolicyKind::kCarrefourLp)};
+}
 
-  const numalp::RunResult linux4k = run(base_spec, numalp::PolicyKind::kLinux4K);
-  const numalp::RunResult thp2m = run(base_spec, numalp::PolicyKind::kThp);
-  const numalp::RunResult huge1g = run(huge_spec, numalp::PolicyKind::kLinux4K);
-  const numalp::RunResult huge1g_lp = run(huge_spec, numalp::PolicyKind::kCarrefourLp);
-
+void PrintCase(numalp::BenchmarkId bench, const numalp::RunResult* runs) {
+  const numalp::RunResult& linux4k = runs[0];
   std::printf("%s\n", std::string(numalp::NameOf(bench)).c_str());
   std::printf("  %-22s %10s %8s %8s %8s %6s\n", "config", "vs-4K", "LAR%", "imbal%",
               "PAMUP%", "NHP");
-  const struct {
-    const char* name;
-    const numalp::RunResult* result;
-  } rows[] = {{"Linux-4K", &linux4k},
-              {"THP-2M", &thp2m},
-              {"explicit-1G", &huge1g},
-              {"explicit-1G+CarrLP", &huge1g_lp}};
-  for (const auto& row : rows) {
-    std::printf("  %-22s %+9.1f%% %7.1f %8.1f %8.1f %6d\n", row.name,
-                numalp::ImprovementPct(linux4k, *row.result), row.result->LarPct(),
-                row.result->ImbalancePct(), row.result->PamupPct(), row.result->Nhp());
+  const char* names[kCellsPerCase] = {"Linux-4K", "THP-2M", "explicit-1G",
+                                      "explicit-1G+CarrLP"};
+  for (int i = 0; i < kCellsPerCase; ++i) {
+    std::printf("  %-22s %+9.1f%% %7.1f %8.1f %8.1f %6d\n", names[i],
+                numalp::ImprovementPct(linux4k, runs[i]), runs[i].LarPct(),
+                runs[i].ImbalancePct(), runs[i].PamupPct(), runs[i].Nhp());
   }
   std::printf("  Carrefour-LP splits performed on 1G run: %llu\n\n",
-              static_cast<unsigned long long>(huge1g_lp.total_splits));
+              static_cast<unsigned long long>(runs[kCellsPerCase - 1].total_splits));
 }
 
 }  // namespace
@@ -65,7 +74,18 @@ void RunCase(const numalp::Topology& topo, numalp::BenchmarkId bench) {
 int main() {
   std::printf("Section 4.4: very large (1GB) pages on machine B (memory scale 8)\n\n");
   const numalp::Topology topo = numalp::Topology::MachineB(/*memory_scale=*/8);
-  RunCase(topo, numalp::BenchmarkId::kSSCA);
-  RunCase(topo, numalp::BenchmarkId::kStreamcluster);
+  const numalp::BenchmarkId benches[] = {numalp::BenchmarkId::kSSCA,
+                                         numalp::BenchmarkId::kStreamcluster};
+
+  std::vector<numalp::RunSpec> cells;
+  for (numalp::BenchmarkId bench : benches) {
+    const std::vector<numalp::RunSpec> case_cells = CaseCells(topo, bench);
+    cells.insert(cells.end(), case_cells.begin(), case_cells.end());
+  }
+  const std::vector<numalp::RunResult> results = numalp::ExperimentRunner().Run(cells);
+
+  for (std::size_t b = 0; b < std::size(benches); ++b) {
+    PrintCase(benches[b], &results[b * kCellsPerCase]);
+  }
   return 0;
 }

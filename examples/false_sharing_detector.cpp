@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   const numalp::Topology topo = (argc > 1 && std::string(argv[1]) == "machineB")
                                     ? numalp::Topology::MachineB()
                                     : numalp::Topology::MachineA();
-  numalp::SimConfig sim;
+  const numalp::SimConfig sim = numalp::WithEnvOverrides(numalp::SimConfig{});
 
   std::printf("UA.B on %s: page-level false sharing under large pages\n\n", topo.name().c_str());
   std::printf("%-14s %8s %8s %8s %10s\n", "config", "PSP%", "LAR%", "imbal%", "splits");

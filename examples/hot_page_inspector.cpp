@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   const numalp::Topology topo = (argc > 1 && std::string(argv[1]) == "machineA")
                                     ? numalp::Topology::MachineA()
                                     : numalp::Topology::MachineB();
-  numalp::SimConfig sim;
+  const numalp::SimConfig sim = numalp::WithEnvOverrides(numalp::SimConfig{});
   const numalp::RunResult thp =
       numalp::RunBenchmark(topo, numalp::BenchmarkId::kCG_D, numalp::PolicyKind::kThp, sim);
 

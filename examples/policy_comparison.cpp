@@ -2,13 +2,16 @@
 // library API — the template for users who want to model their *own*
 // application instead of the paper's suite. The workload below is a small
 // key-value store: a Zipf-hot shared table plus per-connection scratch.
+// All six policy runs are declared as RunSpec cells and executed in
+// parallel by the ExperimentRunner (worker count: NUMALP_JOBS).
 //
 //   ./policy_comparison
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "src/core/config.h"
-#include "src/core/simulation.h"
+#include "src/core/runner.h"
 #include "src/topo/topology.h"
 #include "src/workloads/spec.h"
 
@@ -41,23 +44,31 @@ int main() {
     spec.regions.push_back(connections);
   }
 
-  numalp::SimConfig sim;
+  const numalp::SimConfig sim = numalp::WithEnvOverrides(numalp::SimConfig{});
+  const std::vector<numalp::PolicyKind> kinds = {
+      numalp::PolicyKind::kLinux4K,          numalp::PolicyKind::kThp,
+      numalp::PolicyKind::kCarrefour2M,      numalp::PolicyKind::kReactiveOnly,
+      numalp::PolicyKind::kConservativeOnly, numalp::PolicyKind::kCarrefourLp};
+
+  std::vector<numalp::RunSpec> cells;
+  for (const numalp::PolicyKind kind : kinds) {
+    numalp::RunSpec cell;
+    cell.topo = topo;
+    cell.workload = spec;
+    cell.policy = numalp::MakePolicyConfig(kind);
+    cell.sim = sim;
+    cells.push_back(cell);
+  }
+  const std::vector<numalp::RunResult> results = numalp::ExperimentRunner().Run(cells);
+
   std::printf("custom kv-store workload on %s\n\n", topo.name().c_str());
   std::printf("%-16s %10s %8s %8s %8s %8s\n", "policy", "runtime", "vs-4K", "LAR%",
               "imbal%", "walkmiss");
-
-  numalp::RunResult baseline;
-  for (const numalp::PolicyKind kind :
-       {numalp::PolicyKind::kLinux4K, numalp::PolicyKind::kThp,
-        numalp::PolicyKind::kCarrefour2M, numalp::PolicyKind::kReactiveOnly,
-        numalp::PolicyKind::kConservativeOnly, numalp::PolicyKind::kCarrefourLp}) {
-    numalp::Simulation simulation(topo, spec, numalp::MakePolicyConfig(kind), sim);
-    const numalp::RunResult run = simulation.Run();
-    if (kind == numalp::PolicyKind::kLinux4K) {
-      baseline = run;
-    }
+  const numalp::RunResult& baseline = results[0];
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    const numalp::RunResult& run = results[i];
     std::printf("%-16s %8.1fms %+7.1f%% %7.1f %8.1f %7.1f%%\n",
-                std::string(numalp::NameOf(kind)).c_str(), run.RuntimeMs(sim.clock_ghz),
+                std::string(numalp::NameOf(kinds[i])).c_str(), run.RuntimeMs(sim.clock_ghz),
                 numalp::ImprovementPct(baseline, run), run.LarPct(), run.ImbalancePct(),
                 100.0 * run.WalkL2MissFrac());
   }

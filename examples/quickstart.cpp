@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   const numalp::Topology topo = (argc > 2 && std::string(argv[2]) == "machineA")
                                     ? numalp::Topology::MachineA()
                                     : numalp::Topology::MachineB();
-  numalp::SimConfig sim;
+  const numalp::SimConfig sim = numalp::WithEnvOverrides(numalp::SimConfig{});
 
   std::printf("benchmark %s on %s (%d nodes x %d cores)\n\n",
               std::string(numalp::NameOf(bench)).c_str(), topo.name().c_str(),

@@ -1,7 +1,9 @@
 // Minimal leveled logging to stderr. The simulator is a library, so logging
 // defaults to warnings only; the experiment harness raises the level with
-// --verbose. Not thread-safe by design: the simulator is single-threaded
-// (it *models* a parallel machine deterministically).
+// --verbose. Each Simulation is single-threaded (it *models* a parallel
+// machine deterministically), but the ExperimentRunner executes independent
+// simulations concurrently, so the level itself is atomic and messages are
+// written with one fprintf call per line.
 #ifndef NUMALP_SRC_COMMON_LOG_H_
 #define NUMALP_SRC_COMMON_LOG_H_
 

@@ -1,5 +1,7 @@
 #include "src/core/config.h"
 
+#include <cstdlib>
+
 namespace numalp {
 
 std::string_view NameOf(PolicyKind kind) {
@@ -58,6 +60,28 @@ PolicyConfig MakePolicyConfig(PolicyKind kind) {
       break;
   }
   return config;
+}
+
+long long PositiveEnvInt(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) {
+    return 0;
+  }
+  const long long parsed = std::atoll(value);
+  return parsed > 0 ? parsed : 0;
+}
+
+SimConfig WithEnvOverrides(SimConfig sim) {
+  if (const long long epochs = PositiveEnvInt("NUMALP_MAX_EPOCHS"); epochs > 0) {
+    sim.max_epochs = static_cast<int>(epochs);
+  }
+  if (const long long accesses = PositiveEnvInt("NUMALP_ACCESSES_PER_EPOCH"); accesses > 0) {
+    sim.accesses_per_thread_per_epoch = static_cast<std::uint64_t>(accesses);
+  }
+  if (const long long seed = PositiveEnvInt("NUMALP_SEED"); seed > 0) {
+    sim.seed = static_cast<std::uint64_t>(seed);
+  }
+  return sim;
 }
 
 }  // namespace numalp

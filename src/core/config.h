@@ -96,6 +96,16 @@ struct PolicyConfig {
 
 PolicyConfig MakePolicyConfig(PolicyKind kind);
 
+// Parses environment variable `name` as a positive integer; returns 0 when
+// unset, non-numeric, or non-positive.
+long long PositiveEnvInt(const char* name);
+
+// Applies environment overrides to `sim` and returns it: NUMALP_MAX_EPOCHS
+// and NUMALP_ACCESSES_PER_EPOCH bound run length (the ctest smoke tests use
+// them to keep the examples and CLI driver fast), NUMALP_SEED replaces the
+// base seed. Unset or non-positive variables leave the field untouched.
+SimConfig WithEnvOverrides(SimConfig sim);
+
 }  // namespace numalp
 
 #endif  // NUMALP_SRC_CORE_CONFIG_H_

@@ -1,62 +1,18 @@
 #include "src/core/experiment.h"
 
-#include <algorithm>
-
 namespace numalp {
 
 std::vector<PolicySummary> ComparePolicies(const Topology& topo, BenchmarkId bench,
                                            const std::vector<PolicyKind>& policies,
-                                           const SimConfig& sim, int num_seeds) {
-  std::vector<PolicySummary> summaries(policies.size());
-  for (std::size_t p = 0; p < policies.size(); ++p) {
-    summaries[p].kind = policies[p];
-    summaries[p].min_improvement_pct = 1e30;
-    summaries[p].max_improvement_pct = -1e30;
-  }
-  for (int seed_index = 0; seed_index < num_seeds; ++seed_index) {
-    SimConfig seeded = sim;
-    seeded.seed = sim.seed + static_cast<std::uint64_t>(seed_index) * 7919;
-    const RunResult baseline = RunBenchmark(topo, bench, PolicyKind::kLinux4K, seeded);
-    for (std::size_t p = 0; p < policies.size(); ++p) {
-      const RunResult run = policies[p] == PolicyKind::kLinux4K
-                                ? baseline
-                                : RunBenchmark(topo, bench, policies[p], seeded);
-      PolicySummary& summary = summaries[p];
-      const double improvement = ImprovementPct(baseline, run);
-      summary.mean_improvement_pct += improvement;
-      summary.min_improvement_pct = std::min(summary.min_improvement_pct, improvement);
-      summary.max_improvement_pct = std::max(summary.max_improvement_pct, improvement);
-      summary.lar_pct += run.LarPct();
-      summary.imbalance_pct += run.ImbalancePct();
-      summary.pamup_pct += run.PamupPct();
-      summary.nhp += run.Nhp();
-      summary.psp_pct += run.PspPct();
-      summary.walk_l2_miss_frac += run.WalkL2MissFrac();
-      summary.steady_fault_share_pct += run.SteadyMaxFaultSharePct();
-      summary.max_fault_ms += run.MaxFaultTimeMs(sim.clock_ghz);
-      summary.overhead_frac += run.total_cycles == 0
-                                   ? 0.0
-                                   : static_cast<double>(run.total_policy_overhead) /
-                                         static_cast<double>(run.total_cycles);
-      if (seed_index == 0) {
-        summary.representative = run;
-      }
-    }
-  }
-  const double inv = 1.0 / static_cast<double>(num_seeds);
-  for (PolicySummary& summary : summaries) {
-    summary.mean_improvement_pct *= inv;
-    summary.lar_pct *= inv;
-    summary.imbalance_pct *= inv;
-    summary.pamup_pct *= inv;
-    summary.nhp *= inv;
-    summary.psp_pct *= inv;
-    summary.walk_l2_miss_frac *= inv;
-    summary.steady_fault_share_pct *= inv;
-    summary.max_fault_ms *= inv;
-    summary.overhead_frac *= inv;
-  }
-  return summaries;
+                                           const SimConfig& sim, int num_seeds,
+                                           const ExperimentRunner& runner) {
+  ExperimentGrid grid;
+  grid.machines = {topo};
+  grid.workloads = {bench};
+  grid.policies = policies;
+  grid.num_seeds = num_seeds;
+  grid.sim = sim;
+  return RunGrid(grid, runner).SummarizeAll(0, 0);
 }
 
 }  // namespace numalp

@@ -2,45 +2,31 @@
 // set of policies across several seeds (first-touch races and interleave
 // targets are stochastic, exactly like reruns on real hardware) and reports
 // seed-averaged improvements plus representative metrics.
+//
+// This is a convenience wrapper over the grid subsystem in src/core/runner.h;
+// benches needing more than one (machine, benchmark) pair should declare an
+// ExperimentGrid directly so the whole sweep shares one thread pool.
 #ifndef NUMALP_SRC_CORE_EXPERIMENT_H_
 #define NUMALP_SRC_CORE_EXPERIMENT_H_
 
 #include <vector>
 
 #include "src/core/config.h"
+#include "src/core/runner.h"
 #include "src/core/simulation.h"
 #include "src/topo/topology.h"
 #include "src/workloads/spec.h"
 
 namespace numalp {
 
-struct PolicySummary {
-  PolicyKind kind = PolicyKind::kLinux4K;
-  // Mean performance improvement over the Linux-4K baseline (per-seed
-  // pairing, then averaged) — the y-axis of Figures 1-5.
-  double mean_improvement_pct = 0.0;
-  double min_improvement_pct = 0.0;
-  double max_improvement_pct = 0.0;
-  // Seed-averaged paper metrics.
-  double lar_pct = 0.0;
-  double imbalance_pct = 0.0;
-  double pamup_pct = 0.0;
-  double nhp = 0.0;
-  double psp_pct = 0.0;
-  double walk_l2_miss_frac = 0.0;
-  double steady_fault_share_pct = 0.0;
-  double max_fault_ms = 0.0;
-  double overhead_frac = 0.0;  // policy overhead / total cycles
-  // The full result of the first seed (for callers needing history).
-  RunResult representative;
-};
-
 // Runs `bench` on `topo` under each policy (plus the Linux-4K baseline) for
 // `num_seeds` seeds and summarizes. The baseline itself can be requested as
 // one of `policies` (its improvement is 0 by construction only for itself).
+// Cells execute in parallel on `runner`'s thread pool.
 std::vector<PolicySummary> ComparePolicies(const Topology& topo, BenchmarkId bench,
                                            const std::vector<PolicyKind>& policies,
-                                           const SimConfig& sim, int num_seeds = 3);
+                                           const SimConfig& sim, int num_seeds = 3,
+                                           const ExperimentRunner& runner = ExperimentRunner());
 
 }  // namespace numalp
 

@@ -1,0 +1,216 @@
+#include "src/core/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+namespace numalp {
+
+std::uint64_t CellSeed(std::uint64_t base_seed, int seed_index) {
+  return base_seed + static_cast<std::uint64_t>(seed_index) * 7919;
+}
+
+int JobsFromEnv() { return static_cast<int>(PositiveEnvInt("NUMALP_JOBS")); }
+
+ExperimentRunner::ExperimentRunner(int jobs) {
+  if (jobs <= 0) {
+    jobs = JobsFromEnv();
+  }
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  jobs_ = std::max(1, jobs);
+}
+
+std::vector<RunResult> ExperimentRunner::Run(const std::vector<RunSpec>& cells) const {
+  std::vector<RunResult> results(cells.size());
+  auto run_cell = [&](std::size_t i) {
+    Simulation simulation(cells[i].topo, cells[i].workload, cells[i].policy, cells[i].sim);
+    results[i] = simulation.Run();
+  };
+
+  const int workers = std::min<int>(jobs_, static_cast<int>(cells.size()));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      run_cell(i);
+    }
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&]() {
+      for (std::size_t i = next.fetch_add(1); i < cells.size(); i = next.fetch_add(1)) {
+        run_cell(i);
+      }
+    });
+  }
+  for (std::thread& worker : pool) {
+    worker.join();
+  }
+  return results;
+}
+
+int GridResults::CellIndex(int machine, int workload, int policy, int seed) const {
+  return cell_index_[static_cast<std::size_t>(
+      ((machine * num_workloads_ + workload) * num_policies_ + policy) * num_seeds_ + seed)];
+}
+
+int GridResults::BaselineIndex(int machine, int workload, int seed) const {
+  return baseline_index_[static_cast<std::size_t>(
+      (machine * num_workloads_ + workload) * num_seeds_ + seed)];
+}
+
+const RunResult& GridResults::At(int machine, int workload, int policy, int seed) const {
+  return results_[static_cast<std::size_t>(CellIndex(machine, workload, policy, seed))];
+}
+
+const RunResult& GridResults::Baseline(int machine, int workload, int seed) const {
+  return results_[static_cast<std::size_t>(BaselineIndex(machine, workload, seed))];
+}
+
+PolicySummary GridResults::Summarize(int machine, int workload, int policy) const {
+  PolicySummary summary;
+  summary.kind = policies_[static_cast<std::size_t>(policy)];
+  summary.min_improvement_pct = 1e30;
+  summary.max_improvement_pct = -1e30;
+  for (int seed = 0; seed < num_seeds_; ++seed) {
+    const RunResult& baseline = Baseline(machine, workload, seed);
+    const RunResult& run = At(machine, workload, policy, seed);
+    const double improvement = ImprovementPct(baseline, run);
+    summary.mean_improvement_pct += improvement;
+    summary.min_improvement_pct = std::min(summary.min_improvement_pct, improvement);
+    summary.max_improvement_pct = std::max(summary.max_improvement_pct, improvement);
+    summary.lar_pct += run.LarPct();
+    summary.imbalance_pct += run.ImbalancePct();
+    summary.pamup_pct += run.PamupPct();
+    summary.nhp += run.Nhp();
+    summary.psp_pct += run.PspPct();
+    summary.walk_l2_miss_frac += run.WalkL2MissFrac();
+    summary.steady_fault_share_pct += run.SteadyMaxFaultSharePct();
+    summary.max_fault_ms += run.MaxFaultTimeMs(clock_ghz_);
+    summary.overhead_frac += run.total_cycles == 0
+                                 ? 0.0
+                                 : static_cast<double>(run.total_policy_overhead) /
+                                       static_cast<double>(run.total_cycles);
+    if (seed == 0) {
+      summary.representative = run;
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(num_seeds_);
+  summary.mean_improvement_pct *= inv;
+  summary.lar_pct *= inv;
+  summary.imbalance_pct *= inv;
+  summary.pamup_pct *= inv;
+  summary.nhp *= inv;
+  summary.psp_pct *= inv;
+  summary.walk_l2_miss_frac *= inv;
+  summary.steady_fault_share_pct *= inv;
+  summary.max_fault_ms *= inv;
+  summary.overhead_frac *= inv;
+  return summary;
+}
+
+std::vector<PolicySummary> GridResults::SummarizeAll(int machine, int workload) const {
+  std::vector<PolicySummary> summaries;
+  summaries.reserve(static_cast<std::size_t>(num_policies_));
+  for (int policy = 0; policy < num_policies_; ++policy) {
+    summaries.push_back(Summarize(machine, workload, policy));
+  }
+  return summaries;
+}
+
+namespace internal {
+
+// The caller hands each GridResults its own slice of the executed results,
+// so the recorded indices are relative to this grid's slice start.
+void ExpandGrid(const ExperimentGrid& grid, std::vector<RunSpec>& cells, GridResults& out) {
+  out.policies_ = grid.policies;
+  out.num_machines_ = static_cast<int>(grid.machines.size());
+  out.num_workloads_ = static_cast<int>(grid.workloads.size());
+  out.num_policies_ = static_cast<int>(grid.policies.size());
+  out.num_seeds_ = grid.num_seeds;
+  out.clock_ghz_ = grid.sim.clock_ghz;
+  out.cell_index_.assign(static_cast<std::size_t>(out.num_machines_) *
+                             static_cast<std::size_t>(out.num_workloads_) *
+                             static_cast<std::size_t>(out.num_policies_) *
+                             static_cast<std::size_t>(out.num_seeds_),
+                         -1);
+  out.baseline_index_.assign(static_cast<std::size_t>(out.num_machines_) *
+                                 static_cast<std::size_t>(out.num_workloads_) *
+                                 static_cast<std::size_t>(out.num_seeds_),
+                             -1);
+
+  const std::size_t slice_start = cells.size();
+  for (int m = 0; m < out.num_machines_; ++m) {
+    for (int w = 0; w < out.num_workloads_; ++w) {
+      const Topology& topo = grid.machines[static_cast<std::size_t>(m)];
+      const WorkloadSpec workload =
+          MakeWorkloadSpec(grid.workloads[static_cast<std::size_t>(w)], topo);
+      for (int s = 0; s < out.num_seeds_; ++s) {
+        SimConfig seeded = grid.sim;
+        seeded.seed = CellSeed(grid.sim.seed, s);
+
+        RunSpec baseline;
+        baseline.topo = topo;
+        baseline.workload = workload;
+        baseline.policy = MakePolicyConfig(PolicyKind::kLinux4K);
+        baseline.sim = seeded;
+        const int baseline_cell = static_cast<int>(cells.size() - slice_start);
+        cells.push_back(baseline);
+        out.baseline_index_[static_cast<std::size_t>(
+            (m * out.num_workloads_ + w) * out.num_seeds_ + s)] = baseline_cell;
+
+        for (int p = 0; p < out.num_policies_; ++p) {
+          const PolicyKind kind = grid.policies[static_cast<std::size_t>(p)];
+          const std::size_t flat = static_cast<std::size_t>(
+              ((m * out.num_workloads_ + w) * out.num_policies_ + p) * out.num_seeds_ + s);
+          // Simulations are deterministic, so a Linux-4K column would be
+          // bit-identical to the baseline cell: share it instead of rerunning.
+          if (kind == PolicyKind::kLinux4K) {
+            out.cell_index_[flat] = baseline_cell;
+            continue;
+          }
+          RunSpec cell;
+          cell.topo = topo;
+          cell.workload = workload;
+          cell.policy = MakePolicyConfig(kind);
+          cell.sim = seeded;
+          out.cell_index_[flat] = static_cast<int>(cells.size() - slice_start);
+          cells.push_back(cell);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace internal
+
+std::vector<GridResults> RunGrids(const std::vector<ExperimentGrid>& grids,
+                                  const ExperimentRunner& runner) {
+  std::vector<GridResults> out(grids.size());
+  std::vector<RunSpec> cells;
+  std::vector<std::size_t> slice_starts;
+  for (std::size_t g = 0; g < grids.size(); ++g) {
+    slice_starts.push_back(cells.size());
+    internal::ExpandGrid(grids[g], cells, out[g]);
+  }
+  const std::vector<RunResult> results = runner.Run(cells);
+  for (std::size_t g = 0; g < grids.size(); ++g) {
+    const std::size_t begin = slice_starts[g];
+    const std::size_t end = g + 1 < grids.size() ? slice_starts[g + 1] : results.size();
+    out[g].results_.assign(results.begin() + static_cast<std::ptrdiff_t>(begin),
+                           results.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return out;
+}
+
+GridResults RunGrid(const ExperimentGrid& grid, const ExperimentRunner& runner) {
+  std::vector<GridResults> results = RunGrids({grid}, runner);
+  return std::move(results.front());
+}
+
+}  // namespace numalp

@@ -1,0 +1,144 @@
+// Parallel experiment execution: a declarative (machine x workload x policy
+// x seed) grid evaluated on a thread pool. Every cell is one independent
+// Simulation whose seed is a pure function of its grid coordinates, so a grid
+// produces bit-identical results at any --jobs value (DESIGN.md Section 5).
+#ifndef NUMALP_SRC_CORE_RUNNER_H_
+#define NUMALP_SRC_CORE_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/simulation.h"
+#include "src/topo/topology.h"
+#include "src/workloads/spec.h"
+
+namespace numalp {
+
+// One fully-resolved grid cell: a single Simulation run. The low-level unit
+// for sweeps the declarative grid cannot express (threshold or sampling-rate
+// ablations, explicit 1GB paging).
+struct RunSpec {
+  Topology topo = Topology::Tiny();
+  WorkloadSpec workload;
+  PolicyConfig policy;
+  SimConfig sim;  // sim.seed is the cell's final, fully-derived seed
+};
+
+// Seed of the grid cell with seed axis index `seed_index`, derived from the
+// grid's base seed. A pure function of the coordinates — never of execution
+// order — which is what makes parallel grids deterministic.
+std::uint64_t CellSeed(std::uint64_t base_seed, int seed_index);
+
+// Parses the NUMALP_JOBS environment variable (0 when unset/invalid).
+int JobsFromEnv();
+
+class ExperimentRunner {
+ public:
+  // jobs <= 0 selects NUMALP_JOBS from the environment, falling back to the
+  // hardware concurrency.
+  explicit ExperimentRunner(int jobs = 0);
+
+  int jobs() const { return jobs_; }
+
+  // Executes every cell and returns results positionally: results[i] belongs
+  // to cells[i] regardless of which worker ran it or in which order.
+  std::vector<RunResult> Run(const std::vector<RunSpec>& cells) const;
+
+ private:
+  int jobs_ = 1;
+};
+
+// Seed-aggregated view of one (machine, workload, policy) column against the
+// per-seed Linux-4K baseline — the numbers behind Figures 1-5 and Tables 1-3.
+struct PolicySummary {
+  PolicyKind kind = PolicyKind::kLinux4K;
+  // Mean performance improvement over the Linux-4K baseline (per-seed
+  // pairing, then averaged) — the y-axis of Figures 1-5.
+  double mean_improvement_pct = 0.0;
+  double min_improvement_pct = 0.0;
+  double max_improvement_pct = 0.0;
+  // Seed-averaged paper metrics.
+  double lar_pct = 0.0;
+  double imbalance_pct = 0.0;
+  double pamup_pct = 0.0;
+  double nhp = 0.0;
+  double psp_pct = 0.0;
+  double walk_l2_miss_frac = 0.0;
+  double steady_fault_share_pct = 0.0;
+  double max_fault_ms = 0.0;
+  double overhead_frac = 0.0;  // policy overhead / total cycles
+  // The full result of the first seed (for callers needing history).
+  RunResult representative;
+};
+
+// Declarative experiment grid. Cells are the cross product of the four axes;
+// a Linux-4K baseline is always run per (machine, workload, seed) so every
+// cell can report improvement against its own seed's baseline.
+struct ExperimentGrid {
+  std::vector<Topology> machines;
+  std::vector<BenchmarkId> workloads;
+  std::vector<PolicyKind> policies;
+  int num_seeds = 3;
+  SimConfig sim;
+};
+
+// Results of a grid run, indexed by the grid's axis positions.
+class GridResults;
+
+namespace internal {
+// Appends `grid`'s cells to `cells` and fills `out`'s index tables with
+// positions relative to the start of the grid's slice.
+void ExpandGrid(const ExperimentGrid& grid, std::vector<RunSpec>& cells, GridResults& out);
+}  // namespace internal
+
+class GridResults {
+ public:
+  const RunResult& At(int machine, int workload, int policy, int seed) const;
+  const RunResult& Baseline(int machine, int workload, int seed) const;
+
+  // Seed-aggregation identical to the historical serial ComparePolicies():
+  // accumulate in ascending seed order, then divide — keeping even the
+  // floating-point rounding reproducible.
+  PolicySummary Summarize(int machine, int workload, int policy) const;
+  std::vector<PolicySummary> SummarizeAll(int machine, int workload) const;
+
+  int num_machines() const { return num_machines_; }
+  int num_workloads() const { return num_workloads_; }
+  int num_policies() const { return num_policies_; }
+  int num_seeds() const { return num_seeds_; }
+
+ private:
+  friend std::vector<GridResults> RunGrids(const std::vector<ExperimentGrid>& grids,
+                                           const ExperimentRunner& runner);
+  friend void internal::ExpandGrid(const ExperimentGrid& grid, std::vector<RunSpec>& cells,
+                                   GridResults& out);
+
+  int CellIndex(int machine, int workload, int policy, int seed) const;
+  int BaselineIndex(int machine, int workload, int seed) const;
+
+  std::vector<PolicyKind> policies_;
+  std::vector<int> cell_index_;      // [m][w][p][s] -> position in results_
+  std::vector<int> baseline_index_;  // [m][w][s] -> position in results_
+  std::vector<RunResult> results_;
+  int num_machines_ = 0;
+  int num_workloads_ = 0;
+  int num_policies_ = 0;
+  int num_seeds_ = 0;
+  double clock_ghz_ = 2.0;
+};
+
+// Expands `grid` into cells (sharing each seed's baseline with any requested
+// Linux-4K column), executes them on `runner`, and indexes the results.
+GridResults RunGrid(const ExperimentGrid& grid,
+                    const ExperimentRunner& runner = ExperimentRunner());
+
+// Runs several grids' cells on one shared pool — for tables that mix
+// (machine, workload) pairs a single cross product cannot express — and
+// returns one GridResults per input grid.
+std::vector<GridResults> RunGrids(const std::vector<ExperimentGrid>& grids,
+                                  const ExperimentRunner& runner = ExperimentRunner());
+
+}  // namespace numalp
+
+#endif  // NUMALP_SRC_CORE_RUNNER_H_

@@ -1,0 +1,223 @@
+// ExperimentRunner regression tests: the parallel grid must be a pure
+// function of its declaration — identical RunResults at any jobs value, grid
+// indexing that matches standalone Simulations, and summaries that reproduce
+// the historical serial ComparePolicies arithmetic.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/experiment.h"
+#include "src/core/runner.h"
+#include "src/core/simulation.h"
+#include "src/topo/topology.h"
+#include "src/workloads/spec.h"
+
+namespace numalp {
+namespace {
+
+SimConfig TinySim() {
+  SimConfig sim;
+  sim.max_epochs = 6;
+  sim.accesses_per_thread_per_epoch = 1024;
+  return sim;
+}
+
+// Field-by-field bit-exact comparison of the results benches consume.
+void ExpectIdentical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.workload, b.workload);
+  EXPECT_EQ(a.machine, b.machine);
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.epochs, b.epochs);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.measured_cycles, b.measured_cycles);
+  EXPECT_EQ(a.total_migrations, b.total_migrations);
+  EXPECT_EQ(a.total_splits, b.total_splits);
+  EXPECT_EQ(a.total_promotions, b.total_promotions);
+  EXPECT_EQ(a.total_policy_overhead, b.total_policy_overhead);
+  EXPECT_EQ(a.final_thp_coverage, b.final_thp_coverage);
+  EXPECT_EQ(a.LarPct(), b.LarPct());
+  EXPECT_EQ(a.ImbalancePct(), b.ImbalancePct());
+  EXPECT_EQ(a.PamupPct(), b.PamupPct());
+  EXPECT_EQ(a.Nhp(), b.Nhp());
+  EXPECT_EQ(a.PspPct(), b.PspPct());
+  EXPECT_EQ(a.WalkL2MissFrac(), b.WalkL2MissFrac());
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].wall, b.history[i].wall);
+    EXPECT_EQ(a.history[i].policy_overhead, b.history[i].policy_overhead);
+    EXPECT_EQ(a.history[i].migrations, b.history[i].migrations);
+    EXPECT_EQ(a.history[i].splits, b.history[i].splits);
+    EXPECT_EQ(a.history[i].promotions, b.history[i].promotions);
+    EXPECT_EQ(a.history[i].metrics.lar_pct, b.history[i].metrics.lar_pct);
+    EXPECT_EQ(a.history[i].metrics.imbalance_pct, b.history[i].metrics.imbalance_pct);
+  }
+  ASSERT_EQ(a.core_totals.size(), b.core_totals.size());
+  for (std::size_t i = 0; i < a.core_totals.size(); ++i) {
+    EXPECT_EQ(a.core_totals[i].accesses, b.core_totals[i].accesses);
+    EXPECT_EQ(a.core_totals[i].dram_local, b.core_totals[i].dram_local);
+    EXPECT_EQ(a.core_totals[i].dram_remote, b.core_totals[i].dram_remote);
+    EXPECT_EQ(a.core_totals[i].fault_cycles, b.core_totals[i].fault_cycles);
+  }
+}
+
+ExperimentGrid TestGrid() {
+  ExperimentGrid grid;
+  grid.machines = {Topology::Tiny(), Topology::MachineA()};
+  grid.workloads = {BenchmarkId::kCG_D, BenchmarkId::kWC};
+  grid.policies = {PolicyKind::kLinux4K, PolicyKind::kThp, PolicyKind::kCarrefourLp};
+  grid.num_seeds = 2;
+  grid.sim = TinySim();
+  return grid;
+}
+
+TEST(ExperimentRunnerTest, CellSeedMatchesHistoricalDerivation) {
+  EXPECT_EQ(CellSeed(42, 0), 42u);
+  EXPECT_EQ(CellSeed(42, 1), 42u + 7919u);
+  EXPECT_EQ(CellSeed(42, 3), 42u + 3u * 7919u);
+}
+
+TEST(ExperimentRunnerTest, JobsDefaultsToAtLeastOne) {
+  EXPECT_GE(ExperimentRunner(0).jobs(), 1);
+  EXPECT_EQ(ExperimentRunner(5).jobs(), 5);
+}
+
+// The acceptance-criteria regression: a grid run with jobs=1 and jobs=8
+// produces bit-identical RunResults for every cell.
+TEST(ExperimentRunnerTest, GridIsDeterministicAcrossJobCounts) {
+  const ExperimentGrid grid = TestGrid();
+  const GridResults serial = RunGrid(grid, ExperimentRunner(1));
+  const GridResults parallel = RunGrid(grid, ExperimentRunner(8));
+  for (int m = 0; m < serial.num_machines(); ++m) {
+    for (int w = 0; w < serial.num_workloads(); ++w) {
+      for (int s = 0; s < serial.num_seeds(); ++s) {
+        ExpectIdentical(serial.Baseline(m, w, s), parallel.Baseline(m, w, s));
+        for (int p = 0; p < serial.num_policies(); ++p) {
+          ExpectIdentical(serial.At(m, w, p, s), parallel.At(m, w, p, s));
+        }
+      }
+    }
+  }
+}
+
+TEST(ExperimentRunnerTest, RunSpecResultsArePositional) {
+  const Topology topo = Topology::Tiny();
+  const WorkloadSpec spec = MakeWorkloadSpec(BenchmarkId::kWC, topo);
+  std::vector<RunSpec> cells;
+  for (PolicyKind kind : {PolicyKind::kLinux4K, PolicyKind::kThp, PolicyKind::kCarrefourLp}) {
+    RunSpec cell;
+    cell.topo = topo;
+    cell.workload = spec;
+    cell.policy = MakePolicyConfig(kind);
+    cell.sim = TinySim();
+    cells.push_back(cell);
+  }
+  const std::vector<RunResult> results = ExperimentRunner(4).Run(cells);
+  ASSERT_EQ(results.size(), cells.size());
+  EXPECT_EQ(results[0].policy, PolicyKind::kLinux4K);
+  EXPECT_EQ(results[1].policy, PolicyKind::kThp);
+  EXPECT_EQ(results[2].policy, PolicyKind::kCarrefourLp);
+}
+
+// Grid cells match standalone Simulations built from the same coordinates.
+TEST(ExperimentRunnerTest, GridCellsMatchStandaloneSimulations) {
+  ExperimentGrid grid;
+  grid.machines = {Topology::Tiny()};
+  grid.workloads = {BenchmarkId::kWC};
+  grid.policies = {PolicyKind::kThp};
+  grid.num_seeds = 2;
+  grid.sim = TinySim();
+  const GridResults results = RunGrid(grid, ExperimentRunner(4));
+
+  for (int s = 0; s < 2; ++s) {
+    SimConfig seeded = grid.sim;
+    seeded.seed = CellSeed(grid.sim.seed, s);
+    Simulation expected(grid.machines[0], MakeWorkloadSpec(BenchmarkId::kWC, grid.machines[0]),
+                        MakePolicyConfig(PolicyKind::kThp), seeded);
+    ExpectIdentical(results.At(0, 0, 0, s), expected.Run());
+  }
+}
+
+// A requested Linux-4K column aliases the baseline cells instead of
+// rerunning them (simulations are deterministic, so sharing is exact).
+TEST(ExperimentRunnerTest, Linux4KColumnSharesBaseline) {
+  ExperimentGrid grid;
+  grid.machines = {Topology::Tiny()};
+  grid.workloads = {BenchmarkId::kWC};
+  grid.policies = {PolicyKind::kLinux4K, PolicyKind::kThp};
+  grid.num_seeds = 2;
+  grid.sim = TinySim();
+  const GridResults results = RunGrid(grid, ExperimentRunner(2));
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_EQ(&results.At(0, 0, 0, s), &results.Baseline(0, 0, s));
+  }
+  const PolicySummary baseline_summary = results.Summarize(0, 0, 0);
+  EXPECT_EQ(baseline_summary.kind, PolicyKind::kLinux4K);
+  EXPECT_EQ(baseline_summary.mean_improvement_pct, 0.0);
+}
+
+// Summaries reproduce the historical serial arithmetic: accumulate in
+// ascending seed order, then divide once.
+TEST(ExperimentRunnerTest, SummarizeMatchesManualAggregation) {
+  ExperimentGrid grid;
+  grid.machines = {Topology::Tiny()};
+  grid.workloads = {BenchmarkId::kCG_D};
+  grid.policies = {PolicyKind::kThp};
+  grid.num_seeds = 3;
+  grid.sim = TinySim();
+  const GridResults results = RunGrid(grid, ExperimentRunner(8));
+  const PolicySummary summary = results.Summarize(0, 0, 0);
+
+  double mean = 0.0;
+  double lar = 0.0;
+  for (int s = 0; s < 3; ++s) {
+    mean += ImprovementPct(results.Baseline(0, 0, s), results.At(0, 0, 0, s));
+    lar += results.At(0, 0, 0, s).LarPct();
+  }
+  // The aggregation multiplies by the reciprocal (as the historical serial
+  // code did), which is not bitwise `x / 3.0` — assert the exact arithmetic.
+  const double inv = 1.0 / 3.0;
+  EXPECT_EQ(summary.mean_improvement_pct, mean * inv);
+  EXPECT_EQ(summary.lar_pct, lar * inv);
+  EXPECT_EQ(summary.representative.total_cycles, results.At(0, 0, 0, 0).total_cycles);
+}
+
+// ComparePolicies is a thin wrapper over the grid: same summaries either way.
+TEST(ExperimentRunnerTest, ComparePoliciesMatchesGrid) {
+  const Topology topo = Topology::Tiny();
+  const std::vector<PolicyKind> policies = {PolicyKind::kLinux4K, PolicyKind::kCarrefourLp};
+  const SimConfig sim = TinySim();
+  const auto summaries = ComparePolicies(topo, BenchmarkId::kWC, policies, sim,
+                                         /*num_seeds=*/2, ExperimentRunner(4));
+
+  ExperimentGrid grid;
+  grid.machines = {topo};
+  grid.workloads = {BenchmarkId::kWC};
+  grid.policies = policies;
+  grid.num_seeds = 2;
+  grid.sim = sim;
+  const auto expected = RunGrid(grid, ExperimentRunner(1)).SummarizeAll(0, 0);
+  ASSERT_EQ(summaries.size(), expected.size());
+  for (std::size_t p = 0; p < summaries.size(); ++p) {
+    EXPECT_EQ(summaries[p].kind, expected[p].kind);
+    EXPECT_EQ(summaries[p].mean_improvement_pct, expected[p].mean_improvement_pct);
+    EXPECT_EQ(summaries[p].lar_pct, expected[p].lar_pct);
+    EXPECT_EQ(summaries[p].overhead_frac, expected[p].overhead_frac);
+  }
+}
+
+TEST(ExperimentRunnerTest, EnvOverridesParsePositiveValues) {
+  SimConfig sim;
+  const int default_epochs = sim.max_epochs;
+  ASSERT_EQ(unsetenv("NUMALP_MAX_EPOCHS"), 0);
+  EXPECT_EQ(WithEnvOverrides(sim).max_epochs, default_epochs);
+  ASSERT_EQ(setenv("NUMALP_MAX_EPOCHS", "7", 1), 0);
+  EXPECT_EQ(WithEnvOverrides(sim).max_epochs, 7);
+  ASSERT_EQ(setenv("NUMALP_MAX_EPOCHS", "-3", 1), 0);
+  EXPECT_EQ(WithEnvOverrides(sim).max_epochs, default_epochs);
+  ASSERT_EQ(unsetenv("NUMALP_MAX_EPOCHS"), 0);
+}
+
+}  // namespace
+}  // namespace numalp

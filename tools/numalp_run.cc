@@ -1,18 +1,22 @@
 // numalp_run — command-line driver for single experiments.
 //
-//   numalp_run --workload CG.D --machine B --policy carrefour-lp \
-//              [--seed N] [--epochs N] [--ibs-interval N] [--per-epoch]
+//   numalp_run --workload CG.D --machine B --policy carrefour-lp
+//              [--seed N] [--epochs N] [--ibs-interval N] [--jobs N]
+//              [--per-epoch]
 //
 // Prints the run's headline metrics (and, with --per-epoch, the full epoch
 // trace including the reactive component's LAR estimates), always against
-// the Linux-4K baseline of the same seed.
+// the Linux-4K baseline of the same seed. The policy run and its baseline
+// execute concurrently on the ExperimentRunner (--jobs, or NUMALP_JOBS).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/core/config.h"
+#include "src/core/runner.h"
 #include "src/core/simulation.h"
 #include "src/topo/topology.h"
 #include "src/workloads/spec.h"
@@ -56,7 +60,8 @@ std::optional<numalp::PolicyKind> ParsePolicy(const std::string& name) {
 void Usage() {
   std::fprintf(stderr,
                "usage: numalp_run --workload <name> [--machine A|B] [--policy <p>]\n"
-               "                  [--seed N] [--epochs N] [--ibs-interval N] [--per-epoch]\n"
+               "                  [--seed N] [--epochs N] [--ibs-interval N] [--jobs N]\n"
+               "                  [--per-epoch]\n"
                "  workloads: the paper suite (BT.B CG.D ... SPECjbb) plus streamcluster\n"
                "  policies:  linux-4k thp carrefour-2m reactive conservative carrefour-lp\n");
 }
@@ -67,8 +72,9 @@ int main(int argc, char** argv) {
   std::string workload_name = "CG.D";
   std::string machine = "B";
   std::string policy_name = "carrefour-lp";
-  numalp::SimConfig sim;
+  numalp::SimConfig sim = numalp::WithEnvOverrides(numalp::SimConfig{});
   bool per_epoch = false;
+  int jobs = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -91,6 +97,8 @@ int main(int argc, char** argv) {
       sim.max_epochs = std::atoi(next());
     } else if (arg == "--ibs-interval") {
       sim.ibs_interval = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--jobs") {
+      jobs = std::atoi(next());
     } else if (arg == "--per-epoch") {
       per_epoch = true;
     } else {
@@ -108,11 +116,18 @@ int main(int argc, char** argv) {
   const numalp::Topology topo =
       machine == "A" ? numalp::Topology::MachineA() : numalp::Topology::MachineB();
 
-  const numalp::RunResult baseline =
-      numalp::RunBenchmark(topo, *bench, numalp::PolicyKind::kLinux4K, sim);
-  const numalp::RunResult run = *policy == numalp::PolicyKind::kLinux4K
-                                    ? baseline
-                                    : numalp::RunBenchmark(topo, *bench, *policy, sim);
+  std::vector<numalp::RunSpec> cells(1);
+  cells[0].topo = topo;
+  cells[0].workload = numalp::MakeWorkloadSpec(*bench, topo);
+  cells[0].policy = numalp::MakePolicyConfig(numalp::PolicyKind::kLinux4K);
+  cells[0].sim = sim;
+  if (*policy != numalp::PolicyKind::kLinux4K) {
+    cells.push_back(cells[0]);
+    cells[1].policy = numalp::MakePolicyConfig(*policy);
+  }
+  const std::vector<numalp::RunResult> results = numalp::ExperimentRunner(jobs).Run(cells);
+  const numalp::RunResult& baseline = results[0];
+  const numalp::RunResult& run = results.back();
 
   std::printf("%s on %s under %s (seed %llu)\n", workload_name.c_str(), topo.name().c_str(),
               std::string(numalp::NameOf(*policy)).c_str(),
