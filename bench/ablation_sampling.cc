@@ -6,92 +6,59 @@
 // hardware (a complete LWP implementation).
 //
 // The sweep varies SimConfig (the IBS interval), which the declarative grid
-// cannot express, so it is a flat RunSpec list on the ExperimentRunner:
-// per (benchmark, interval) one Carrefour-LP cell and one Linux-4K baseline.
+// cannot express, so it is a flat RunSpec list: per (benchmark, interval)
+// one Linux-4K baseline then one Carrefour-LP cell, both tagged with an
+// "ibs=1/N" variant. Compare the est_split_lar_pct row field (the
+// estimator's prediction) against lar_pct (what the run achieved), and
+// overhead_pct for the sampling cost.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "src/core/config.h"
 #include "src/core/runner.h"
+#include "src/report/collector.h"
+#include "src/report/options.h"
 #include "src/topo/topology.h"
 #include "src/workloads/spec.h"
 
-namespace {
+int main(int argc, char** argv) {
+  const numalp::report::ToolInfo info = {
+      "ablation_sampling", "ablation_sampling",
+      "Ablation: IBS sampling interval vs LAR-estimation quality (machine A)"};
+  const numalp::report::Options options = numalp::report::ParseToolArgs(argc, argv, info);
 
-struct EstimationStats {
-  double mean_split_estimate = 0.0;
-  double mean_actual_lar = 0.0;
-  double improvement = 0.0;
-  double overhead_pct = 0.0;
-};
-
-EstimationStats Summarize(const numalp::RunResult& result,
-                          const numalp::RunResult& base_result) {
-  EstimationStats stats;
-  int counted = 0;
-  for (const auto& record : result.history) {
-    if (record.in_setup || record.est_split_lar == 0.0) {
-      continue;
-    }
-    stats.mean_split_estimate += record.est_split_lar;
-    stats.mean_actual_lar += record.metrics.lar_pct;
-    ++counted;
-  }
-  if (counted > 0) {
-    stats.mean_split_estimate /= counted;
-    stats.mean_actual_lar /= counted;
-  }
-  stats.improvement = numalp::ImprovementPct(base_result, result);
-  stats.overhead_pct = result.total_cycles == 0
-                           ? 0.0
-                           : 100.0 * static_cast<double>(result.total_policy_overhead) /
-                                 static_cast<double>(result.total_cycles);
-  return stats;
-}
-
-}  // namespace
-
-int main() {
-  std::printf("Ablation: IBS sampling interval vs LAR estimation quality (machine A)\n\n");
   const numalp::Topology topo = numalp::Topology::MachineA();
   const std::vector<numalp::BenchmarkId> benches = {numalp::BenchmarkId::kSSCA,
                                                     numalp::BenchmarkId::kUA_B};
   const std::vector<std::uint64_t> intervals = {512, 128, 64, 16, 4};
 
-  // Two cells per (benchmark, interval): Carrefour-LP then the baseline.
   std::vector<numalp::RunSpec> cells;
+  std::vector<numalp::report::GridReport::CellMeta> meta;
   for (numalp::BenchmarkId bench : benches) {
     const numalp::WorkloadSpec spec = numalp::MakeWorkloadSpec(bench, topo);
     for (std::uint64_t interval : intervals) {
-      numalp::SimConfig sim = numalp::WithEnvOverrides(numalp::SimConfig{});
+      numalp::SimConfig sim = options.sim;
       sim.ibs_interval = interval;
-      numalp::RunSpec lp;
-      lp.topo = topo;
-      lp.workload = spec;
-      lp.policy = numalp::MakePolicyConfig(numalp::PolicyKind::kCarrefourLp);
-      lp.sim = sim;
-      cells.push_back(lp);
-      numalp::RunSpec base = lp;
-      base.policy = numalp::MakePolicyConfig(numalp::PolicyKind::kLinux4K);
-      cells.push_back(base);
-    }
-  }
-  const std::vector<numalp::RunResult> results = numalp::ExperimentRunner().Run(cells);
+      const std::string variant = "ibs=1/" + std::to_string(interval);
 
-  std::size_t cell = 0;
-  for (numalp::BenchmarkId bench : benches) {
-    std::printf("%s\n", std::string(numalp::NameOf(bench)).c_str());
-    std::printf("  %-10s %16s %12s %12s %10s\n", "interval", "est-split-LAR%",
-                "actual-LAR%", "LP-vs-4K", "overhead");
-    for (std::uint64_t interval : intervals) {
-      const EstimationStats stats = Summarize(results[cell], results[cell + 1]);
-      cell += 2;
-      std::printf("  1/%-8llu %15.1f%% %11.1f%% %+11.1f%% %9.1f%%\n",
-                  static_cast<unsigned long long>(interval), stats.mean_split_estimate,
-                  stats.mean_actual_lar, stats.improvement, stats.overhead_pct);
+      numalp::RunSpec base;
+      base.topo = topo;
+      base.workload = spec;
+      base.policy = numalp::MakePolicyConfig(numalp::PolicyKind::kLinux4K);
+      base.sim = sim;
+      const int base_index = static_cast<int>(cells.size());
+      cells.push_back(base);
+      meta.push_back({variant, -1, 0});
+
+      numalp::RunSpec lp = base;
+      lp.policy = numalp::MakePolicyConfig(numalp::PolicyKind::kCarrefourLp);
+      cells.push_back(lp);
+      meta.push_back({variant, base_index, 0});
     }
-    std::printf("\n");
   }
+
+  numalp::report::GridReport report(options, info);
+  report.RunCells(cells, meta);
   return 0;
 }

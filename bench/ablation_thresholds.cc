@@ -5,16 +5,18 @@
 // easy to tune"; this sweep shows the plateau they sit on.
 //
 // The sweeps vary PolicyConfig fields, which the declarative grid's policy
-// axis cannot express, so all three are batched into one flat RunSpec list
-// on the ExperimentRunner: one tuned Carrefour-LP cell per (sweep,
-// threshold point, benchmark) plus a single shared Linux-4K baseline per
-// benchmark, all on one thread pool.
+// axis cannot express, so all three are batched into one flat RunSpec list:
+// a single shared Linux-4K baseline per benchmark, then one Carrefour-LP
+// cell per (sweep, threshold point, benchmark), tagged with a
+// "miggain=N" / "splitgain=N" / "hotshare=N" variant.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "src/core/config.h"
 #include "src/core/runner.h"
+#include "src/report/collector.h"
+#include "src/report/options.h"
 #include "src/topo/topology.h"
 #include "src/workloads/spec.h"
 
@@ -27,34 +29,30 @@ struct ThresholdPoint {
 };
 
 struct Sweep {
-  const char* header;
+  const char* tag;  // variant prefix
   std::vector<double> thresholds;
   std::vector<ThresholdPoint> points;
   std::vector<numalp::BenchmarkId> benches;
-  std::size_t first_cell = 0;  // position of the sweep's first LP cell
 };
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const numalp::report::ToolInfo info = {
+      "ablation_thresholds", "ablation_thresholds",
+      "Ablation: sensitivity of Algorithm 1's three thresholds (machine B)"};
+  const numalp::report::Options options = numalp::report::ParseToolArgs(argc, argv, info);
   const numalp::Topology topo = numalp::Topology::MachineB();
-  std::printf("Ablation: Carrefour-LP thresholds (improvement over Linux-4K, machine B)\n\n");
 
   const std::vector<numalp::BenchmarkId> pair = {numalp::BenchmarkId::kCG_D,
                                                  numalp::BenchmarkId::kUA_B};
   std::vector<Sweep> sweeps = {
-      {"(a) migration-gain threshold (paper: 15%), split-gain fixed at 5%\n",
-       {5.0, 10.0, 15.0, 25.0, 40.0},
-       {},
-       pair},
-      {"\n(b) split-gain threshold (paper: 5%), migration-gain fixed at 15%\n",
-       {1.0, 5.0, 10.0, 20.0, 50.0},
-       {},
-       pair},
-      {"\n(c) hot-page share threshold (paper: 6%)\n",
-       {2.0, 6.0, 12.0, 25.0, 100.0},
-       {},
-       {numalp::BenchmarkId::kCG_D}},
+      // (a) migration-gain threshold (paper: 15%), split-gain fixed at 5%.
+      {"miggain", {5.0, 10.0, 15.0, 25.0, 40.0}, {}, pair},
+      // (b) split-gain threshold (paper: 5%), migration-gain fixed at 15%.
+      {"splitgain", {1.0, 5.0, 10.0, 20.0, 50.0}, {}, pair},
+      // (c) hot-page share threshold (paper: 6%).
+      {"hotshare", {2.0, 6.0, 12.0, 25.0, 100.0}, {}, {numalp::BenchmarkId::kCG_D}},
   };
   for (double t : sweeps[0].thresholds) {
     sweeps[0].points.push_back({t, 5.0, 6.0});
@@ -68,21 +66,24 @@ int main() {
 
   // One cell list for everything: a baseline per benchmark, then per sweep
   // one LP cell per (point, benchmark) in point-major order.
-  const numalp::SimConfig sim = numalp::WithEnvOverrides(numalp::SimConfig{});
   std::vector<numalp::RunSpec> cells;
-  std::vector<std::size_t> baseline_of(pair.size());
+  std::vector<numalp::report::GridReport::CellMeta> meta;
+  std::vector<int> baseline_of(pair.size());
   for (std::size_t b = 0; b < pair.size(); ++b) {
     numalp::RunSpec base;
     base.topo = topo;
     base.workload = numalp::MakeWorkloadSpec(pair[b], topo);
     base.policy = numalp::MakePolicyConfig(numalp::PolicyKind::kLinux4K);
-    base.sim = sim;
-    baseline_of[b] = cells.size();
+    base.sim = options.sim;
+    baseline_of[b] = static_cast<int>(cells.size());
     cells.push_back(base);
+    meta.push_back({"", -1, 0});
   }
-  for (Sweep& sweep : sweeps) {
-    sweep.first_cell = cells.size();
-    for (const ThresholdPoint& point : sweep.points) {
+  for (const Sweep& sweep : sweeps) {
+    for (std::size_t p = 0; p < sweep.points.size(); ++p) {
+      const ThresholdPoint& point = sweep.points[p];
+      char variant[32];
+      std::snprintf(variant, sizeof(variant), "%s=%.0f", sweep.tag, sweep.thresholds[p]);
       for (numalp::BenchmarkId bench : sweep.benches) {
         numalp::RunSpec lp;
         lp.topo = topo;
@@ -91,31 +92,17 @@ int main() {
         lp.policy.lar_gain_carrefour_pct = point.lar_gain_carrefour;
         lp.policy.lar_gain_split_pct = point.lar_gain_split;
         lp.policy.hot_page_share_pct = point.hot_share;
-        lp.sim = sim;
+        lp.sim = options.sim;
+        // Sweep bench lists are prefixes of `pair`, so the bench's position
+        // addresses the matching baseline.
+        const std::size_t b = bench == pair[0] ? 0 : 1;
         cells.push_back(lp);
+        meta.push_back({variant, baseline_of[b], 0});
       }
     }
   }
-  const std::vector<numalp::RunResult> results = numalp::ExperimentRunner().Run(cells);
 
-  for (const Sweep& sweep : sweeps) {
-    std::printf("%s", sweep.header);
-    std::printf("%-10s %12s", "threshold", "CG.D");
-    if (sweep.benches.size() > 1) {
-      std::printf(" %12s", "UA.B");
-    }
-    std::printf("\n");
-    std::size_t cell = sweep.first_cell;
-    for (std::size_t p = 0; p < sweep.points.size(); ++p) {
-      std::printf("%9.0f%%", sweep.thresholds[p]);
-      for (std::size_t b = 0; b < sweep.benches.size(); ++b) {
-        // Sweep bench lists are prefixes of `pair`, so index b addresses
-        // the matching baseline.
-        const numalp::RunResult& baseline = results[baseline_of[b]];
-        std::printf(" %+11.1f%%", numalp::ImprovementPct(baseline, results[cell++]));
-      }
-      std::printf("\n");
-    }
-  }
+  numalp::report::GridReport report(options, info);
+  report.RunCells(cells, meta);
   return 0;
 }

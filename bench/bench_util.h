@@ -1,60 +1,52 @@
-// Shared output helpers for the reproduction benches. Every bench declares
-// its sweep as an ExperimentGrid (or a RunSpec list) and hands it to the
-// ExperimentRunner, so the full figure executes on one thread pool; set
-// NUMALP_JOBS to control the worker count (results are identical at any
-// value — see DESIGN.md Section 5).
+// Shared scaffolding for the figure/table benches. Every bench declares its
+// sweep (an ExperimentGrid, several grids, or a flat RunSpec list) and its
+// ToolInfo, then hands both to a report::GridReport: the whole sweep runs on
+// one ExperimentRunner thread pool (--jobs / NUMALP_JOBS; results identical
+// at any value, DESIGN.md Section 5) and every cell is emitted as a typed
+// ResultRow through the configured sinks (--format stdout, --out-dir files;
+// DESIGN.md Section 6). Command-line handling is the uniform parser in
+// src/report/options.h — benches add no flags of their own here.
 #ifndef NUMALP_BENCH_BENCH_UTIL_H_
 #define NUMALP_BENCH_BENCH_UTIL_H_
 
-#include <cstdio>
-#include <string>
 #include <vector>
 
 #include "src/core/runner.h"
+#include "src/report/collector.h"
+#include "src/report/options.h"
 
 namespace numalp_bench {
 
-// Prints one "figure" block for machine index `machine` of `results`:
-// per-benchmark improvement bars for the grid's policies, mirroring the
-// paper's bar charts as rows.
-inline void PrintFigureBlock(const char* title, const numalp::Topology& topo, int machine,
-                             const std::vector<numalp::BenchmarkId>& benches,
-                             const std::vector<numalp::PolicyKind>& policies,
-                             const numalp::GridResults& results) {
-  std::printf("%s — %s\n", title, topo.name().c_str());
-  std::printf("%-16s", "benchmark");
-  for (numalp::PolicyKind kind : policies) {
-    std::printf(" %14s", std::string(numalp::NameOf(kind)).c_str());
-  }
-  std::printf("\n");
-  for (std::size_t w = 0; w < benches.size(); ++w) {
-    std::printf("%-16s", std::string(numalp::NameOf(benches[w])).c_str());
-    for (std::size_t p = 0; p < policies.size(); ++p) {
-      const numalp::PolicySummary summary =
-          results.Summarize(machine, static_cast<int>(w), static_cast<int>(p));
-      std::printf(" %+13.1f%%", summary.mean_improvement_pct);
-    }
-    std::printf("\n");
-  }
-  std::printf("\n");
-}
-
-// Runs one grid over all `machines` and prints a figure block per machine —
-// the whole multi-machine sweep shares a single thread pool.
-inline void PrintFigureBlocks(const char* title, const std::vector<numalp::Topology>& machines,
-                              const std::vector<numalp::BenchmarkId>& benches,
-                              const std::vector<numalp::PolicyKind>& policies,
-                              const numalp::SimConfig& sim, int seeds) {
+// The standard figure bench: one (machines x workloads x policies x seeds)
+// grid, every cell (baselines included) written through the sinks. This is
+// the whole main() of fig1-fig5, table2 and the overhead assessment.
+inline int RunFigureBench(int argc, char** argv, const numalp::report::ToolInfo& info,
+                          const std::vector<numalp::Topology>& machines,
+                          const std::vector<numalp::BenchmarkId>& workloads,
+                          const std::vector<numalp::PolicyKind>& policies, int seeds) {
+  const numalp::report::Options options = numalp::report::ParseToolArgs(argc, argv, info);
   numalp::ExperimentGrid grid;
   grid.machines = machines;
-  grid.workloads = benches;
+  grid.workloads = workloads;
   grid.policies = policies;
   grid.num_seeds = seeds;
-  grid.sim = sim;
-  const numalp::GridResults results = numalp::RunGrid(grid);
-  for (std::size_t m = 0; m < machines.size(); ++m) {
-    PrintFigureBlock(title, machines[m], static_cast<int>(m), benches, policies, results);
+  grid.sim = options.sim;
+  numalp::report::GridReport report(options, info);
+  report.Run(grid);
+  return 0;
+}
+
+// Variant for tables that mix (machine, workload) pairs: one grid per
+// machine, executed together on one shared pool via RunGrids.
+inline int RunFigureBench(int argc, char** argv, const numalp::report::ToolInfo& info,
+                          std::vector<numalp::ExperimentGrid> grids) {
+  const numalp::report::Options options = numalp::report::ParseToolArgs(argc, argv, info);
+  for (numalp::ExperimentGrid& grid : grids) {
+    grid.sim = options.sim;
   }
+  numalp::report::GridReport report(options, info);
+  report.Run(grids);
+  return 0;
 }
 
 }  // namespace numalp_bench

@@ -4,31 +4,15 @@
 // Paper shape: THP helps allocation- and TLB-bound workloads (WC +109% on B,
 // WR, wrmem +51%, SSCA +17% on A) and hurts NUMA-sensitive ones (CG.D -43%
 // on B, UA.B/UA.C, SPECjbb -6%); most others move only a few percent.
-#include <cstdio>
-#include <string>
-
-#include "src/core/runner.h"
+// Aggregate the emitted rows with numalp_report (see REPRODUCING.md).
+#include "bench/bench_util.h"
 #include "src/topo/topology.h"
 
-int main() {
-  numalp::ExperimentGrid grid;
-  grid.machines = {numalp::Topology::MachineA(), numalp::Topology::MachineB()};
-  grid.workloads = numalp::FullSuite();
-  grid.policies = {numalp::PolicyKind::kThp};
-  grid.num_seeds = 3;
-  grid.sim = numalp::WithEnvOverrides(numalp::SimConfig{});
-  const numalp::GridResults results = numalp::RunGrid(grid);
-
-  std::printf("Figure 1: THP performance improvement over Linux-4K (%%, mean of 3 seeds)\n");
-  std::printf("%-16s %22s %22s\n", "benchmark", "machineA (min..max)", "machineB (min..max)");
-  for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
-    std::printf("%-16s", std::string(numalp::NameOf(grid.workloads[w])).c_str());
-    for (int m = 0; m < results.num_machines(); ++m) {
-      const numalp::PolicySummary thp = results.Summarize(m, static_cast<int>(w), 0);
-      std::printf(" %+7.1f%% (%+5.0f..%+5.0f)", thp.mean_improvement_pct,
-                  thp.min_improvement_pct, thp.max_improvement_pct);
-    }
-    std::printf("\n");
-  }
-  return 0;
+int main(int argc, char** argv) {
+  const numalp::report::ToolInfo info = {
+      "fig1_thp_vs_linux", "fig1",
+      "Figure 1: THP improvement over Linux-4K, full suite, machines A+B"};
+  return numalp_bench::RunFigureBench(
+      argc, argv, info, {numalp::Topology::MachineA(), numalp::Topology::MachineB()},
+      numalp::FullSuite(), {numalp::PolicyKind::kThp}, /*seeds=*/3);
 }

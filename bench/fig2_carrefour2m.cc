@@ -7,11 +7,12 @@
 #include "bench/bench_util.h"
 #include "src/topo/topology.h"
 
-int main() {
-  numalp_bench::PrintFigureBlocks(
-      "Figure 2: improvement over Linux-4K",
-      {numalp::Topology::MachineA(), numalp::Topology::MachineB()}, numalp::AffectedSubset(),
-      {numalp::PolicyKind::kThp, numalp::PolicyKind::kCarrefour2M},
-      numalp::WithEnvOverrides(numalp::SimConfig{}), /*seeds=*/3);
-  return 0;
+int main(int argc, char** argv) {
+  const numalp::report::ToolInfo info = {
+      "fig2_carrefour2m", "fig2",
+      "Figure 2: Carrefour-2M and THP vs Linux-4K on the THP-degraded applications"};
+  return numalp_bench::RunFigureBench(
+      argc, argv, info, {numalp::Topology::MachineA(), numalp::Topology::MachineB()},
+      numalp::AffectedSubset(),
+      {numalp::PolicyKind::kThp, numalp::PolicyKind::kCarrefour2M}, /*seeds=*/3);
 }

@@ -7,11 +7,12 @@
 #include "bench/bench_util.h"
 #include "src/topo/topology.h"
 
-int main() {
-  numalp_bench::PrintFigureBlocks(
-      "Figure 3: improvement over Linux-4K",
-      {numalp::Topology::MachineA(), numalp::Topology::MachineB()}, numalp::AffectedSubset(),
-      {numalp::PolicyKind::kThp, numalp::PolicyKind::kCarrefourLp},
-      numalp::WithEnvOverrides(numalp::SimConfig{}), /*seeds=*/3);
-  return 0;
+int main(int argc, char** argv) {
+  const numalp::report::ToolInfo info = {
+      "fig3_carrefour_lp", "fig3",
+      "Figure 3: Carrefour-LP and THP vs Linux-4K on the THP-degraded applications"};
+  return numalp_bench::RunFigureBench(
+      argc, argv, info, {numalp::Topology::MachineA(), numalp::Topology::MachineB()},
+      numalp::AffectedSubset(),
+      {numalp::PolicyKind::kThp, numalp::PolicyKind::kCarrefourLp}, /*seeds=*/3);
 }

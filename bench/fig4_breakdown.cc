@@ -10,12 +10,14 @@
 #include "bench/bench_util.h"
 #include "src/topo/topology.h"
 
-int main() {
-  numalp_bench::PrintFigureBlocks(
-      "Figure 4: improvement over Linux-4K",
-      {numalp::Topology::MachineA(), numalp::Topology::MachineB()}, numalp::AffectedSubset(),
+int main(int argc, char** argv) {
+  const numalp::report::ToolInfo info = {
+      "fig4_breakdown", "fig4",
+      "Figure 4: Carrefour-LP component breakdown vs Linux-4K"};
+  return numalp_bench::RunFigureBench(
+      argc, argv, info, {numalp::Topology::MachineA(), numalp::Topology::MachineB()},
+      numalp::AffectedSubset(),
       {numalp::PolicyKind::kCarrefour2M, numalp::PolicyKind::kConservativeOnly,
        numalp::PolicyKind::kReactiveOnly, numalp::PolicyKind::kCarrefourLp},
-      numalp::WithEnvOverrides(numalp::SimConfig{}), /*seeds=*/2);
-  return 0;
+      /*seeds=*/2);
 }

@@ -8,12 +8,12 @@
 #include "bench/bench_util.h"
 #include "src/topo/topology.h"
 
-int main() {
-  numalp_bench::PrintFigureBlocks(
-      "Figure 5: improvement over Linux-4K",
-      {numalp::Topology::MachineA(), numalp::Topology::MachineB()},
+int main(int argc, char** argv) {
+  const numalp::report::ToolInfo info = {
+      "fig5_unaffected", "fig5",
+      "Figure 5: THP and Carrefour-LP vs Linux-4K on the unaffected applications"};
+  return numalp_bench::RunFigureBench(
+      argc, argv, info, {numalp::Topology::MachineA(), numalp::Topology::MachineB()},
       numalp::UnaffectedSubset(),
-      {numalp::PolicyKind::kThp, numalp::PolicyKind::kCarrefourLp},
-      numalp::WithEnvOverrides(numalp::SimConfig{}), /*seeds=*/3);
-  return 0;
+      {numalp::PolicyKind::kThp, numalp::PolicyKind::kCarrefourLp}, /*seeds=*/3);
 }

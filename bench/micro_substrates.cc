@@ -3,6 +3,11 @@
 // per-access cost of the simulation engine, and the ExperimentRunner's grid
 // dispatch. These guard the simulator's own performance (a full Figure-1
 // sweep runs ~2,500 simulated epochs).
+//
+// This binary measures the simulator, not the paper, so it does not emit
+// ResultRows: structured output comes from google-benchmark itself
+// (--benchmark_format=json|csv, --benchmark_out=FILE), which numalp_report
+// deliberately does not aggregate.
 #include <benchmark/benchmark.h>
 
 #include "src/core/runner.h"

@@ -1,53 +1,19 @@
 // Section 4.2: overhead assessment. Carrefour-LP vs the reactive approach
 // (negligible: 1-2%, worst ~3.2%), vs Carrefour-2M (max 3.7% on A / 3.2% on
 // B, mean < 2%), and vs Linux-4K (< 3% except the large-page-migration
-// cases FT, IS, LU).
-#include <algorithm>
-#include <cstdio>
-#include <string>
-
-#include "src/core/runner.h"
+// cases FT, IS, LU). The per-policy rows (improvement_pct, overhead_pct)
+// carry the comparison; diff the policies with numalp_report.
+#include "bench/bench_util.h"
 #include "src/topo/topology.h"
 
-namespace {
-
-void Assess(const numalp::GridResults& results, const numalp::Topology& topo, int machine,
-            const std::vector<numalp::BenchmarkId>& benches) {
-  std::printf("Overhead on %s (runtime normalized; negative = Carrefour-LP slower)\n",
-              topo.name().c_str());
-  std::printf("%-16s %14s %14s %14s %10s\n", "benchmark", "LP-vs-Reactive",
-              "LP-vs-Carr2M", "LP-vs-Linux4K", "LP-ovh%");
-  double worst_vs_reactive = 0.0;
-  double worst_vs_c2m = 0.0;
-  for (std::size_t w = 0; w < benches.size(); ++w) {
-    const auto summaries = results.SummarizeAll(machine, static_cast<int>(w));
-    const double lp = summaries[2].mean_improvement_pct;
-    const double vs_reactive = lp - summaries[0].mean_improvement_pct;
-    const double vs_c2m = lp - summaries[1].mean_improvement_pct;
-    worst_vs_reactive = std::min(worst_vs_reactive, vs_reactive);
-    worst_vs_c2m = std::min(worst_vs_c2m, vs_c2m);
-    std::printf("%-16s %+13.1f%% %+13.1f%% %+13.1f%% %9.1f%%\n",
-                std::string(numalp::NameOf(benches[w])).c_str(), vs_reactive, vs_c2m, lp,
-                100.0 * summaries[2].overhead_frac);
-  }
-  std::printf("worst regression vs Reactive: %.1f%%, vs Carrefour-2M: %.1f%%\n\n",
-              worst_vs_reactive, worst_vs_c2m);
-}
-
-}  // namespace
-
-int main() {
-  std::printf("Section 4.2: Carrefour-LP overhead assessment\n\n");
-  numalp::ExperimentGrid grid;
-  grid.machines = {numalp::Topology::MachineA(), numalp::Topology::MachineB()};
-  grid.workloads = numalp::FullSuite();
-  grid.policies = {numalp::PolicyKind::kReactiveOnly, numalp::PolicyKind::kCarrefour2M,
-                   numalp::PolicyKind::kCarrefourLp};
-  grid.num_seeds = 2;
-  grid.sim = numalp::WithEnvOverrides(numalp::SimConfig{});
-  const numalp::GridResults results = numalp::RunGrid(grid);
-  for (std::size_t m = 0; m < grid.machines.size(); ++m) {
-    Assess(results, grid.machines[m], static_cast<int>(m), grid.workloads);
-  }
-  return 0;
+int main(int argc, char** argv) {
+  const numalp::report::ToolInfo info = {
+      "overhead_assessment", "overhead",
+      "Section 4.2: Carrefour-LP overhead vs Reactive / Carrefour-2M / Linux-4K"};
+  return numalp_bench::RunFigureBench(
+      argc, argv, info, {numalp::Topology::MachineA(), numalp::Topology::MachineB()},
+      numalp::FullSuite(),
+      {numalp::PolicyKind::kReactiveOnly, numalp::PolicyKind::kCarrefour2M,
+       numalp::PolicyKind::kCarrefourLp},
+      /*seeds=*/2);
 }

@@ -1,6 +1,8 @@
 // Table 1: detailed profiling of five representative applications — time in
 // the page-fault handler, % of L2 misses caused by page-table walks, local
-// access ratio, and memory-controller imbalance, under Linux-4K vs THP.
+// access ratio, and memory-controller imbalance, under Linux-4K vs THP (the
+// max_fault_ms / steady_fault_share_pct / walk_l2_miss_pct / lar_pct /
+// imbalance_pct row fields).
 //
 // Paper values for reference:
 //   CG.D (B):   perf -43%, walks 0->0,  LAR 40->36, imbalance  1->59
@@ -8,64 +10,29 @@
 //   WC (B):     perf +109%, fault time 37.6%->32.3%, walks 10->1
 //   SSCA.20 (A): perf +17%, walks 15->2, imbalance 8->52
 //   SPECjbb (A): perf -6%,  walks 7->0,  imbalance 16->39
-#include <cstdio>
-#include <string>
-
-#include "src/core/runner.h"
+//
+// The table mixes machines, so it is two grids — one per machine — rather
+// than a full cross product over unwanted (machine, benchmark) pairs;
+// both execute on one shared pool.
+#include "bench/bench_util.h"
 #include "src/topo/topology.h"
 
-namespace {
-
-void Profile(const numalp::GridResults& results, const numalp::Topology& topo, int machine,
-             int workload, numalp::BenchmarkId bench) {
-  const numalp::PolicySummary linux = results.Summarize(machine, workload, 0);
-  const numalp::PolicySummary thp = results.Summarize(machine, workload, 1);
-  std::printf("%-10s (%s)  THP perf %+6.1f%%\n", std::string(numalp::NameOf(bench)).c_str(),
-              topo.name() == "machineA" ? "A" : "B", thp.mean_improvement_pct);
-  std::printf("  %-34s %10s %10s\n", "metric", "Linux", "THP");
-  std::printf("  %-34s %9.1fms %9.1fms\n", "max fault-handler time per core", linux.max_fault_ms,
-              thp.max_fault_ms);
-  std::printf("  %-34s %9.2f%% %9.2f%%\n", "steady fault time share (max core)",
-              linux.steady_fault_share_pct, thp.steady_fault_share_pct);
-  std::printf("  %-34s %9.1f%% %9.1f%%\n", "L2 misses due to page-table walks",
-              100.0 * linux.walk_l2_miss_frac, 100.0 * thp.walk_l2_miss_frac);
-  std::printf("  %-34s %9.1f%% %9.1f%%\n", "local access ratio", linux.lar_pct, thp.lar_pct);
-  std::printf("  %-34s %9.1f%% %9.1f%%\n\n", "controller imbalance", linux.imbalance_pct,
-              thp.imbalance_pct);
-}
-
-}  // namespace
-
-int main() {
-  std::printf("Table 1: detailed analysis under Linux (4KB) vs THP (2MB)\n\n");
-  const numalp::Topology a = numalp::Topology::MachineA();
-  const numalp::Topology b = numalp::Topology::MachineB();
+int main(int argc, char** argv) {
+  const numalp::report::ToolInfo info = {
+      "table1_profiling", "table1",
+      "Table 1: fault time, walk misses, LAR, imbalance under Linux-4K vs THP"};
   const std::vector<numalp::PolicyKind> policies = {numalp::PolicyKind::kLinux4K,
                                                     numalp::PolicyKind::kThp};
-  const numalp::SimConfig sim = numalp::WithEnvOverrides(numalp::SimConfig{});
-
-  // The table mixes machines, so it is two grids — one per machine — rather
-  // than a full cross product over unwanted (machine, benchmark) pairs;
-  // RunGrids executes both on one shared pool.
   numalp::ExperimentGrid grid_b;
-  grid_b.machines = {b};
+  grid_b.machines = {numalp::Topology::MachineB()};
   grid_b.workloads = {numalp::BenchmarkId::kCG_D, numalp::BenchmarkId::kUA_C,
                       numalp::BenchmarkId::kWC};
   grid_b.policies = policies;
   grid_b.num_seeds = 3;
-  grid_b.sim = sim;
 
   numalp::ExperimentGrid grid_a = grid_b;
-  grid_a.machines = {a};
+  grid_a.machines = {numalp::Topology::MachineA()};
   grid_a.workloads = {numalp::BenchmarkId::kSSCA, numalp::BenchmarkId::kSPECjbb};
 
-  const std::vector<numalp::GridResults> results = numalp::RunGrids({grid_b, grid_a});
-
-  for (std::size_t w = 0; w < grid_b.workloads.size(); ++w) {
-    Profile(results[0], b, 0, static_cast<int>(w), grid_b.workloads[w]);
-  }
-  for (std::size_t w = 0; w < grid_a.workloads.size(); ++w) {
-    Profile(results[1], a, 0, static_cast<int>(w), grid_a.workloads[w]);
-  }
-  return 0;
+  return numalp_bench::RunFigureBench(argc, argv, info, {grid_b, grid_a});
 }

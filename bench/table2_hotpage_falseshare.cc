@@ -1,55 +1,24 @@
 // Table 2: PAMUP (proportion of accesses to the most-used page), NHP (number
 // of hot pages, > 6% of accesses), PSP (proportion of accesses to pages
 // shared by >= 2 threads), imbalance and LAR for SPECjbb, CG.D and UA.B on
-// machine A, under Linux-4K / THP / Carrefour-2M.
+// machine A, under Linux-4K / THP / Carrefour-2M. The metrics live in the
+// pamup_pct / nhp / psp_pct / imbalance_pct / lar_pct row fields.
 //
 // Paper values:
 //   SPECjbb: PAMUP 2/6/6, NHP 0/0/0, PSP 10/36/36, imb 16/39/19, LAR 26/28/27
 //   CG.D:    PAMUP 0/8/8, NHP 0/3/3, PSP 18/34/34, imb  0/20/20, LAR 45/45/45
 //   UA.B:    PAMUP 6/6/6, NHP 0/0/0, PSP 16/70/70, imb  9/15/17, LAR 90/61/58
-#include <cstdio>
-#include <string>
-
-#include "src/core/runner.h"
+#include "bench/bench_util.h"
 #include "src/topo/topology.h"
 
-int main() {
-  std::printf("Table 2: hot-page and false-sharing metrics on machine A\n\n");
-  numalp::ExperimentGrid grid;
-  grid.machines = {numalp::Topology::MachineA()};
-  grid.workloads = {numalp::BenchmarkId::kSPECjbb, numalp::BenchmarkId::kCG_D,
-                    numalp::BenchmarkId::kUA_B};
-  grid.policies = {numalp::PolicyKind::kLinux4K, numalp::PolicyKind::kThp,
-                   numalp::PolicyKind::kCarrefour2M};
-  grid.num_seeds = 3;
-  grid.sim = numalp::WithEnvOverrides(numalp::SimConfig{});
-  const numalp::GridResults results = numalp::RunGrid(grid);
-
-  for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
-    const auto summaries = results.SummarizeAll(0, static_cast<int>(w));
-    std::printf("%s\n", std::string(numalp::NameOf(grid.workloads[w])).c_str());
-    std::printf("  %-12s %10s %10s %14s\n", "metric", "Linux", "THP", "Carrefour-2M");
-    std::printf("  %-12s", "PAMUP");
-    for (const auto& s : summaries) {
-      std::printf(" %9.1f%%", s.pamup_pct);
-    }
-    std::printf("\n  %-12s", "NHP");
-    for (const auto& s : summaries) {
-      std::printf(" %10.1f", s.nhp);
-    }
-    std::printf("\n  %-12s", "PSP");
-    for (const auto& s : summaries) {
-      std::printf(" %9.1f%%", s.psp_pct);
-    }
-    std::printf("\n  %-12s", "Imbalance");
-    for (const auto& s : summaries) {
-      std::printf(" %9.1f%%", s.imbalance_pct);
-    }
-    std::printf("\n  %-12s", "LAR");
-    for (const auto& s : summaries) {
-      std::printf(" %9.1f%%", s.lar_pct);
-    }
-    std::printf("\n\n");
-  }
-  return 0;
+int main(int argc, char** argv) {
+  const numalp::report::ToolInfo info = {
+      "table2_hotpage_falseshare", "table2",
+      "Table 2: hot-page and false-sharing metrics on machine A"};
+  return numalp_bench::RunFigureBench(
+      argc, argv, info, {numalp::Topology::MachineA()},
+      {numalp::BenchmarkId::kSPECjbb, numalp::BenchmarkId::kCG_D, numalp::BenchmarkId::kUA_B},
+      {numalp::PolicyKind::kLinux4K, numalp::PolicyKind::kThp,
+       numalp::PolicyKind::kCarrefour2M},
+      /*seeds=*/3);
 }

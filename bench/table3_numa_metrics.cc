@@ -1,62 +1,33 @@
 // Table 3: LAR and imbalance across Linux-4K / THP / Carrefour-2M /
 // Carrefour-LP for CG.D on machine B, UA.B on machine A, and UA.C on
-// machine B.
+// machine B (the lar_pct / imbalance_pct row fields).
 //
 // Paper values:
 //   CG.D (B): LAR 40/36/38/39, imbalance  1/59/69/ 3
 //   UA.B (A): LAR 90/61/58/85, imbalance  9/15/17/10
 //   UA.C (B): LAR 88/66/68/82, imbalance 14/12/ 9/14
-#include <cstdio>
-#include <string>
-
-#include "src/core/runner.h"
+//
+// Two per-machine grids executed on one shared pool (the table's rows mix
+// machines, which a single cross product cannot express).
+#include "bench/bench_util.h"
 #include "src/topo/topology.h"
 
-namespace {
-
-void Row(const numalp::GridResults& results, const numalp::Topology& topo, int workload,
-         numalp::BenchmarkId bench) {
-  const auto summaries = results.SummarizeAll(0, workload);
-  std::printf("%-8s (%s)  LAR%%:", std::string(numalp::NameOf(bench)).c_str(),
-              topo.name() == "machineA" ? "A" : "B");
-  for (const auto& s : summaries) {
-    std::printf(" %5.1f", s.lar_pct);
-  }
-  std::printf("   imbalance%%:");
-  for (const auto& s : summaries) {
-    std::printf(" %5.1f", s.imbalance_pct);
-  }
-  std::printf("\n");
-}
-
-}  // namespace
-
-int main() {
-  std::printf("Table 3: NUMA metrics (columns: Linux-4K, THP, Carrefour-2M, Carrefour-LP)\n\n");
-  const numalp::Topology a = numalp::Topology::MachineA();
-  const numalp::Topology b = numalp::Topology::MachineB();
+int main(int argc, char** argv) {
+  const numalp::report::ToolInfo info = {
+      "table3_numa_metrics", "table3",
+      "Table 3: LAR and imbalance across all four system configurations"};
   const std::vector<numalp::PolicyKind> policies = {
       numalp::PolicyKind::kLinux4K, numalp::PolicyKind::kThp,
       numalp::PolicyKind::kCarrefour2M, numalp::PolicyKind::kCarrefourLp};
-  const numalp::SimConfig sim = numalp::WithEnvOverrides(numalp::SimConfig{});
-
-  // Two per-machine grids executed on one shared pool (the table's rows mix
-  // machines, which a single cross product cannot express).
   numalp::ExperimentGrid grid_b;
-  grid_b.machines = {b};
+  grid_b.machines = {numalp::Topology::MachineB()};
   grid_b.workloads = {numalp::BenchmarkId::kCG_D, numalp::BenchmarkId::kUA_C};
   grid_b.policies = policies;
   grid_b.num_seeds = 3;
-  grid_b.sim = sim;
 
   numalp::ExperimentGrid grid_a = grid_b;
-  grid_a.machines = {a};
+  grid_a.machines = {numalp::Topology::MachineA()};
   grid_a.workloads = {numalp::BenchmarkId::kUA_B};
 
-  const std::vector<numalp::GridResults> results = numalp::RunGrids({grid_b, grid_a});
-
-  Row(results[0], b, 0, numalp::BenchmarkId::kCG_D);
-  Row(results[1], a, 0, numalp::BenchmarkId::kUA_B);
-  Row(results[0], b, 1, numalp::BenchmarkId::kUA_C);
-  return 0;
+  return numalp_bench::RunFigureBench(argc, argv, info, {grid_b, grid_a});
 }

@@ -5,16 +5,19 @@
 // degraded 34%, streamcluster by ~4x — neither had suffered at 2MB. We model
 // libhugetlbfs with explicitly 1GB-backed VMAs on a machine B instance with
 // memory scale 8 (so each node holds several 1GB frames), and show that
-// Carrefour-LP recovers by splitting the offending pages.
+// Carrefour-LP recovers by splitting the offending pages (the splits row
+// field on the 1G+Carrefour-LP rows).
 //
-// Each benchmark's four configurations are declared as a flat RunSpec list
-// (the 1GB cells need a rewritten WorkloadSpec) and run on one thread pool.
-#include <cstdio>
-#include <string>
+// Each benchmark's four configurations are a flat RunSpec list: Linux-4K,
+// THP-2M, explicit-1G, explicit-1G + Carrefour-LP, all against the 4K
+// baseline. Rows carry a "mem8" variant (non-default memory scale and a 3x
+// steady phase) or "mem8-1G" for the 1GB-backed pair.
 #include <vector>
 
 #include "src/core/config.h"
 #include "src/core/runner.h"
+#include "src/report/collector.h"
+#include "src/report/options.h"
 #include "src/topo/topology.h"
 #include "src/workloads/spec.h"
 
@@ -27,65 +30,45 @@ numalp::WorkloadSpec With1GbPages(numalp::WorkloadSpec spec) {
   return spec;
 }
 
-// Cell order per benchmark: Linux-4K, THP-2M, explicit-1G, explicit-1G+LP.
-constexpr int kCellsPerCase = 4;
-
-std::vector<numalp::RunSpec> CaseCells(const numalp::Topology& topo,
-                                       numalp::BenchmarkId bench) {
-  const numalp::SimConfig sim = numalp::WithEnvOverrides(numalp::SimConfig{});
-  numalp::WorkloadSpec base_spec = numalp::MakeWorkloadSpec(bench, topo);
-  // Longer steady phase: recovery from a split 1GB page takes a few epochs,
-  // and the paper's runs amortize that transient over minutes.
-  base_spec.steady_accesses_per_thread *= 3;
-  const numalp::WorkloadSpec huge_spec = With1GbPages(base_spec);
-
-  auto cell = [&](const numalp::WorkloadSpec& spec, numalp::PolicyKind kind) {
-    numalp::RunSpec run;
-    run.topo = topo;
-    run.workload = spec;
-    run.policy = numalp::MakePolicyConfig(kind);
-    run.sim = sim;
-    return run;
-  };
-  return {cell(base_spec, numalp::PolicyKind::kLinux4K),
-          cell(base_spec, numalp::PolicyKind::kThp),
-          cell(huge_spec, numalp::PolicyKind::kLinux4K),
-          cell(huge_spec, numalp::PolicyKind::kCarrefourLp)};
-}
-
-void PrintCase(numalp::BenchmarkId bench, const numalp::RunResult* runs) {
-  const numalp::RunResult& linux4k = runs[0];
-  std::printf("%s\n", std::string(numalp::NameOf(bench)).c_str());
-  std::printf("  %-22s %10s %8s %8s %8s %6s\n", "config", "vs-4K", "LAR%", "imbal%",
-              "PAMUP%", "NHP");
-  const char* names[kCellsPerCase] = {"Linux-4K", "THP-2M", "explicit-1G",
-                                      "explicit-1G+CarrLP"};
-  for (int i = 0; i < kCellsPerCase; ++i) {
-    std::printf("  %-22s %+9.1f%% %7.1f %8.1f %8.1f %6d\n", names[i],
-                numalp::ImprovementPct(linux4k, runs[i]), runs[i].LarPct(),
-                runs[i].ImbalancePct(), runs[i].PamupPct(), runs[i].Nhp());
-  }
-  std::printf("  Carrefour-LP splits performed on 1G run: %llu\n\n",
-              static_cast<unsigned long long>(runs[kCellsPerCase - 1].total_splits));
-}
-
 }  // namespace
 
-int main() {
-  std::printf("Section 4.4: very large (1GB) pages on machine B (memory scale 8)\n\n");
+int main(int argc, char** argv) {
+  const numalp::report::ToolInfo info = {
+      "vlp_1gb", "vlp1g",
+      "Section 4.4: explicit 1GB pages (libhugetlbfs model) on machine B"};
+  const numalp::report::Options options = numalp::report::ParseToolArgs(argc, argv, info);
   const numalp::Topology topo = numalp::Topology::MachineB(/*memory_scale=*/8);
-  const numalp::BenchmarkId benches[] = {numalp::BenchmarkId::kSSCA,
-                                         numalp::BenchmarkId::kStreamcluster};
 
   std::vector<numalp::RunSpec> cells;
-  for (numalp::BenchmarkId bench : benches) {
-    const std::vector<numalp::RunSpec> case_cells = CaseCells(topo, bench);
-    cells.insert(cells.end(), case_cells.begin(), case_cells.end());
-  }
-  const std::vector<numalp::RunResult> results = numalp::ExperimentRunner().Run(cells);
+  std::vector<numalp::report::GridReport::CellMeta> meta;
+  for (numalp::BenchmarkId bench :
+       {numalp::BenchmarkId::kSSCA, numalp::BenchmarkId::kStreamcluster}) {
+    numalp::WorkloadSpec base_spec = numalp::MakeWorkloadSpec(bench, topo);
+    // Longer steady phase: recovery from a split 1GB page takes a few
+    // epochs, and the paper's runs amortize that transient over minutes.
+    base_spec.steady_accesses_per_thread *= 3;
+    const numalp::WorkloadSpec huge_spec = With1GbPages(base_spec);
 
-  for (std::size_t b = 0; b < std::size(benches); ++b) {
-    PrintCase(benches[b], &results[b * kCellsPerCase]);
+    auto cell = [&](const numalp::WorkloadSpec& spec, numalp::PolicyKind kind) {
+      numalp::RunSpec run;
+      run.topo = topo;
+      run.workload = spec;
+      run.policy = numalp::MakePolicyConfig(kind);
+      run.sim = options.sim;
+      return run;
+    };
+    const int baseline = static_cast<int>(cells.size());
+    cells.push_back(cell(base_spec, numalp::PolicyKind::kLinux4K));
+    meta.push_back({"mem8", -1, 0});
+    cells.push_back(cell(base_spec, numalp::PolicyKind::kThp));
+    meta.push_back({"mem8", baseline, 0});
+    cells.push_back(cell(huge_spec, numalp::PolicyKind::kLinux4K));
+    meta.push_back({"mem8-1G", baseline, 0});
+    cells.push_back(cell(huge_spec, numalp::PolicyKind::kCarrefourLp));
+    meta.push_back({"mem8-1G", baseline, 0});
   }
+
+  numalp::report::GridReport report(options, info);
+  report.RunCells(cells, meta);
   return 0;
 }

@@ -2,44 +2,66 @@
 // per-page access distribution the way Carrefour-LP's reactive component
 // sees it — demonstrating the hot-page effect (Section 3.1) and how the 6%
 // threshold identifies the pages that must be split rather than migrated.
+// The run itself is also emitted as a ResultRow (nhp carries the count);
+// the per-page listing is prose and prints only in the default md mode.
 //
-//   ./hot_page_inspector [machineA|machineB]
+//   ./hot_page_inspector [--machine A|B] [standard flags]
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/config.h"
-#include "src/core/simulation.h"
+#include "src/core/runner.h"
 #include "src/metrics/numa_metrics.h"
+#include "src/report/collector.h"
+#include "src/report/options.h"
 #include "src/topo/topology.h"
 #include "src/workloads/spec.h"
 
 int main(int argc, char** argv) {
-  const numalp::Topology topo = (argc > 1 && std::string(argv[1]) == "machineA")
-                                    ? numalp::Topology::MachineA()
-                                    : numalp::Topology::MachineB();
-  const numalp::SimConfig sim = numalp::WithEnvOverrides(numalp::SimConfig{});
-  const numalp::RunResult thp =
-      numalp::RunBenchmark(topo, numalp::BenchmarkId::kCG_D, numalp::PolicyKind::kThp, sim);
+  const numalp::report::ToolInfo info = {
+      "hot_page_inspector", "hot_page",
+      "the per-page access distribution behind the hot-page effect",
+      "  --machine A|B          machine preset (default B)\n"};
+  numalp::Topology topo = numalp::Topology::MachineB();
+  const numalp::report::Options options = numalp::report::ParseToolArgs(
+      argc, argv, info, {numalp::report::MachineFlag(&topo)});
+
+  // The Linux-4K baseline runs too (concurrently), so the THP row carries a
+  // real improvement_pct instead of a fake 0 that would poison the pooled
+  // qualitative checks.
+  std::vector<numalp::RunSpec> cells(2);
+  cells[0].topo = topo;
+  cells[0].workload = numalp::MakeWorkloadSpec(numalp::BenchmarkId::kCG_D, topo);
+  cells[0].policy = numalp::MakePolicyConfig(numalp::PolicyKind::kLinux4K);
+  cells[0].sim = options.sim;
+  cells[1] = cells[0];
+  cells[1].policy = numalp::MakePolicyConfig(numalp::PolicyKind::kThp);
+
+  numalp::report::GridReport report(options, info);
+  const std::vector<numalp::RunResult> results =
+      report.RunCells(cells, {{"", -1, 0}, {"", /*baseline=*/0, 0}});
+  report.Finish();
+  const numalp::RunResult& thp = results[1];
+  if (!options.human()) {
+    return 0;
+  }
 
   // Sort the run's page aggregates by access share.
   std::uint64_t total = 0;
-  for (const auto& [base, agg] : thp.cumulative_pages) {
-    if (agg.dram > 0) {
-      total += agg.total;
-    }
-  }
   std::vector<std::pair<numalp::Addr, const numalp::PageAgg*>> pages;
   for (const auto& [base, agg] : thp.cumulative_pages) {
     if (agg.dram > 0) {
+      total += agg.total;
       pages.emplace_back(base, &agg);
     }
   }
   std::sort(pages.begin(), pages.end(),
             [](const auto& a, const auto& b) { return a.second->total > b.second->total; });
 
-  std::printf("CG.D under THP on %s: top pages by access share\n", topo.name().c_str());
+  std::printf("\nCG.D under THP on %s: top pages by access share\n", topo.name().c_str());
   std::printf("(hot threshold: >%.0f%% of accesses; %d NUMA nodes)\n\n",
               numalp::kHotPageSharePct, topo.num_nodes());
   std::printf("%4s %-14s %5s %8s %6s %8s %8s\n", "rank", "page", "size", "share%", "node",

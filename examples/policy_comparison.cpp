@@ -2,20 +2,25 @@
 // library API — the template for users who want to model their *own*
 // application instead of the paper's suite. The workload below is a small
 // key-value store: a Zipf-hot shared table plus per-connection scratch.
-// All six policy runs are declared as RunSpec cells and executed in
-// parallel by the ExperimentRunner (worker count: NUMALP_JOBS).
+// All six policy runs are declared as RunSpec cells, executed in parallel
+// by the ExperimentRunner (--jobs / NUMALP_JOBS), and emitted as ResultRows
+// against the Linux-4K cell (--format / --out-dir select the sinks).
 //
-//   ./policy_comparison
-#include <cstdio>
-#include <string>
+//   ./policy_comparison [standard flags; --help lists them]
 #include <vector>
 
 #include "src/core/config.h"
 #include "src/core/runner.h"
+#include "src/report/collector.h"
+#include "src/report/options.h"
 #include "src/topo/topology.h"
 #include "src/workloads/spec.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const numalp::report::ToolInfo info = {
+      "policy_comparison", "policy_comparison",
+      "all six policies over a custom kv-store workload model"};
+  const numalp::report::Options options = numalp::report::ParseToolArgs(argc, argv, info);
   const numalp::Topology topo = numalp::Topology::MachineB();
 
   // Describe the application's memory behaviour as regions.
@@ -44,33 +49,22 @@ int main() {
     spec.regions.push_back(connections);
   }
 
-  const numalp::SimConfig sim = numalp::WithEnvOverrides(numalp::SimConfig{});
-  const std::vector<numalp::PolicyKind> kinds = {
-      numalp::PolicyKind::kLinux4K,          numalp::PolicyKind::kThp,
-      numalp::PolicyKind::kCarrefour2M,      numalp::PolicyKind::kReactiveOnly,
-      numalp::PolicyKind::kConservativeOnly, numalp::PolicyKind::kCarrefourLp};
-
   std::vector<numalp::RunSpec> cells;
-  for (const numalp::PolicyKind kind : kinds) {
+  std::vector<numalp::report::GridReport::CellMeta> meta;
+  for (const numalp::PolicyKind kind :
+       {numalp::PolicyKind::kLinux4K, numalp::PolicyKind::kThp,
+        numalp::PolicyKind::kCarrefour2M, numalp::PolicyKind::kReactiveOnly,
+        numalp::PolicyKind::kConservativeOnly, numalp::PolicyKind::kCarrefourLp}) {
     numalp::RunSpec cell;
     cell.topo = topo;
     cell.workload = spec;
     cell.policy = numalp::MakePolicyConfig(kind);
-    cell.sim = sim;
+    cell.sim = options.sim;
     cells.push_back(cell);
+    meta.push_back({"", /*baseline=*/0, 0});  // cell 0 is the Linux-4K run
   }
-  const std::vector<numalp::RunResult> results = numalp::ExperimentRunner().Run(cells);
 
-  std::printf("custom kv-store workload on %s\n\n", topo.name().c_str());
-  std::printf("%-16s %10s %8s %8s %8s %8s\n", "policy", "runtime", "vs-4K", "LAR%",
-              "imbal%", "walkmiss");
-  const numalp::RunResult& baseline = results[0];
-  for (std::size_t i = 0; i < kinds.size(); ++i) {
-    const numalp::RunResult& run = results[i];
-    std::printf("%-16s %8.1fms %+7.1f%% %7.1f %8.1f %7.1f%%\n",
-                std::string(numalp::NameOf(kinds[i])).c_str(), run.RuntimeMs(sim.clock_ghz),
-                numalp::ImprovementPct(baseline, run), run.LarPct(), run.ImbalancePct(),
-                100.0 * run.WalkL2MissFrac());
-  }
+  numalp::report::GridReport report(options, info);
+  report.RunCells(cells, meta);
   return 0;
 }

@@ -1,69 +1,49 @@
 // Quickstart: run one benchmark on a simulated NUMA machine under the four
-// main system configurations and print the paper's headline metrics.
+// main system configurations and emit the paper's headline metrics as
+// ResultRows (an aligned table by default; --format csv|jsonl for machines,
+// --out-dir for files).
 //
-//   ./quickstart [benchmark] [machineA|machineB]
+//   ./quickstart [--workload NAME] [--machine A|B] [standard flags]
 //
 // Defaults to CG.D on machine B — the paper's most dramatic hot-page case
 // (THP loses 43% vs 4KB pages; Carrefour-LP wins it back by splitting).
 #include <cstdio>
-#include <string>
 
 #include "src/core/config.h"
-#include "src/core/simulation.h"
+#include "src/core/runner.h"
+#include "src/report/collector.h"
+#include "src/report/options.h"
 #include "src/topo/topology.h"
 #include "src/workloads/spec.h"
 
-namespace {
-
-numalp::BenchmarkId ParseBenchmark(const std::string& name) {
-  for (numalp::BenchmarkId id : numalp::FullSuite()) {
-    if (name == numalp::NameOf(id)) {
-      return id;
-    }
-  }
-  if (name == "streamcluster") {
-    return numalp::BenchmarkId::kStreamcluster;
-  }
-  std::fprintf(stderr, "unknown benchmark '%s', using CG.D\n", name.c_str());
-  return numalp::BenchmarkId::kCG_D;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const numalp::BenchmarkId bench =
-      argc > 1 ? ParseBenchmark(argv[1]) : numalp::BenchmarkId::kCG_D;
-  const numalp::Topology topo = (argc > 2 && std::string(argv[2]) == "machineA")
-                                    ? numalp::Topology::MachineA()
-                                    : numalp::Topology::MachineB();
-  const numalp::SimConfig sim = numalp::WithEnvOverrides(numalp::SimConfig{});
+  const numalp::report::ToolInfo info = {
+      "quickstart", "quickstart",
+      "one benchmark under the four main system configurations",
+      "  --workload NAME        benchmark to run (default CG.D; paper suite +"
+      " streamcluster)\n"
+      "  --machine A|B          machine preset (default B)\n"};
+  numalp::BenchmarkId bench = numalp::BenchmarkId::kCG_D;
+  numalp::Topology topo = numalp::Topology::MachineB();
+  const numalp::report::Options options = numalp::report::ParseToolArgs(
+      argc, argv, info,
+      {numalp::report::WorkloadFlag(&bench), numalp::report::MachineFlag(&topo)});
 
-  std::printf("benchmark %s on %s (%d nodes x %d cores)\n\n",
-              std::string(numalp::NameOf(bench)).c_str(), topo.name().c_str(),
-              topo.num_nodes(), topo.node(0).num_cores);
-  std::printf("%-14s %10s %8s %7s %7s %7s %6s %7s %7s %5s %6s %6s %6s %5s\n", "policy",
-              "runtime", "vs-4K", "LAR%", "imbal%", "PAMUP%", "NHP", "PSP%", "fault%", "ep",
-              "migr", "split", "promo", "ovh%");
-
-  const numalp::RunResult base =
-      numalp::RunBenchmark(topo, bench, numalp::PolicyKind::kLinux4K, sim);
-  for (const numalp::PolicyKind kind :
-       {numalp::PolicyKind::kLinux4K, numalp::PolicyKind::kThp,
-        numalp::PolicyKind::kCarrefour2M, numalp::PolicyKind::kCarrefourLp}) {
-    const numalp::RunResult run =
-        kind == numalp::PolicyKind::kLinux4K ? base
-                                             : numalp::RunBenchmark(topo, bench, kind, sim);
-    std::printf(
-        "%-14s %8.1fms %+7.1f%% %7.1f %7.1f %7.1f %6d %7.1f %7.2f %5d %6llu %6llu %6llu %5.1f\n",
-        std::string(numalp::NameOf(kind)).c_str(), run.RuntimeMs(sim.clock_ghz),
-        numalp::ImprovementPct(base, run), run.LarPct(), run.ImbalancePct(), run.PamupPct(),
-        run.Nhp(), run.PspPct(), run.SteadyMaxFaultSharePct(), run.epochs,
-        static_cast<unsigned long long>(run.total_migrations),
-        static_cast<unsigned long long>(run.total_splits),
-        static_cast<unsigned long long>(run.total_promotions),
-        100.0 * static_cast<double>(run.total_policy_overhead) /
-            static_cast<double>(run.total_cycles));
+  if (options.human()) {
+    std::printf("benchmark %s on %s (%d nodes x %d cores)\n\n",
+                std::string(numalp::NameOf(bench)).c_str(), topo.name().c_str(),
+                topo.num_nodes(), topo.node(0).num_cores);
   }
-  std::printf("\ncompleted: %s\n", base.completed ? "yes" : "no");
+
+  numalp::ExperimentGrid grid;
+  grid.machines = {topo};
+  grid.workloads = {bench};
+  grid.policies = {numalp::PolicyKind::kLinux4K, numalp::PolicyKind::kThp,
+                   numalp::PolicyKind::kCarrefour2M, numalp::PolicyKind::kCarrefourLp};
+  grid.num_seeds = 1;
+  grid.sim = options.sim;
+
+  numalp::report::GridReport report(options, info);
+  report.Run(grid);
   return 0;
 }

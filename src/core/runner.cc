@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <thread>
 
 namespace numalp {
@@ -34,9 +35,21 @@ std::vector<RunResult> ExperimentRunner::Run(const std::vector<RunSpec>& cells) 
   if (workers <= 1) {
     for (std::size_t i = 0; i < cells.size(); ++i) {
       run_cell(i);
+      if (observer_) {
+        observer_(i, cells[i], results[i]);
+      }
     }
     return results;
   }
+
+  // Observer plumbing: workers mark completed cells and flush the contiguous
+  // done-prefix under the mutex, so the observer sees cells in ascending
+  // index order no matter which worker finished them. A cell's result is
+  // published by its worker before it takes the mutex, so the flusher reads
+  // it safely.
+  std::mutex emit_mutex;
+  std::vector<char> done(cells.size(), 0);
+  std::size_t next_to_emit = 0;
 
   std::atomic<std::size_t> next{0};
   std::vector<std::thread> pool;
@@ -45,6 +58,14 @@ std::vector<RunResult> ExperimentRunner::Run(const std::vector<RunSpec>& cells) 
     pool.emplace_back([&]() {
       for (std::size_t i = next.fetch_add(1); i < cells.size(); i = next.fetch_add(1)) {
         run_cell(i);
+        if (observer_) {
+          const std::lock_guard<std::mutex> lock(emit_mutex);
+          done[i] = 1;
+          while (next_to_emit < cells.size() && done[next_to_emit]) {
+            observer_(next_to_emit, cells[next_to_emit], results[next_to_emit]);
+            ++next_to_emit;
+          }
+        }
       }
     });
   }

@@ -5,7 +5,9 @@
 #ifndef NUMALP_SRC_CORE_RUNNER_H_
 #define NUMALP_SRC_CORE_RUNNER_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/core/config.h"
@@ -33,6 +35,14 @@ std::uint64_t CellSeed(std::uint64_t base_seed, int seed_index);
 // Parses the NUMALP_JOBS environment variable (0 when unset/invalid).
 int JobsFromEnv();
 
+// Observes cell completions during ExperimentRunner::Run. Invoked once per
+// cell in ascending cell-index order — cell i+1 is reported only after cell
+// i, regardless of the worker count or execution order — which is what lets
+// the report sinks (src/report/) stream rows at the point of completion
+// while staying byte-identical at any --jobs value (DESIGN.md Section 6).
+using RunObserver =
+    std::function<void(std::size_t index, const RunSpec& spec, const RunResult& result)>;
+
 class ExperimentRunner {
  public:
   // jobs <= 0 selects NUMALP_JOBS from the environment, falling back to the
@@ -41,12 +51,18 @@ class ExperimentRunner {
 
   int jobs() const { return jobs_; }
 
+  // Registers the completion observer (replacing any previous one). A cell
+  // is reported as soon as it and every lower-indexed cell have finished;
+  // calls are serialized and never concurrent.
+  void set_observer(RunObserver observer) { observer_ = std::move(observer); }
+
   // Executes every cell and returns results positionally: results[i] belongs
   // to cells[i] regardless of which worker ran it or in which order.
   std::vector<RunResult> Run(const std::vector<RunSpec>& cells) const;
 
  private:
   int jobs_ = 1;
+  RunObserver observer_;
 };
 
 // Seed-aggregated view of one (machine, workload, policy) column against the

@@ -1,0 +1,445 @@
+#include "src/report/aggregate.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "src/report/sink.h"
+
+namespace numalp::report {
+
+namespace {
+
+// --- Minimal JSON-object scanner -----------------------------------------
+// The sinks write flat one-line objects whose values are strings, numbers
+// and booleans; this parser accepts exactly that (plus whitespace). It is
+// deliberately not a general JSON parser.
+
+struct Cursor {
+  const char* p;
+  const char* end;
+};
+
+void SkipWs(Cursor& c) {
+  while (c.p < c.end && (*c.p == ' ' || *c.p == '\t' || *c.p == '\r')) {
+    ++c.p;
+  }
+}
+
+bool ParseQuoted(Cursor& c, std::string* out) {
+  if (c.p >= c.end || *c.p != '"') {
+    return false;
+  }
+  ++c.p;
+  out->clear();
+  while (c.p < c.end && *c.p != '"') {
+    char ch = *c.p++;
+    if (ch == '\\' && c.p < c.end) {
+      const char esc = *c.p++;
+      switch (esc) {
+        case 'n':
+          ch = '\n';
+          break;
+        case 't':
+          ch = '\t';
+          break;
+        default:
+          ch = esc;  // \" \\ \/ and anything else: the literal character
+      }
+    }
+    out->push_back(ch);
+  }
+  if (c.p >= c.end) {
+    return false;
+  }
+  ++c.p;  // closing quote
+  return true;
+}
+
+bool ParseBareToken(Cursor& c, std::string* out) {
+  out->clear();
+  while (c.p < c.end && *c.p != ',' && *c.p != '}' && *c.p != ' ' && *c.p != '\t') {
+    out->push_back(*c.p++);
+  }
+  return !out->empty();
+}
+
+const std::map<std::string, const ResultField*>& FieldsByName() {
+  static const std::map<std::string, const ResultField*> by_name = [] {
+    std::map<std::string, const ResultField*> map;
+    for (const ResultField& field : ResultSchema()) {
+      map[field.name] = &field;
+    }
+    return map;
+  }();
+  return by_name;
+}
+
+}  // namespace
+
+bool ParseJsonlLine(const std::string& line, ResultRow* row, std::string* error) {
+  Cursor c{line.data(), line.data() + line.size()};
+  SkipWs(c);
+  if (c.p >= c.end || *c.p != '{') {
+    *error = "expected '{'";
+    return false;
+  }
+  ++c.p;
+  SkipWs(c);
+  if (c.p < c.end && *c.p == '}') {
+    return true;  // empty object: all defaults
+  }
+  while (true) {
+    SkipWs(c);
+    std::string key;
+    if (!ParseQuoted(c, &key)) {
+      *error = "expected a quoted key";
+      return false;
+    }
+    SkipWs(c);
+    if (c.p >= c.end || *c.p != ':') {
+      *error = "expected ':' after \"" + key + "\"";
+      return false;
+    }
+    ++c.p;
+    SkipWs(c);
+    std::string value;
+    const bool quoted = c.p < c.end && *c.p == '"';
+    if (quoted ? !ParseQuoted(c, &value) : !ParseBareToken(c, &value)) {
+      *error = "bad value for \"" + key + "\"";
+      return false;
+    }
+    const auto& fields = FieldsByName();
+    const auto it = fields.find(key);
+    if (it != fields.end()) {  // unknown keys are ignored
+      if (quoted != (it->second->type == FieldType::kString) ||
+          !FieldFromString(*row, *it->second, value)) {
+        *error = "bad value for \"" + key + "\"";
+        return false;
+      }
+    }
+    SkipWs(c);
+    if (c.p < c.end && *c.p == ',') {
+      ++c.p;
+      continue;
+    }
+    if (c.p < c.end && *c.p == '}') {
+      return true;
+    }
+    *error = "expected ',' or '}'";
+    return false;
+  }
+}
+
+std::vector<ResultRow> LoadJsonlFile(const std::string& path,
+                                     std::vector<ParseIssue>* issues) {
+  std::vector<ResultRow> rows;
+  std::ifstream in(path);
+  if (!in) {
+    if (issues != nullptr) {
+      issues->push_back({path, 0, "cannot open"});
+    }
+    return rows;
+  }
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;
+    }
+    ResultRow row;
+    std::string error;
+    if (ParseJsonlLine(line, &row, &error)) {
+      rows.push_back(std::move(row));
+    } else if (issues != nullptr) {
+      issues->push_back({path, line_number, error});
+    }
+  }
+  return rows;
+}
+
+std::vector<ResultRow> LoadResults(const std::string& path,
+                                   std::vector<ParseIssue>* issues) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(path, ec)) {
+    return LoadJsonlFile(path, issues);
+  }
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(path, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".jsonl") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<ResultRow> rows;
+  for (const std::string& file : files) {
+    std::vector<ResultRow> file_rows = LoadJsonlFile(file, issues);
+    rows.insert(rows.end(), file_rows.begin(), file_rows.end());
+  }
+  return rows;
+}
+
+std::vector<AggregateRow> Aggregate(const std::vector<ResultRow>& rows) {
+  std::vector<AggregateRow> aggregates;
+  std::map<std::string, std::size_t> index;
+  for (const ResultRow& row : rows) {
+    const std::string key =
+        row.bench + "|" + row.machine + "|" + row.workload + "|" + row.policy + "|" +
+        row.variant;
+    const auto it = index.find(key);
+    std::size_t slot;
+    if (it == index.end()) {
+      slot = aggregates.size();
+      index[key] = slot;
+      AggregateRow aggregate;
+      aggregate.bench = row.bench;
+      aggregate.machine = row.machine;
+      aggregate.workload = row.workload;
+      aggregate.policy = row.policy;
+      aggregate.variant = row.variant;
+      aggregate.min_improvement_pct = row.improvement_pct;
+      aggregate.max_improvement_pct = row.improvement_pct;
+      aggregates.push_back(aggregate);
+    } else {
+      slot = it->second;
+    }
+    AggregateRow& agg = aggregates[slot];
+    ++agg.runs;
+    agg.mean_improvement_pct += row.improvement_pct;
+    agg.min_improvement_pct = std::min(agg.min_improvement_pct, row.improvement_pct);
+    agg.max_improvement_pct = std::max(agg.max_improvement_pct, row.improvement_pct);
+    agg.runtime_ms += row.runtime_ms;
+    agg.lar_pct += row.lar_pct;
+    agg.imbalance_pct += row.imbalance_pct;
+    agg.pamup_pct += row.pamup_pct;
+    agg.nhp += row.nhp;
+    agg.psp_pct += row.psp_pct;
+    agg.walk_l2_miss_pct += row.walk_l2_miss_pct;
+    agg.steady_fault_share_pct += row.steady_fault_share_pct;
+    agg.max_fault_ms += row.max_fault_ms;
+    agg.thp_coverage_pct += row.thp_coverage_pct;
+    agg.overhead_pct += row.overhead_pct;
+    agg.migrations += static_cast<double>(row.migrations);
+    agg.splits += static_cast<double>(row.splits);
+    agg.promotions += static_cast<double>(row.promotions);
+  }
+  for (AggregateRow& agg : aggregates) {
+    const double inv = agg.runs > 0 ? 1.0 / agg.runs : 0.0;
+    agg.mean_improvement_pct *= inv;
+    agg.runtime_ms *= inv;
+    agg.lar_pct *= inv;
+    agg.imbalance_pct *= inv;
+    agg.pamup_pct *= inv;
+    agg.nhp *= inv;
+    agg.psp_pct *= inv;
+    agg.walk_l2_miss_pct *= inv;
+    agg.steady_fault_share_pct *= inv;
+    agg.max_fault_ms *= inv;
+    agg.thp_coverage_pct *= inv;
+    agg.overhead_pct *= inv;
+    agg.migrations *= inv;
+    agg.splits *= inv;
+    agg.promotions *= inv;
+  }
+  return aggregates;
+}
+
+namespace {
+
+// AggregateRow serialization schema shared by the JSON/CSV writers.
+struct AggregateField {
+  const char* name;
+  bool is_string;
+  std::string (*get)(const AggregateRow&);
+};
+
+std::string FromInt(int value) { return std::to_string(value); }
+
+const std::vector<AggregateField>& AggregateSchema() {
+  static const std::vector<AggregateField> schema = {
+      {"bench", true, [](const AggregateRow& a) { return a.bench; }},
+      {"machine", true, [](const AggregateRow& a) { return a.machine; }},
+      {"workload", true, [](const AggregateRow& a) { return a.workload; }},
+      {"policy", true, [](const AggregateRow& a) { return a.policy; }},
+      {"variant", true, [](const AggregateRow& a) { return a.variant; }},
+      {"runs", false, [](const AggregateRow& a) { return FromInt(a.runs); }},
+      {"mean_improvement_pct", false,
+       [](const AggregateRow& a) { return CanonicalDouble(a.mean_improvement_pct); }},
+      {"min_improvement_pct", false,
+       [](const AggregateRow& a) { return CanonicalDouble(a.min_improvement_pct); }},
+      {"max_improvement_pct", false,
+       [](const AggregateRow& a) { return CanonicalDouble(a.max_improvement_pct); }},
+      {"runtime_ms", false,
+       [](const AggregateRow& a) { return CanonicalDouble(a.runtime_ms); }},
+      {"lar_pct", false, [](const AggregateRow& a) { return CanonicalDouble(a.lar_pct); }},
+      {"imbalance_pct", false,
+       [](const AggregateRow& a) { return CanonicalDouble(a.imbalance_pct); }},
+      {"pamup_pct", false,
+       [](const AggregateRow& a) { return CanonicalDouble(a.pamup_pct); }},
+      {"nhp", false, [](const AggregateRow& a) { return CanonicalDouble(a.nhp); }},
+      {"psp_pct", false, [](const AggregateRow& a) { return CanonicalDouble(a.psp_pct); }},
+      {"walk_l2_miss_pct", false,
+       [](const AggregateRow& a) { return CanonicalDouble(a.walk_l2_miss_pct); }},
+      {"steady_fault_share_pct", false,
+       [](const AggregateRow& a) { return CanonicalDouble(a.steady_fault_share_pct); }},
+      {"max_fault_ms", false,
+       [](const AggregateRow& a) { return CanonicalDouble(a.max_fault_ms); }},
+      {"thp_coverage_pct", false,
+       [](const AggregateRow& a) { return CanonicalDouble(a.thp_coverage_pct); }},
+      {"overhead_pct", false,
+       [](const AggregateRow& a) { return CanonicalDouble(a.overhead_pct); }},
+      {"migrations", false,
+       [](const AggregateRow& a) { return CanonicalDouble(a.migrations); }},
+      {"splits", false, [](const AggregateRow& a) { return CanonicalDouble(a.splits); }},
+      {"promotions", false,
+       [](const AggregateRow& a) { return CanonicalDouble(a.promotions); }},
+  };
+  return schema;
+}
+
+void WriteAggregateObject(std::ostream& out, const AggregateRow& aggregate,
+                          const char* indent) {
+  out << indent << '{';
+  const auto& schema = AggregateSchema();
+  for (std::size_t f = 0; f < schema.size(); ++f) {
+    out << (f == 0 ? "" : ",") << '"' << schema[f].name << "\":";
+    if (schema[f].is_string) {
+      out << '"' << JsonEscape(schema[f].get(aggregate)) << '"';
+    } else {
+      out << schema[f].get(aggregate);
+    }
+  }
+  out << '}';
+}
+
+std::string Pct1(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", value);
+  return buf;
+}
+
+std::string Num1(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", value);
+  return buf;
+}
+
+// First-appearance-order list of the distinct values `get` takes on `rows`.
+template <typename Get>
+std::vector<std::string> Distinct(const std::vector<AggregateRow>& rows, Get get) {
+  std::vector<std::string> values;
+  for (const AggregateRow& row : rows) {
+    if (std::find(values.begin(), values.end(), get(row)) == values.end()) {
+      values.push_back(get(row));
+    }
+  }
+  return values;
+}
+
+}  // namespace
+
+void WriteSummaryJson(std::ostream& out, const std::vector<AggregateRow>& aggregates) {
+  out << "{\n  \"schema\": \"numalp-bench-summary-v1\",\n  \"groups\": [\n";
+  for (std::size_t i = 0; i < aggregates.size(); ++i) {
+    WriteAggregateObject(out, aggregates[i], "    ");
+    out << (i + 1 < aggregates.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+}
+
+void WriteAggregatesCsv(std::ostream& out, const std::vector<AggregateRow>& aggregates) {
+  const auto& schema = AggregateSchema();
+  for (std::size_t f = 0; f < schema.size(); ++f) {
+    out << (f == 0 ? "" : ",") << schema[f].name;
+  }
+  out << '\n';
+  for (const AggregateRow& aggregate : aggregates) {
+    for (std::size_t f = 0; f < schema.size(); ++f) {
+      out << (f == 0 ? "" : ",")
+          << (schema[f].is_string ? CsvEscape(schema[f].get(aggregate))
+                                  : schema[f].get(aggregate));
+    }
+    out << '\n';
+  }
+}
+
+void WriteAggregatesJsonl(std::ostream& out, const std::vector<AggregateRow>& aggregates) {
+  for (const AggregateRow& aggregate : aggregates) {
+    WriteAggregateObject(out, aggregate, "");
+    out << '\n';
+  }
+}
+
+void PrintAggregates(std::ostream& out, const std::vector<AggregateRow>& aggregates) {
+  for (const std::string& bench : Distinct(aggregates, [](const AggregateRow& a) {
+         return a.bench;
+       })) {
+    std::vector<AggregateRow> of_bench;
+    for (const AggregateRow& a : aggregates) {
+      if (a.bench == bench) {
+        of_bench.push_back(a);
+      }
+    }
+    out << "## " << bench << "\n\n";
+    const std::vector<std::string> policies =
+        Distinct(of_bench, [](const AggregateRow& a) { return a.policy; });
+
+    // Improvement pivot, one block per machine: the paper's bar charts as
+    // rows (workload x policy, mean % improvement over Linux-4K).
+    for (const std::string& machine :
+         Distinct(of_bench, [](const AggregateRow& a) { return a.machine; })) {
+      out << "improvement over Linux-4K on " << machine << " (mean over "
+          << "seeds)\n";
+      std::vector<std::string> header = {"workload", "variant"};
+      header.insert(header.end(), policies.begin(), policies.end());
+      std::vector<std::vector<std::string>> table;
+      for (const AggregateRow& a : of_bench) {
+        if (a.machine != machine) {
+          continue;
+        }
+        // One table row per (workload, variant); fill the policy columns.
+        const std::vector<std::string> key = {a.workload, a.variant};
+        auto row_it = std::find_if(table.begin(), table.end(),
+                                   [&](const std::vector<std::string>& row) {
+                                     return row[0] == key[0] && row[1] == key[1];
+                                   });
+        if (row_it == table.end()) {
+          std::vector<std::string> row = key;
+          row.resize(2 + policies.size());
+          table.push_back(row);
+          row_it = table.end() - 1;
+        }
+        const auto policy_it = std::find(policies.begin(), policies.end(), a.policy);
+        (*row_it)[2 + static_cast<std::size_t>(policy_it - policies.begin())] =
+            Pct1(a.mean_improvement_pct);
+      }
+      PrintAlignedTable(out, header, table);
+      out << '\n';
+    }
+
+    // Per-column metrics: the numbers behind Tables 1-3.
+    out << "metrics (seed means)\n";
+    const std::vector<std::string> header = {"machine", "workload",  "policy", "variant",
+                                             "runs",    "improv",    "LAR%",   "imbal%",
+                                             "PAMUP%",  "NHP",       "PSP%",   "walk%",
+                                             "fault%",  "THPcov%",   "ovh%"};
+    std::vector<std::vector<std::string>> table;
+    for (const AggregateRow& a : of_bench) {
+      table.push_back({a.machine, a.workload, a.policy, a.variant, FromInt(a.runs),
+                       Pct1(a.mean_improvement_pct), Num1(a.lar_pct), Num1(a.imbalance_pct),
+                       Num1(a.pamup_pct), Num1(a.nhp), Num1(a.psp_pct),
+                       Num1(a.walk_l2_miss_pct), Num1(a.steady_fault_share_pct),
+                       Num1(a.thp_coverage_pct), Num1(a.overhead_pct)});
+    }
+    PrintAlignedTable(out, header, table);
+    out << '\n';
+  }
+}
+
+}  // namespace numalp::report

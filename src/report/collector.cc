@@ -1,0 +1,138 @@
+#include "src/report/collector.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+
+#include "src/report/result_row.h"
+
+namespace numalp::report {
+
+namespace {
+
+// A stand-in baseline carrying only the cycle counts ImprovementPct reads.
+RunResult CyclesOnly(std::uint64_t total, std::uint64_t measured) {
+  RunResult result;
+  result.total_cycles = total;
+  result.measured_cycles = measured;
+  return result;
+}
+
+}  // namespace
+
+GridReport::GridReport(const Options& options, const ToolInfo& info)
+    : bench_id_(info.bench_id), sinks_(std::make_unique<MultiSink>()),
+      runner_(options.jobs) {
+  sinks_->Add(MakeSink(options.format, std::cout));
+  if (!options.out_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.out_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "%s: cannot create %s: %s\n", info.name, options.out_dir.c_str(),
+                   ec.message().c_str());
+      std::exit(2);
+    }
+    for (const char* format : {"csv", "jsonl"}) {
+      const std::string path =
+          options.out_dir + "/" + std::string(info.bench_id) + "." + format;
+      std::string error;
+      auto sink = OpenFileSink(format, path, &error);
+      if (sink == nullptr) {
+        std::fprintf(stderr, "%s: %s\n", info.name, error.c_str());
+        std::exit(2);
+      }
+      sinks_->Add(std::move(sink));
+    }
+  }
+}
+
+GridReport::GridReport(std::unique_ptr<ResultSink> sink, std::string bench_id, int jobs)
+    : bench_id_(std::move(bench_id)), sinks_(std::make_unique<MultiSink>()), runner_(jobs) {
+  sinks_->Add(std::move(sink));
+}
+
+GridReport::~GridReport() { Finish(); }
+
+void GridReport::Finish() {
+  if (finished_) {
+    return;
+  }
+  finished_ = true;
+  sinks_->Finish();
+}
+
+// Grid cells carry their coordinates in the RunSpec itself: the machine,
+// workload and policy name the column, the seed names the axis position
+// (rows of one column stream in ascending seed order, so the column's row
+// count is the seed index), and a kLinux4K cell is by construction the
+// (machine, workload, seed) baseline of everything that follows it.
+void GridReport::EmitGridCell(const RunSpec& spec, const RunResult& result) {
+  const std::string base_key =
+      result.machine + "|" + result.workload + "|" + std::to_string(spec.sim.seed);
+  ResultRow row;
+  if (result.policy == PolicyKind::kLinux4K) {
+    baselines_[base_key] = BaselineCycles{result.total_cycles, result.measured_cycles};
+    row = MakeResultRow(bench_id_, spec, result, nullptr, 0, spec.sim.clock_ghz);
+  } else {
+    const auto it = baselines_.find(base_key);
+    const RunResult baseline =
+        it != baselines_.end() ? CyclesOnly(it->second.total, it->second.measured)
+                               : RunResult{};
+    row = MakeResultRow(bench_id_, spec, result, it != baselines_.end() ? &baseline : nullptr,
+                        0, spec.sim.clock_ghz);
+  }
+  const std::string column_key =
+      result.machine + "|" + result.workload + "|" + row.policy;
+  row.seed_index = seen_[column_key]++;
+  sinks_->Write(row);
+}
+
+GridResults GridReport::Run(const ExperimentGrid& grid) {
+  runner_.set_observer([this](std::size_t, const RunSpec& spec, const RunResult& result) {
+    EmitGridCell(spec, result);
+  });
+  GridResults results = RunGrid(grid, runner_);
+  runner_.set_observer(nullptr);
+  return results;
+}
+
+std::vector<GridResults> GridReport::Run(const std::vector<ExperimentGrid>& grids) {
+  runner_.set_observer([this](std::size_t, const RunSpec& spec, const RunResult& result) {
+    EmitGridCell(spec, result);
+  });
+  std::vector<GridResults> results = RunGrids(grids, runner_);
+  runner_.set_observer(nullptr);
+  return results;
+}
+
+std::vector<RunResult> GridReport::RunCells(const std::vector<RunSpec>& cells,
+                                            const std::vector<CellMeta>& meta) {
+  // Cells stream in index order, so each cell's baseline (a lower index) has
+  // already been recorded here when the cell's row is built.
+  std::vector<BaselineCycles> emitted(cells.size());
+  runner_.set_observer(
+      [this, &meta, &emitted](std::size_t i, const RunSpec& spec, const RunResult& result) {
+        emitted[i] = BaselineCycles{result.total_cycles, result.measured_cycles};
+        const CellMeta& cell_meta = i < meta.size() ? meta[i] : CellMeta{};
+        RunResult baseline;
+        const bool has_baseline =
+            cell_meta.baseline >= 0 && static_cast<std::size_t>(cell_meta.baseline) < i;
+        if (has_baseline) {
+          const BaselineCycles& cycles = emitted[static_cast<std::size_t>(cell_meta.baseline)];
+          baseline = CyclesOnly(cycles.total, cycles.measured);
+        }
+        sinks_->Write(MakeResultRow(bench_id_, spec, result,
+                                    has_baseline ? &baseline : nullptr, cell_meta.seed_index,
+                                    spec.sim.clock_ghz, cell_meta.variant));
+      });
+  std::vector<RunResult> results = runner_.Run(cells);
+  runner_.set_observer(nullptr);
+  return results;
+}
+
+std::vector<RunResult> GridReport::RunCells(const std::vector<RunSpec>& cells) {
+  return RunCells(cells, std::vector<CellMeta>(cells.size()));
+}
+
+}  // namespace numalp::report

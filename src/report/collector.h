@@ -1,0 +1,82 @@
+// GridReport: the glue between a bench's declared sweep and its result
+// sinks. It registers a RunObserver on the ExperimentRunner so every grid
+// cell is captured as a ResultRow at the point of completion, in
+// grid-coordinate order regardless of --jobs (the runner reports cells in
+// ascending index order; DESIGN.md Section 6). Rows carry the improvement
+// against their same-seed Linux-4K baseline: grid expansion places each
+// baseline before its policy cells, so the baseline's cycles are always
+// cached by the time a policy cell streams.
+#ifndef NUMALP_SRC_REPORT_COLLECTOR_H_
+#define NUMALP_SRC_REPORT_COLLECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/runner.h"
+#include "src/report/options.h"
+#include "src/report/sink.h"
+
+namespace numalp::report {
+
+class GridReport {
+ public:
+  // CLI constructor: builds the stdout sink from --format plus, when
+  // --out-dir was given, <out_dir>/<bench_id>.csv and .jsonl file sinks
+  // (creating the directory). Prints to stderr and exits 2 on I/O errors.
+  GridReport(const Options& options, const ToolInfo& info);
+
+  // Test/embedding constructor: writes rows to `sink` only.
+  GridReport(std::unique_ptr<ResultSink> sink, std::string bench_id, int jobs = 0);
+
+  ~GridReport();  // calls Finish()
+
+  GridReport(const GridReport&) = delete;
+  GridReport& operator=(const GridReport&) = delete;
+
+  // Runs the grid(s) with streaming capture; every cell (baselines
+  // included) becomes one row. Row seed_index is the cell's position on the
+  // grid's seed axis.
+  GridResults Run(const ExperimentGrid& grid);
+  std::vector<GridResults> Run(const std::vector<ExperimentGrid>& grids);
+
+  // Flat cell lists, for sweeps the declarative grid cannot express.
+  struct CellMeta {
+    std::string variant;  // sweep-point tag recorded on the row
+    // Index of the cell's Linux-4K baseline within the same list; must be
+    // less than the cell's own index (cells stream in order). -1 = the cell
+    // is its own baseline (improvement 0).
+    int baseline = -1;
+    int seed_index = 0;
+  };
+  std::vector<RunResult> RunCells(const std::vector<RunSpec>& cells,
+                                  const std::vector<CellMeta>& meta);
+  // Convenience: default meta (no variant, no baseline) for every cell.
+  std::vector<RunResult> RunCells(const std::vector<RunSpec>& cells);
+
+  // Flushes the sinks (markdown prints its aligned table here). Idempotent;
+  // the destructor calls it.
+  void Finish();
+
+ private:
+  void EmitGridCell(const RunSpec& spec, const RunResult& result);
+
+  std::string bench_id_;
+  std::unique_ptr<MultiSink> sinks_;
+  ExperimentRunner runner_;
+  bool finished_ = false;
+
+  // Streaming state for grid runs.
+  struct BaselineCycles {
+    std::uint64_t total = 0;
+    std::uint64_t measured = 0;
+  };
+  std::map<std::string, BaselineCycles> baselines_;  // (machine|workload|seed)
+  std::map<std::string, int> seen_;                  // row count per column key
+};
+
+}  // namespace numalp::report
+
+#endif  // NUMALP_SRC_REPORT_COLLECTOR_H_

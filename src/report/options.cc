@@ -1,0 +1,160 @@
+#include "src/report/options.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/report/sink.h"
+
+namespace numalp::report {
+
+namespace {
+
+void PrintUsage(std::FILE* out, const ToolInfo& info) {
+  std::fprintf(out, "%s — %s\n\n", info.name, info.description);
+  std::fprintf(out,
+               "usage: %s [options]\n"
+               "  --format md|csv|jsonl  stdout format (default: md, an aligned table)\n"
+               "  --out-dir DIR          also write DIR/%s.csv and DIR/%s.jsonl\n"
+               "  --jobs N               worker threads (default: NUMALP_JOBS, then cores)\n"
+               "  --seed N               base seed of the sweep's seed axis\n"
+               "  --epochs N             cap epochs per run (NUMALP_MAX_EPOCHS)\n"
+               "  --accesses N           accesses per thread per epoch"
+               " (NUMALP_ACCESSES_PER_EPOCH)\n"
+               "  --help                 this message\n",
+               info.name, info.bench_id, info.bench_id);
+  if (info.extra_usage != nullptr && info.extra_usage[0] != '\0') {
+    std::fprintf(out, "%s", info.extra_usage);
+  }
+}
+
+}  // namespace
+
+Options ParseToolArgs(int argc, char** argv, const ToolInfo& info,
+                      const std::vector<ExtraFlag>& extras) {
+  Options options;
+  options.sim = WithEnvOverrides(SimConfig{});
+
+  auto fail = [&]() {
+    PrintUsage(stderr, info);
+    std::exit(2);
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        fail();
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout, info);
+      std::exit(0);
+    } else if (arg == "--format") {
+      options.format = next();
+      if (!IsKnownFormat(options.format)) {
+        fail();
+      }
+    } else if (arg == "--out-dir") {
+      options.out_dir = next();
+    } else if (arg == "--jobs") {
+      options.jobs = std::atoi(next());
+    } else if (arg == "--seed") {
+      options.sim.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--epochs") {
+      options.sim.max_epochs = std::atoi(next());
+    } else if (arg == "--accesses") {
+      options.sim.accesses_per_thread_per_epoch = std::strtoull(next(), nullptr, 10);
+    } else {
+      bool handled = false;
+      for (const ExtraFlag& extra : extras) {
+        if (arg == extra.flag) {
+          const char* value = extra.takes_value ? next() : nullptr;
+          if (!extra.handle(value)) {
+            fail();
+          }
+          handled = true;
+          break;
+        }
+      }
+      if (!handled) {
+        fail();
+      }
+    }
+  }
+  return options;
+}
+
+std::optional<BenchmarkId> ParseWorkloadName(const std::string& name) {
+  for (BenchmarkId id : FullSuite()) {
+    if (name == NameOf(id)) {
+      return id;
+    }
+  }
+  if (name == "streamcluster" || name == NameOf(BenchmarkId::kStreamcluster)) {
+    return BenchmarkId::kStreamcluster;
+  }
+  return std::nullopt;
+}
+
+std::optional<PolicyKind> ParsePolicyName(const std::string& name) {
+  if (name == "linux" || name == "linux-4k") {
+    return PolicyKind::kLinux4K;
+  }
+  if (name == "thp") {
+    return PolicyKind::kThp;
+  }
+  if (name == "carrefour-2m" || name == "carrefour") {
+    return PolicyKind::kCarrefour2M;
+  }
+  if (name == "reactive") {
+    return PolicyKind::kReactiveOnly;
+  }
+  if (name == "conservative") {
+    return PolicyKind::kConservativeOnly;
+  }
+  if (name == "carrefour-lp" || name == "lp") {
+    return PolicyKind::kCarrefourLp;
+  }
+  return std::nullopt;
+}
+
+std::optional<Topology> ParseMachineName(const std::string& name) {
+  if (name == "A" || name == "machineA") {
+    return Topology::MachineA();
+  }
+  if (name == "B" || name == "machineB") {
+    return Topology::MachineB();
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+template <typename T, typename Parse>
+ExtraFlag AssigningFlag(const char* flag, T* out, Parse parse) {
+  return {flag, true, [out, parse](const char* value) {
+            const auto parsed = parse(value);
+            if (parsed) {
+              *out = *parsed;
+            }
+            return parsed.has_value();
+          }};
+}
+
+}  // namespace
+
+ExtraFlag WorkloadFlag(BenchmarkId* out) {
+  return AssigningFlag("--workload", out, ParseWorkloadName);
+}
+
+ExtraFlag MachineFlag(Topology* out) {
+  return AssigningFlag("--machine", out, ParseMachineName);
+}
+
+ExtraFlag PolicyFlag(PolicyKind* out) {
+  return AssigningFlag("--policy", out, ParsePolicyName);
+}
+
+}  // namespace numalp::report

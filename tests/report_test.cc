@@ -1,0 +1,371 @@
+// Results-pipeline regression tests (DESIGN.md Section 6): the schema is
+// the single source of truth (serialize -> parse -> serialize is the
+// identity), CSV/JSONL output matches golden strings, GridReport output is
+// byte-identical across jobs values, aggregation reproduces the seed-mean
+// arithmetic, and the qualitative paper checks pass/fail/skip correctly.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/core/config.h"
+#include "src/core/runner.h"
+#include "src/report/aggregate.h"
+#include "src/report/checks.h"
+#include "src/report/collector.h"
+#include "src/report/result_row.h"
+#include "src/report/sink.h"
+#include "src/topo/topology.h"
+#include "src/workloads/spec.h"
+
+namespace numalp::report {
+namespace {
+
+// A fully-populated row with awkward values: negative improvement, a
+// non-round double, a comma in a string field.
+ResultRow GoldenRow() {
+  ResultRow row;
+  row.bench = "fig1";
+  row.machine = "machineB";
+  row.workload = "CG.D";
+  row.policy = "THP";
+  row.variant = "a,b";
+  row.seed_index = 2;
+  row.seed = 42 + 2 * 7919;
+  row.completed = true;
+  row.epochs = 17;
+  row.total_cycles = 123456789;
+  row.measured_cycles = 100000000;
+  row.runtime_ms = 61.728394500000001;
+  row.improvement_pct = -43.25;
+  row.lar_pct = 36.5;
+  row.imbalance_pct = 59.0;
+  row.pamup_pct = 8.125;
+  row.nhp = 3;
+  row.psp_pct = 34.0;
+  row.walk_l2_miss_pct = 0.1;
+  row.steady_fault_share_pct = 1.5;
+  row.max_fault_ms = 2.75;
+  row.thp_coverage_pct = 99.5;
+  row.migrations = 1048;
+  row.splits = 4;
+  row.promotions = 1;
+  row.overhead_pct = 0.79;
+  row.est_carrefour_lar_pct = 96.9;
+  row.est_split_lar_pct = 100.0;
+  return row;
+}
+
+std::string Serialize(const ResultRow& row) {
+  std::string out;
+  for (const ResultField& field : ResultSchema()) {
+    out += FieldToString(row, field);
+    out += '\x1f';
+  }
+  return out;
+}
+
+TEST(ResultSchemaTest, NamesAreUniqueAndTyped) {
+  const auto& schema = ResultSchema();
+  EXPECT_EQ(schema.size(), 28u);
+  for (std::size_t a = 0; a < schema.size(); ++a) {
+    for (std::size_t b = a + 1; b < schema.size(); ++b) {
+      EXPECT_STRNE(schema[a].name, schema[b].name);
+    }
+    // Exactly one member pointer set, matching the declared type.
+    const ResultField& f = schema[a];
+    const int set = (f.s != nullptr) + (f.b != nullptr) + (f.i != nullptr) +
+                    (f.u != nullptr) + (f.d != nullptr);
+    EXPECT_EQ(set, 1) << f.name;
+  }
+}
+
+TEST(ResultSchemaTest, FieldStringsRoundTrip) {
+  const ResultRow row = GoldenRow();
+  ResultRow parsed;
+  for (const ResultField& field : ResultSchema()) {
+    ASSERT_TRUE(FieldFromString(parsed, field, FieldToString(row, field))) << field.name;
+  }
+  EXPECT_EQ(Serialize(row), Serialize(parsed));
+}
+
+TEST(ResultSchemaTest, DoubleSerializationIsShortestRoundTrip) {
+  // Canonical doubles must parse back to the exact same bits.
+  for (double value : {-43.25, 61.728394500000001, 0.1, 1e-12, 1.0 / 3.0}) {
+    ResultRow row;
+    const ResultField& field = ResultSchema().back();  // est_split_lar_pct
+    row.*(field.d) = value;
+    ResultRow parsed;
+    ASSERT_TRUE(FieldFromString(parsed, field, FieldToString(row, field)));
+    EXPECT_EQ(parsed.*(field.d), value);
+  }
+}
+
+TEST(CsvSinkTest, GoldenOutput) {
+  std::ostringstream out;
+  CsvSink sink(out);
+  sink.Write(GoldenRow());
+  sink.Finish();
+  EXPECT_EQ(
+      out.str(),
+      "bench,machine,workload,policy,variant,seed_index,seed,completed,epochs,"
+      "total_cycles,measured_cycles,runtime_ms,improvement_pct,lar_pct,imbalance_pct,"
+      "pamup_pct,nhp,psp_pct,walk_l2_miss_pct,steady_fault_share_pct,max_fault_ms,"
+      "thp_coverage_pct,migrations,splits,promotions,overhead_pct,"
+      "est_carrefour_lar_pct,est_split_lar_pct\n"
+      "fig1,machineB,CG.D,THP,\"a,b\",2,15880,true,17,123456789,100000000,"
+      "61.7283945,-43.25,36.5,59,8.125,3,34,0.1,1.5,2.75,99.5,1048,4,1,0.79,96.9,100\n");
+}
+
+TEST(JsonlSinkTest, GoldenOutputAndRoundTrip) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  const ResultRow row = GoldenRow();
+  sink.Write(row);
+  sink.Finish();
+  const std::string line = out.str();
+  EXPECT_EQ(line.substr(0, 58),
+            "{\"bench\":\"fig1\",\"machine\":\"machineB\",\"workload\":\"CG.D\",\"po");
+  EXPECT_EQ(line.back(), '\n');
+
+  ResultRow parsed;
+  std::string error;
+  ASSERT_TRUE(ParseJsonlLine(line.substr(0, line.size() - 1), &parsed, &error)) << error;
+  EXPECT_EQ(Serialize(row), Serialize(parsed));
+
+  // Serialize the parsed row again: byte-identical (canonical form).
+  std::ostringstream again;
+  JsonlSink sink2(again);
+  sink2.Write(parsed);
+  EXPECT_EQ(line, again.str());
+}
+
+TEST(JsonlParseTest, IgnoresUnknownKeysAndReportsMalformed) {
+  ResultRow row;
+  std::string error;
+  EXPECT_TRUE(ParseJsonlLine(R"({"bench":"x","not_a_field":7,"epochs":3})", &row, &error));
+  EXPECT_EQ(row.bench, "x");
+  EXPECT_EQ(row.epochs, 3);
+  EXPECT_FALSE(ParseJsonlLine(R"({"epochs":"three"})", &row, &error));
+  EXPECT_FALSE(ParseJsonlLine("epochs: 3", &row, &error));
+}
+
+TEST(MarkdownSinkTest, AlignsColumns) {
+  std::ostringstream out;
+  MarkdownSink sink(out);
+  sink.Write(GoldenRow());
+  sink.Finish();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| bench |"), std::string::npos);
+  EXPECT_NE(text.find("| fig1  |"), std::string::npos);
+  EXPECT_NE(text.find("-43.25"), std::string::npos);  // human double formatting
+}
+
+SimConfig TinySim() {
+  SimConfig sim;
+  sim.max_epochs = 4;
+  sim.accesses_per_thread_per_epoch = 512;
+  return sim;
+}
+
+std::string RunGridThroughReport(int jobs) {
+  auto out = std::make_unique<std::ostringstream>();
+  std::ostringstream& stream = *out;
+  ExperimentGrid grid;
+  grid.machines = {Topology::Tiny()};
+  grid.workloads = {BenchmarkId::kCG_D, BenchmarkId::kWC};
+  grid.policies = {PolicyKind::kLinux4K, PolicyKind::kThp, PolicyKind::kCarrefourLp};
+  grid.num_seeds = 2;
+  grid.sim = TinySim();
+  GridReport report(std::make_unique<JsonlSink>(stream), "test", jobs);
+  report.Run(grid);
+  report.Finish();
+  return stream.str();
+}
+
+// The acceptance-criteria regression: sink output is byte-identical at any
+// jobs value, because the runner reports cells in index order.
+TEST(GridReportTest, OutputIsByteIdenticalAcrossJobCounts) {
+  const std::string serial = RunGridThroughReport(1);
+  const std::string parallel = RunGridThroughReport(8);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(GridReportTest, RowsCarryCoordinatesAndBaselineImprovement) {
+  std::ostringstream stream;
+  ExperimentGrid grid;
+  grid.machines = {Topology::Tiny()};
+  grid.workloads = {BenchmarkId::kWC};
+  grid.policies = {PolicyKind::kThp};
+  grid.num_seeds = 2;
+  grid.sim = TinySim();
+  {
+    GridReport report(std::make_unique<JsonlSink>(stream), "test", 4);
+    report.Run(grid);
+  }
+  std::istringstream lines(stream.str());
+  std::string line;
+  std::vector<ResultRow> rows;
+  while (std::getline(lines, line)) {
+    ResultRow row;
+    std::string error;
+    ASSERT_TRUE(ParseJsonlLine(line, &row, &error)) << error;
+    rows.push_back(row);
+  }
+  // Per seed: the Linux-4K baseline, then the THP cell.
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].policy, "Linux-4K");
+  EXPECT_EQ(rows[0].improvement_pct, 0.0);
+  EXPECT_EQ(rows[0].seed_index, 0);
+  EXPECT_EQ(rows[1].policy, "THP");
+  EXPECT_EQ(rows[1].seed_index, 0);
+  EXPECT_EQ(rows[2].seed_index, 1);
+  EXPECT_EQ(rows[2].seed, CellSeed(grid.sim.seed, 1));
+  EXPECT_EQ(rows[3].policy, "THP");
+  EXPECT_EQ(rows[3].bench, "test");
+  EXPECT_EQ(rows[3].workload, "WC");
+
+  // The THP improvement matches ImprovementPct against the grid baseline.
+  const GridResults results = RunGrid(grid, ExperimentRunner(1));
+  EXPECT_EQ(rows[1].improvement_pct,
+            ImprovementPct(results.Baseline(0, 0, 0), results.At(0, 0, 0, 0)));
+}
+
+TEST(GridReportTest, RunCellsUsesMetaBaselineAndVariant) {
+  std::ostringstream stream;
+  const Topology topo = Topology::Tiny();
+  std::vector<RunSpec> cells(2);
+  cells[0].topo = topo;
+  cells[0].workload = MakeWorkloadSpec(BenchmarkId::kWC, topo);
+  cells[0].policy = MakePolicyConfig(PolicyKind::kLinux4K);
+  cells[0].sim = TinySim();
+  cells[1] = cells[0];
+  cells[1].policy = MakePolicyConfig(PolicyKind::kThp);
+  {
+    GridReport report(std::make_unique<JsonlSink>(stream), "test", 2);
+    report.RunCells(cells, {{"sweep=a", -1, 0}, {"sweep=a", 0, 0}});
+  }
+  std::istringstream lines(stream.str());
+  std::string line;
+  std::vector<ResultRow> rows;
+  while (std::getline(lines, line)) {
+    ResultRow row;
+    std::string error;
+    ASSERT_TRUE(ParseJsonlLine(line, &row, &error)) << error;
+    rows.push_back(row);
+  }
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].variant, "sweep=a");
+  EXPECT_EQ(rows[0].improvement_pct, 0.0);
+  EXPECT_EQ(rows[1].variant, "sweep=a");
+  EXPECT_NE(rows[1].improvement_pct, 0.0);
+}
+
+ResultRow Row(const std::string& machine, const std::string& workload,
+              const std::string& policy, double improvement, double lar = 50.0,
+              const std::string& variant = "") {
+  ResultRow row;
+  row.bench = "fig";
+  row.machine = machine;
+  row.workload = workload;
+  row.policy = policy;
+  row.variant = variant;
+  row.improvement_pct = improvement;
+  row.lar_pct = lar;
+  return row;
+}
+
+TEST(AggregateTest, MeansMinMaxOverSeeds) {
+  const std::vector<ResultRow> rows = {Row("machineB", "CG.D", "THP", -40.0),
+                                       Row("machineB", "CG.D", "THP", -46.0),
+                                       Row("machineB", "CG.D", "Linux-4K", 0.0)};
+  const std::vector<AggregateRow> aggregates = Aggregate(rows);
+  ASSERT_EQ(aggregates.size(), 2u);
+  EXPECT_EQ(aggregates[0].policy, "THP");  // first appearance order
+  EXPECT_EQ(aggregates[0].runs, 2);
+  EXPECT_EQ(aggregates[0].mean_improvement_pct, (-40.0 + -46.0) * (1.0 / 2));
+  EXPECT_EQ(aggregates[0].min_improvement_pct, -46.0);
+  EXPECT_EQ(aggregates[0].max_improvement_pct, -40.0);
+}
+
+TEST(AggregateTest, VariantsAreSeparateColumns) {
+  const std::vector<ResultRow> rows = {Row("machineB", "CG.D", "THP", -40.0, 50.0, "x=1"),
+                                       Row("machineB", "CG.D", "THP", -46.0, 50.0, "x=2")};
+  EXPECT_EQ(Aggregate(rows).size(), 2u);
+}
+
+TEST(ChecksTest, PassOnPaperShapedRows) {
+  std::vector<ResultRow> rows = {
+      Row("machineB", "CG.D", "Linux-4K", 0.0, 40.0),
+      Row("machineB", "CG.D", "THP", -43.0, 36.0),
+      Row("machineB", "CG.D", "Carrefour-2M", -38.0, 38.0),
+      Row("machineB", "CG.D", "Carrefour-LP", 2.0, 39.0),
+      Row("machineB", "WC", "THP", 109.0),
+      Row("machineA", "wrmem", "THP", 51.0),
+      Row("machineB", "wrmem", "THP", 80.0),
+      Row("machineA", "SSCA.20", "THP", -17.0),
+      Row("machineA", "SSCA.20", "Carrefour-2M", 13.0),
+      Row("machineA", "UA.B", "Linux-4K", 0.0, 90.0),
+      Row("machineA", "UA.B", "THP", -25.0, 61.0),
+  };
+  const auto results = EvaluatePaperChecks(rows);
+  EXPECT_TRUE(AllPassed(results));
+  int passed = 0;
+  for (const auto& result : results) {
+    passed += result.status == CheckStatus::kPass ? 1 : 0;
+  }
+  EXPECT_EQ(passed, 8);  // every check has its columns
+}
+
+TEST(ChecksTest, FailWhenDataContradictsPaper) {
+  // THP *helping* the hot-page workload CG.D on machine B contradicts
+  // Figure 1.
+  const std::vector<ResultRow> rows = {Row("machineB", "CG.D", "Linux-4K", 0.0),
+                                       Row("machineB", "CG.D", "THP", +20.0)};
+  const auto results = EvaluatePaperChecks(rows);
+  EXPECT_FALSE(AllPassed(results));
+}
+
+TEST(ChecksTest, SkipWithoutRequiredColumnsAndIgnoreVariants) {
+  // Variant-tagged rows model non-default setups and must not trip checks.
+  const std::vector<ResultRow> rows = {
+      Row("machineB", "CG.D", "Linux-4K", 0.0, 50.0, "mem8"),
+      Row("machineB", "CG.D", "THP", +20.0, 50.0, "mem8")};
+  const auto results = EvaluatePaperChecks(rows);
+  EXPECT_TRUE(AllPassed(results));
+  for (const auto& result : results) {
+    EXPECT_EQ(result.status, CheckStatus::kSkip) << result.name;
+  }
+}
+
+TEST(ChecksTest, BaselineMustBeZero) {
+  const std::vector<ResultRow> rows = {Row("machineB", "CG.D", "Linux-4K", 1.0)};
+  const auto results = EvaluatePaperChecks(rows);
+  EXPECT_FALSE(AllPassed(results));
+}
+
+TEST(LoadJsonlTest, SkipsMalformedLinesWithIssues) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "numalp_report_test.jsonl").string();
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << R"({"bench":"fig1","epochs":3})" << "\n";
+    out << "not json\n";
+    out << "\n";
+    out << R"({"bench":"fig2","epochs":4})" << "\n";
+  }
+  std::vector<ParseIssue> issues;
+  const std::vector<ResultRow> rows = LoadJsonlFile(path, &issues);
+  std::filesystem::remove(path);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].bench, "fig1");
+  EXPECT_EQ(rows[1].epochs, 4);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].line, 2);
+}
+
+}  // namespace
+}  // namespace numalp::report

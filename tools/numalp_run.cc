@@ -1,154 +1,79 @@
 // numalp_run — command-line driver for single experiments.
 //
 //   numalp_run --workload CG.D --machine B --policy carrefour-lp
-//              [--seed N] [--epochs N] [--ibs-interval N] [--jobs N]
-//              [--per-epoch]
+//              [--seed N] [--epochs N] [--ibs-interval N] [--per-epoch]
+//              [standard flags: --format --out-dir --jobs --accesses]
 //
-// Prints the run's headline metrics (and, with --per-epoch, the full epoch
-// trace including the reactive component's LAR estimates), always against
-// the Linux-4K baseline of the same seed. The policy run and its baseline
-// execute concurrently on the ExperimentRunner (--jobs, or NUMALP_JOBS).
+// Emits the run and its same-seed Linux-4K baseline as ResultRows (both
+// execute concurrently on the ExperimentRunner), and with --per-epoch also
+// prints the full epoch trace including the reactive component's LAR
+// estimates (md mode only — csv/jsonl stdout stays machine-parseable).
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/core/config.h"
 #include "src/core/runner.h"
 #include "src/core/simulation.h"
+#include "src/report/collector.h"
+#include "src/report/options.h"
 #include "src/topo/topology.h"
 #include "src/workloads/spec.h"
 
-namespace {
-
-std::optional<numalp::BenchmarkId> ParseWorkload(const std::string& name) {
-  for (numalp::BenchmarkId id : numalp::FullSuite()) {
-    if (name == numalp::NameOf(id)) {
-      return id;
-    }
-  }
-  if (name == "streamcluster") {
-    return numalp::BenchmarkId::kStreamcluster;
-  }
-  return std::nullopt;
-}
-
-std::optional<numalp::PolicyKind> ParsePolicy(const std::string& name) {
-  if (name == "linux" || name == "linux-4k") {
-    return numalp::PolicyKind::kLinux4K;
-  }
-  if (name == "thp") {
-    return numalp::PolicyKind::kThp;
-  }
-  if (name == "carrefour-2m" || name == "carrefour") {
-    return numalp::PolicyKind::kCarrefour2M;
-  }
-  if (name == "reactive") {
-    return numalp::PolicyKind::kReactiveOnly;
-  }
-  if (name == "conservative") {
-    return numalp::PolicyKind::kConservativeOnly;
-  }
-  if (name == "carrefour-lp" || name == "lp") {
-    return numalp::PolicyKind::kCarrefourLp;
-  }
-  return std::nullopt;
-}
-
-void Usage() {
-  std::fprintf(stderr,
-               "usage: numalp_run --workload <name> [--machine A|B] [--policy <p>]\n"
-               "                  [--seed N] [--epochs N] [--ibs-interval N] [--jobs N]\n"
-               "                  [--per-epoch]\n"
-               "  workloads: the paper suite (BT.B CG.D ... SPECjbb) plus streamcluster\n"
-               "  policies:  linux-4k thp carrefour-2m reactive conservative carrefour-lp\n");
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  std::string workload_name = "CG.D";
-  std::string machine = "B";
-  std::string policy_name = "carrefour-lp";
-  numalp::SimConfig sim = numalp::WithEnvOverrides(numalp::SimConfig{});
+  const numalp::report::ToolInfo info = {
+      "numalp_run", "run", "one experiment against its Linux-4K baseline",
+      "  --workload NAME        paper suite (BT.B CG.D ... SPECjbb) + streamcluster"
+      " (default CG.D)\n"
+      "  --machine A|B          machine preset (default B)\n"
+      "  --policy P             linux-4k thp carrefour-2m reactive conservative"
+      " carrefour-lp (default carrefour-lp)\n"
+      "  --ibs-interval N       one IBS sample per N accesses per core\n"
+      "  --per-epoch            print the epoch trace (md mode only)\n"};
+
+  numalp::BenchmarkId bench = numalp::BenchmarkId::kCG_D;
+  numalp::Topology topo = numalp::Topology::MachineB();
+  numalp::PolicyKind policy = numalp::PolicyKind::kCarrefourLp;
+  std::uint64_t ibs_interval = 0;
   bool per_epoch = false;
-  int jobs = 0;
-
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        Usage();
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--workload") {
-      workload_name = next();
-    } else if (arg == "--machine") {
-      machine = next();
-    } else if (arg == "--policy") {
-      policy_name = next();
-    } else if (arg == "--seed") {
-      sim.seed = std::strtoull(next(), nullptr, 10);
-    } else if (arg == "--epochs") {
-      sim.max_epochs = std::atoi(next());
-    } else if (arg == "--ibs-interval") {
-      sim.ibs_interval = std::strtoull(next(), nullptr, 10);
-    } else if (arg == "--jobs") {
-      jobs = std::atoi(next());
-    } else if (arg == "--per-epoch") {
-      per_epoch = true;
-    } else {
-      Usage();
-      return 2;
-    }
+  const std::vector<numalp::report::ExtraFlag> extras = {
+      numalp::report::WorkloadFlag(&bench),
+      numalp::report::MachineFlag(&topo),
+      numalp::report::PolicyFlag(&policy),
+      {"--ibs-interval", true,
+       [&ibs_interval](const char* value) {
+         ibs_interval = std::strtoull(value, nullptr, 10);
+         return ibs_interval > 0;
+       }},
+      {"--per-epoch", false,
+       [&per_epoch](const char*) {
+         per_epoch = true;
+         return true;
+       }},
+  };
+  numalp::report::Options options = numalp::report::ParseToolArgs(argc, argv, info, extras);
+  if (ibs_interval > 0) {
+    options.sim.ibs_interval = ibs_interval;
   }
-
-  const auto bench = ParseWorkload(workload_name);
-  const auto policy = ParsePolicy(policy_name);
-  if (!bench || !policy) {
-    Usage();
-    return 2;
-  }
-  const numalp::Topology topo =
-      machine == "A" ? numalp::Topology::MachineA() : numalp::Topology::MachineB();
 
   std::vector<numalp::RunSpec> cells(1);
   cells[0].topo = topo;
-  cells[0].workload = numalp::MakeWorkloadSpec(*bench, topo);
+  cells[0].workload = numalp::MakeWorkloadSpec(bench, topo);
   cells[0].policy = numalp::MakePolicyConfig(numalp::PolicyKind::kLinux4K);
-  cells[0].sim = sim;
-  if (*policy != numalp::PolicyKind::kLinux4K) {
+  cells[0].sim = options.sim;
+  std::vector<numalp::report::GridReport::CellMeta> meta = {{"", -1, 0}};
+  if (policy != numalp::PolicyKind::kLinux4K) {
     cells.push_back(cells[0]);
-    cells[1].policy = numalp::MakePolicyConfig(*policy);
+    cells[1].policy = numalp::MakePolicyConfig(policy);
+    meta.push_back({"", /*baseline=*/0, 0});
   }
-  const std::vector<numalp::RunResult> results = numalp::ExperimentRunner(jobs).Run(cells);
-  const numalp::RunResult& baseline = results[0];
-  const numalp::RunResult& run = results.back();
 
-  std::printf("%s on %s under %s (seed %llu)\n", workload_name.c_str(), topo.name().c_str(),
-              std::string(numalp::NameOf(*policy)).c_str(),
-              static_cast<unsigned long long>(sim.seed));
-  std::printf("  runtime           %10.2f ms   (%+.1f%% vs Linux-4K)\n",
-              run.RuntimeMs(sim.clock_ghz), numalp::ImprovementPct(baseline, run));
-  std::printf("  LAR               %10.1f %%\n", run.LarPct());
-  std::printf("  imbalance         %10.1f %%\n", run.ImbalancePct());
-  std::printf("  PAMUP / NHP / PSP %8.1f%% / %d / %.1f%%\n", run.PamupPct(), run.Nhp(),
-              run.PspPct());
-  std::printf("  walk L2 misses    %10.2f %% of L2 misses\n", 100.0 * run.WalkL2MissFrac());
-  std::printf("  fault time (max)  %10.2f %% steady, %.1f ms total\n",
-              run.SteadyMaxFaultSharePct(), run.MaxFaultTimeMs(sim.clock_ghz));
-  std::printf("  policy actions    %llu migrations, %llu splits, %llu promotions\n",
-              static_cast<unsigned long long>(run.total_migrations),
-              static_cast<unsigned long long>(run.total_splits),
-              static_cast<unsigned long long>(run.total_promotions));
-  std::printf("  THP coverage      %10.1f %% of mapped bytes\n",
-              100.0 * run.final_thp_coverage);
+  numalp::report::GridReport report(options, info);
+  const std::vector<numalp::RunResult> results = report.RunCells(cells, meta);
+  report.Finish();
 
-  if (per_epoch) {
+  if (per_epoch && options.human()) {
+    const numalp::RunResult& run = results.back();
     std::printf("\n%3s %6s %6s %6s %6s %5s %5s %6s %6s %6s %5s\n", "ep", "wall-M", "LAR%",
                 "imbal", "fault%", "migr", "split", "estC", "estCF", "estSP", "thp");
     for (const auto& e : run.history) {
