@@ -1,0 +1,252 @@
+// perf_hotpath — wall-clock performance harness for the simulation engine.
+//
+// Unlike every other bench (which measures the *simulated* machine), this
+// one measures the *simulator*: host accesses/sec per policy on a
+// representative cell, and end-to-end seconds for the fig2/fig3 grids — the
+// workload whose committed baseline (BENCH_perf.json) future engine changes
+// are gated against. With --compare each measurement also runs under the
+// reference sampling pipeline (NUMALP_REFERENCE_PIPELINE: the seed's
+// full-window re-aggregation algorithm on this binary's data structures).
+// That is an in-binary A/B of the *pipeline* layer only — flat maps, the
+// SoA TLB, the pooled page table and the inlined hot paths stay active in
+// both modes; the seed-checkout comparison in REPRODUCING.md is the
+// end-to-end before/after number, this one isolates the aggregation rewrite.
+//
+//   ./perf_hotpath [--out FILE]        write the measurements as JSON
+//                  [--compare]        also time the reference engine
+//                  [--against FILE]   gate: exit 1 when a grid's wall-clock
+//                                     exceeds tolerance x the baseline FILE
+//                  [--tolerance X]    gate factor (default 2.0)
+//                  [standard --epochs/--accesses/--jobs/--seed flags]
+//
+// Wall-clock numbers are machine-dependent; the committed BENCH_perf.json
+// records the generating fidelity so CI compares like against like (the CI
+// perf smoke runs a reduced grid and gates on the *ratio*-tolerant 2x bound,
+// wide enough to absorb runner variance but not an engine regression).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/runner.h"
+#include "src/report/options.h"
+#include "src/topo/topology.h"
+#include "src/workloads/spec.h"
+
+namespace {
+
+using numalp_bench::TotalAccesses;
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Measurement {
+  std::string name;
+  double seconds = 0.0;
+  std::uint64_t accesses = 0;
+  double ref_seconds = -1.0;  // < 0: not measured
+
+  double AccessesPerSec() const { return seconds > 0 ? static_cast<double>(accesses) / seconds : 0.0; }
+  double Speedup() const { return ref_seconds > 0 && seconds > 0 ? ref_seconds / seconds : 0.0; }
+};
+
+Measurement TimeGrid(const std::string& name, numalp::ExperimentGrid grid, int jobs,
+                     bool reference) {
+  grid.sim.reference_pipeline = reference;
+  const numalp::ExperimentRunner runner(jobs);
+  const auto start = Clock::now();
+  const numalp::GridResults results = numalp::RunGrid(grid, runner);
+  Measurement m;
+  m.name = name;
+  m.seconds = SecondsSince(start);
+  m.accesses = TotalAccesses(results);
+  return m;
+}
+
+Measurement TimeCell(numalp::PolicyKind kind, const numalp::Topology& topo,
+                     numalp::SimConfig sim, bool reference) {
+  sim.reference_pipeline = reference;
+  const auto start = Clock::now();
+  const numalp::RunResult result =
+      numalp::RunBenchmark(topo, numalp::BenchmarkId::kCG_D, kind, sim);
+  Measurement m;
+  m.name = std::string(numalp::NameOf(kind));
+  m.seconds = SecondsSince(start);
+  m.accesses = result.totals.accesses;
+  return m;
+}
+
+void WriteJson(std::ostream& out, const numalp::SimConfig& sim, int jobs,
+               const std::vector<Measurement>& cells,
+               const std::vector<Measurement>& grids) {
+  const auto emit = [&out](const Measurement& m, const char* kind) {
+    out << "    {\"" << kind << "\":\"" << m.name << "\",\"seconds\":" << m.seconds
+        << ",\"accesses\":" << m.accesses
+        << ",\"accesses_per_sec\":" << m.AccessesPerSec();
+    if (m.ref_seconds >= 0) {
+      out << ",\"reference_seconds\":" << m.ref_seconds << ",\"speedup\":" << m.Speedup();
+    }
+    out << "}";
+  };
+  out.precision(17);
+  out << "{\n  \"schema\": \"numalp-perf-v1\",\n";
+  // host_concurrency: wall-clock baselines are machine-dependent; record the
+  // generating host's core count so a gate reader can judge comparability.
+  out << "  \"fidelity\": {\"epochs\":" << sim.max_epochs
+      << ",\"accesses_per_thread\":" << sim.accesses_per_thread_per_epoch
+      << ",\"jobs\":" << jobs
+      << ",\"host_concurrency\":" << std::thread::hardware_concurrency() << "},\n";
+  out << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    emit(cells[i], "policy");
+    out << (i + 1 < cells.size() ? ",\n" : "\n");
+  }
+  out << "  ],\n  \"grids\": [\n";
+  for (std::size_t i = 0; i < grids.size(); ++i) {
+    emit(grids[i], "grid");
+    out << (i + 1 < grids.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+}
+
+// Pulls `"seconds":<x>` of the entry tagged `"grid":"<name>"` out of a
+// BENCH_perf.json (this harness's own output; a full JSON parser would be
+// overkill for one scalar).
+double BaselineGridSeconds(const std::string& contents, const std::string& name) {
+  const std::string tag = "\"grid\":\"" + name + "\"";
+  const std::size_t at = contents.find(tag);
+  if (at == std::string::npos) {
+    return -1.0;
+  }
+  const std::string field = "\"seconds\":";
+  const std::size_t sec = contents.find(field, at);
+  if (sec == std::string::npos) {
+    return -1.0;
+  }
+  return std::atof(contents.c_str() + sec + field.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::string against_path;
+  double tolerance = 2.0;
+  bool compare = false;
+  const numalp::report::ToolInfo info = {
+      "perf_hotpath", "perf",
+      "simulator wall-clock: accesses/sec per policy and fig2+fig3 grid seconds",
+      "  --out FILE             write the measurements as BENCH_perf.json-style JSON\n"
+      "  --compare              also time the reference sampling pipeline (the seed's\n"
+      "                         full-window re-aggregation on this binary's structures)\n"
+      "  --against FILE         fail when a grid exceeds tolerance x FILE's seconds\n"
+      "  --tolerance X          gate factor for --against (default 2.0)\n"};
+  const numalp::report::Options options = numalp::report::ParseToolArgs(
+      argc, argv, info,
+      {{"--out", true, [&](const char* v) { out_path = v; return true; }},
+       {"--compare", false, [&](const char*) { compare = true; return true; }},
+       {"--against", true, [&](const char* v) { against_path = v; return true; }},
+       {"--tolerance", true,
+        [&](const char* v) { tolerance = std::atof(v); return tolerance > 0; }}});
+
+  // Per-policy cells: CG.D on machine B — the paper's flagship hot-page case
+  // exercises every engine path (THP faults, splits, migrations, promotions).
+  const numalp::Topology machine_b = numalp::Topology::MachineB();
+  const std::vector<numalp::PolicyKind> policies = {
+      numalp::PolicyKind::kLinux4K,          numalp::PolicyKind::kThp,
+      numalp::PolicyKind::kCarrefour2M,      numalp::PolicyKind::kReactiveOnly,
+      numalp::PolicyKind::kConservativeOnly, numalp::PolicyKind::kCarrefourLp};
+  std::vector<Measurement> cells;
+  for (const numalp::PolicyKind kind : policies) {
+    Measurement m = TimeCell(kind, machine_b, options.sim, /*reference=*/false);
+    if (compare) {
+      m.ref_seconds = TimeCell(kind, machine_b, options.sim, /*reference=*/true).seconds;
+    }
+    cells.push_back(m);
+    std::fprintf(stderr, "perf_hotpath: cell %-16s %8.3fs  %11.0f acc/s%s\n",
+                 m.name.c_str(), m.seconds, m.AccessesPerSec(),
+                 m.ref_seconds >= 0
+                     ? ("  (reference " + std::to_string(m.ref_seconds) + "s)").c_str()
+                     : "");
+  }
+
+  // End-to-end fig2/fig3 grids (the committed-baseline workload).
+  numalp::ExperimentGrid fig2;
+  fig2.machines = {numalp::Topology::MachineA(), numalp::Topology::MachineB()};
+  fig2.workloads = numalp::AffectedSubset();
+  fig2.policies = {numalp::PolicyKind::kThp, numalp::PolicyKind::kCarrefour2M};
+  fig2.num_seeds = 3;
+  fig2.sim = options.sim;
+  numalp::ExperimentGrid fig3 = fig2;
+  fig3.policies = {numalp::PolicyKind::kThp, numalp::PolicyKind::kCarrefourLp};
+
+  std::vector<Measurement> grids;
+  for (const auto& [name, grid] : {std::pair<std::string, numalp::ExperimentGrid>{"fig2", fig2},
+                                   {"fig3", fig3}}) {
+    Measurement m = TimeGrid(name, grid, options.jobs, /*reference=*/false);
+    if (compare) {
+      m.ref_seconds = TimeGrid(name, grid, options.jobs, /*reference=*/true).seconds;
+    }
+    grids.push_back(m);
+    std::fprintf(stderr, "perf_hotpath: grid %-16s %8.3fs  %11.0f acc/s%s\n",
+                 m.name.c_str(), m.seconds, m.AccessesPerSec(),
+                 m.ref_seconds >= 0
+                     ? ("  (reference " + std::to_string(m.ref_seconds) + "s, " +
+                        std::to_string(m.Speedup()) + "x)")
+                           .c_str()
+                     : "");
+  }
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "perf_hotpath: cannot open %s\n", out_path.c_str());
+      return 2;
+    }
+    WriteJson(out, options.sim, options.jobs, cells, grids);
+  } else {
+    WriteJson(std::cout, options.sim, options.jobs, cells, grids);
+  }
+
+  if (!against_path.empty()) {
+    std::ifstream in(against_path);
+    if (!in) {
+      std::fprintf(stderr, "perf_hotpath: cannot read baseline %s\n", against_path.c_str());
+      return 2;
+    }
+    const std::string contents((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+    bool failed = false;
+    for (const Measurement& m : grids) {
+      const double baseline = BaselineGridSeconds(contents, m.name);
+      if (baseline <= 0) {
+        std::fprintf(stderr, "perf_hotpath: no baseline for grid %s in %s (skipping)\n",
+                     m.name.c_str(), against_path.c_str());
+        continue;
+      }
+      if (m.seconds > tolerance * baseline) {
+        std::fprintf(stderr,
+                     "perf_hotpath: REGRESSION grid %s: %.3fs > %.1fx baseline %.3fs\n",
+                     m.name.c_str(), m.seconds, tolerance, baseline);
+        failed = true;
+      } else {
+        std::fprintf(stderr, "perf_hotpath: grid %s ok: %.3fs vs baseline %.3fs (gate %.1fx)\n",
+                     m.name.c_str(), m.seconds, baseline, tolerance);
+      }
+    }
+    if (failed) {
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -16,26 +16,25 @@ bool Carrefour::ShouldRun(double lar_pct, double imbalance_pct,
 
 std::vector<CarrefourAction> Carrefour::Plan(const PageAggMap& pages, int epoch) {
   std::vector<CarrefourAction> actions;
-  for (const auto& [page_base, agg] : pages) {
+  ForEachPageSorted(pages, [&](Addr page_base, const PageAgg& agg) {
     if (static_cast<int>(actions.size()) >= config_.max_actions_per_epoch) {
-      break;
+      return;
     }
     // Only pages actually serviced from DRAM matter (cached pages cost
     // nothing wherever they live).
     if (agg.dram == 0 || agg.total < config_.min_samples_per_page) {
-      continue;
+      return;
     }
-    const auto last = last_action_epoch_.find(page_base);
-    if (last != last_action_epoch_.end() &&
-        epoch - last->second < config_.per_page_cooldown_epochs) {
-      continue;
+    const int* last = last_action_epoch_.Find(page_base);
+    if (last != nullptr && epoch - *last < config_.per_page_cooldown_epochs) {
+      return;
     }
     if (agg.SingleNode()) {
       if (agg.total < config_.min_samples_migrate) {
-        continue;
+        return;
       }
       const int target = agg.MajorityReqNode();
-      interleaved_.erase(page_base);
+      interleaved_.Erase(page_base);
       if (agg.home_node != target) {
         CarrefourAction action;
         action.kind = CarrefourAction::Kind::kMigrate;
@@ -49,7 +48,7 @@ std::vector<CarrefourAction> Carrefour::Plan(const PageAggMap& pages, int epoch)
     } else {
       // Multi-node page: interleave once (move to a random node); keep it
       // there afterwards to avoid churn.
-      if (interleaved_.insert(page_base).second) {
+      if (interleaved_.Insert(page_base)) {
         const int target = static_cast<int>(rng_.Uniform(static_cast<std::uint64_t>(num_nodes_)));
         if (target != agg.home_node) {
           CarrefourAction action;
@@ -63,7 +62,7 @@ std::vector<CarrefourAction> Carrefour::Plan(const PageAggMap& pages, int epoch)
         ++total_interleaves_;
       }
     }
-  }
+  });
   return actions;
 }
 

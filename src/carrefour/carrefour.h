@@ -11,10 +11,9 @@
 #define NUMALP_SRC_CARREFOUR_CARREFOUR_H_
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "src/common/flat_map.h"
 #include "src/common/rng.h"
 #include "src/common/units.h"
 #include "src/metrics/numa_metrics.h"
@@ -58,15 +57,18 @@ class Carrefour {
   bool ShouldRun(double lar_pct, double imbalance_pct, double dram_access_rate) const;
 
   // Builds the epoch's migration/interleave plan from page aggregates at the
-  // current mapping granularity. Stateful: remembers interleaved pages so
-  // multi-node pages are not re-randomized every epoch, and enforces the
-  // per-page migration cooldown.
+  // current mapping granularity. Pages are considered in ascending address
+  // order (the canonical decision order, DESIGN.md Section 7), so the plan —
+  // including which page each interleave RNG draw lands on — depends only on
+  // the aggregate's contents, never on map iteration internals. Stateful:
+  // remembers interleaved pages so multi-node pages are not re-randomized
+  // every epoch, and enforces the per-page migration cooldown.
   std::vector<CarrefourAction> Plan(const PageAggMap& pages, int epoch);
 
   // A page's state is forgotten when it is split or unmapped.
   void Forget(Addr page_base) {
-    interleaved_.erase(page_base);
-    last_action_epoch_.erase(page_base);
+    interleaved_.Erase(page_base);
+    last_action_epoch_.Erase(page_base);
   }
   void ForgetAll() {
     interleaved_.clear();
@@ -82,8 +84,8 @@ class Carrefour {
   CarrefourConfig config_;
   int num_nodes_;
   Rng rng_;
-  std::unordered_set<Addr> interleaved_;
-  std::unordered_map<Addr, int> last_action_epoch_;
+  FlatSet<Addr> interleaved_;
+  FlatMap<Addr, int> last_action_epoch_;
   std::uint64_t total_migrations_ = 0;
   std::uint64_t total_interleaves_ = 0;
 };

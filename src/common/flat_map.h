@@ -1,0 +1,218 @@
+// Open-addressing hash containers for the simulation hot path.
+//
+// FlatMap keeps its items in one contiguous insertion-ordered vector and
+// resolves keys through a separate power-of-two probe table of indices, so
+//   - iteration is a linear scan of a dense array (no pointer chasing, no
+//     per-node allocation — the cache behavior std::unordered_map cannot give),
+//   - insertion order is a *defined*, standard-library-independent property
+//     (DESIGN.md Section 7: decision code derives its canonical ascending-
+//     address order from these maps, so results are portable across stdlibs),
+//   - erase is O(1) via swap-with-last (iteration order after an erase is
+//     still deterministic, just no longer first-insertion order).
+//
+// The probe table stores 32-bit item indices (capacity is bounded by
+// kMaxItems) with linear probing and tombstones; it rehashes at 7/8 load
+// counting tombstones, so probe sequences stay short even under the window
+// aggregate's insert/erase churn.
+#ifndef NUMALP_SRC_COMMON_FLAT_MAP_H_
+#define NUMALP_SRC_COMMON_FLAT_MAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace numalp {
+
+// 64-bit finalizer (splitmix64): integer keys arrive with low entropy in the
+// high bits (page bases share prefixes), so identity hashing would cluster.
+constexpr std::uint64_t FlatHashMix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+template <typename Key, typename Value>
+class FlatMap {
+ public:
+  struct Item {
+    Key first;
+    Value second;
+  };
+  using iterator = Item*;
+  using const_iterator = const Item*;
+
+  FlatMap() = default;
+
+  iterator begin() { return items_.data(); }
+  iterator end() { return items_.data() + items_.size(); }
+  const_iterator begin() const { return items_.data(); }
+  const_iterator end() const { return items_.data() + items_.size(); }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  void clear() {
+    items_.clear();
+    slots_.clear();
+    tombstones_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    items_.reserve(n);
+    if (n * 8 > slots_.size() * 7) {
+      Rehash(ProbeCapacityFor(n));
+    }
+  }
+
+  // Pointer to the value for `key`, or nullptr when absent.
+  Value* Find(const Key& key) {
+    const std::uint32_t slot = FindSlot(key);
+    return slot == kNoSlot ? nullptr : &items_[slots_[slot] & kIndexMask].second;
+  }
+  const Value* Find(const Key& key) const {
+    return const_cast<FlatMap*>(this)->Find(key);
+  }
+  bool Contains(const Key& key) const { return Find(key) != nullptr; }
+
+  // Inserts a default-constructed value when absent.
+  Value& operator[](const Key& key) { return *FindOrInsert(key).first; }
+
+  // Returns (value pointer, inserted?).
+  std::pair<Value*, bool> FindOrInsert(const Key& key) {
+    GrowIfNeeded();
+    const std::uint64_t mask = slots_.size() - 1;
+    std::uint64_t probe = FlatHashMix(static_cast<std::uint64_t>(key)) & mask;
+    std::uint32_t first_tombstone = kNoSlot;
+    while (true) {
+      const std::uint32_t stored = slots_[probe];
+      if (stored == kEmpty) {
+        std::uint32_t target = first_tombstone;
+        if (target == kNoSlot) {
+          target = static_cast<std::uint32_t>(probe);
+        } else {
+          --tombstones_;
+        }
+        slots_[target] = static_cast<std::uint32_t>(items_.size());
+        items_.push_back(Item{key, Value{}});
+        return {&items_.back().second, true};
+      }
+      if (stored == kTombstone) {
+        if (first_tombstone == kNoSlot) {
+          first_tombstone = static_cast<std::uint32_t>(probe);
+        }
+      } else if (items_[stored & kIndexMask].first == key) {
+        return {&items_[stored & kIndexMask].second, false};
+      }
+      probe = (probe + 1) & mask;
+    }
+  }
+
+  // Erases `key` when present (swap-with-last). Returns true when erased.
+  bool Erase(const Key& key) {
+    const std::uint32_t slot = FindSlot(key);
+    if (slot == kNoSlot) {
+      return false;
+    }
+    const std::uint32_t index = slots_[slot];
+    slots_[slot] = kTombstone;
+    ++tombstones_;
+    const std::uint32_t last = static_cast<std::uint32_t>(items_.size()) - 1;
+    if (index != last) {
+      items_[index] = std::move(items_[last]);
+      const std::uint32_t moved_slot = FindSlot(items_[index].first);
+      assert(moved_slot != kNoSlot);
+      slots_[moved_slot] = index;
+    }
+    items_.pop_back();
+    return true;
+  }
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+  static constexpr std::uint32_t kTombstone = 0xfffffffeu;
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  static constexpr std::uint32_t kIndexMask = 0x3fffffffu;
+  static constexpr std::size_t kMaxItems = kIndexMask;
+
+  static std::size_t ProbeCapacityFor(std::size_t items) {
+    std::size_t capacity = 16;
+    while (items * 8 > capacity * 7) {
+      capacity *= 2;
+    }
+    return capacity;
+  }
+
+  std::uint32_t FindSlot(const Key& key) const {
+    if (slots_.empty()) {
+      return kNoSlot;
+    }
+    const std::uint64_t mask = slots_.size() - 1;
+    std::uint64_t probe = FlatHashMix(static_cast<std::uint64_t>(key)) & mask;
+    while (true) {
+      const std::uint32_t stored = slots_[probe];
+      if (stored == kEmpty) {
+        return kNoSlot;
+      }
+      if (stored != kTombstone && items_[stored & kIndexMask].first == key) {
+        return static_cast<std::uint32_t>(probe);
+      }
+      probe = (probe + 1) & mask;
+    }
+  }
+
+  void GrowIfNeeded() {
+    assert(items_.size() < kMaxItems);
+    if ((items_.size() + tombstones_ + 1) * 8 > slots_.size() * 7) {
+      Rehash(ProbeCapacityFor(items_.size() + 1));
+    }
+  }
+
+  void Rehash(std::size_t capacity) {
+    slots_.assign(capacity, kEmpty);
+    tombstones_ = 0;
+    const std::uint64_t mask = capacity - 1;
+    for (std::uint32_t i = 0; i < items_.size(); ++i) {
+      std::uint64_t probe =
+          FlatHashMix(static_cast<std::uint64_t>(items_[i].first)) & mask;
+      while (slots_[probe] != kEmpty) {
+        probe = (probe + 1) & mask;
+      }
+      slots_[probe] = i;
+    }
+  }
+
+  std::vector<Item> items_;
+  std::vector<std::uint32_t> slots_;
+  std::size_t tombstones_ = 0;
+};
+
+// Set counterpart of FlatMap: same storage scheme, keys only.
+template <typename Key>
+class FlatSet {
+ public:
+  bool Insert(const Key& key) { return map_.FindOrInsert(key).second; }
+  bool Erase(const Key& key) { return map_.Erase(key); }
+  bool Contains(const Key& key) const { return map_.Contains(key); }
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  void clear() { map_.clear(); }
+  void reserve(std::size_t n) { map_.reserve(n); }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& item : map_) {
+      fn(item.first);
+    }
+  }
+
+ private:
+  struct Unit {};
+  FlatMap<Key, Unit> map_;
+};
+
+}  // namespace numalp
+
+#endif  // NUMALP_SRC_COMMON_FLAT_MAP_H_

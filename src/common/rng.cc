@@ -9,53 +9,11 @@ std::uint64_t SplitMix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
-namespace {
-
-inline std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
-}  // namespace
-
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& word : state_) {
     word = SplitMix64(sm);
   }
 }
-
-std::uint64_t Rng::NextU64() {
-  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = Rotl(state_[3], 45);
-  return result;
-}
-
-std::uint64_t Rng::Uniform(std::uint64_t bound) {
-  // Lemire multiply-shift: map a 64-bit draw into [0, bound).
-  const unsigned __int128 product =
-      static_cast<unsigned __int128>(NextU64()) * static_cast<unsigned __int128>(bound);
-  return static_cast<std::uint64_t>(product >> 64);
-}
-
-double Rng::NextDouble() {
-  // 53 top bits -> [0, 1).
-  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
-}
-
-bool Rng::Bernoulli(double p) {
-  if (p <= 0.0) {
-    return false;
-  }
-  if (p >= 1.0) {
-    return true;
-  }
-  return NextDouble() < p;
-}
-
-Rng Rng::Fork() { return Rng(NextU64()); }
 
 }  // namespace numalp

@@ -5,6 +5,26 @@
 
 namespace numalp {
 
+namespace {
+
+// Hint-table resolution bounds. The bucket count is a power of two (so
+// 1/buckets is an exact double: bucket boundaries compute exactly and the
+// bucket→range mapping below is an exact refinement of lower_bound over the
+// full CDF), sized so a bucket holds only a handful of ranks even for huge
+// weakly-skewed regions, and capped so the table never dwarfs the CDF.
+constexpr std::uint64_t kMinHintBuckets = 1 << 12;
+constexpr std::uint64_t kMaxHintBuckets = 1 << 20;
+
+std::uint64_t HintBucketsFor(std::uint64_t n) {
+  std::uint64_t buckets = kMinHintBuckets;
+  while (buckets < n && buckets < kMaxHintBuckets) {
+    buckets <<= 1;
+  }
+  return buckets;
+}
+
+}  // namespace
+
 ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n == 0 ? 1 : n), s_(s) {
   cdf_.resize(n_);
   double accum = 0.0;
@@ -16,15 +36,20 @@ ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n == 0 ? 1 : n), s_(s) 
   for (double& c : cdf_) {
     c /= total;
   }
-}
-
-std::uint64_t ZipfSampler::Sample(Rng& rng) const {
-  const double u = rng.NextDouble();
-  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
-  if (it == cdf_.end()) {
-    return n_ - 1;
+  // hint_[k] = lower_bound(cdf_, k / buckets): Sample then only binary-
+  // searches the one bucket its draw lands in. Without this, every draw costs
+  // log2(n) cache-missing probes across the full CDF — the dominant cost of
+  // the skewed workloads' access generation.
+  buckets_ = HintBucketsFor(n_);
+  bucket_width_ = 1.0 / static_cast<double>(buckets_);
+  hint_.assign(buckets_ + 1, static_cast<std::uint32_t>(n_));
+  std::uint64_t k = 0;
+  for (std::uint64_t i = 0; i < n_ && k <= buckets_; ++i) {
+    while (k <= buckets_ && static_cast<double>(k) * bucket_width_ <= cdf_[i]) {
+      hint_[k] = static_cast<std::uint32_t>(i);
+      ++k;
+    }
   }
-  return static_cast<std::uint64_t>(it - cdf_.begin());
 }
 
 double ZipfSampler::Pmf(std::uint64_t i) const {

@@ -8,6 +8,7 @@
 #ifndef NUMALP_SRC_COMMON_ZIPF_H_
 #define NUMALP_SRC_COMMON_ZIPF_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -21,7 +22,21 @@ class ZipfSampler {
   // Rank 0 is the most popular item.
   ZipfSampler(std::uint64_t n, double s);
 
-  std::uint64_t Sample(Rng& rng) const;
+  // Defined inline: one draw per generated access makes this hot-path code.
+  std::uint64_t Sample(Rng& rng) const {
+    const double u = rng.NextDouble();
+    // buckets_ is a power of two and u carries 53 mantissa bits, so
+    // u * buckets_ is exact (a pure exponent shift): the truncated cast is
+    // the exact floor, always < buckets_ because u < 1.
+    const std::uint64_t bucket =
+        static_cast<std::uint64_t>(u * static_cast<double>(buckets_));
+    // The answer lies in [lo, hi]: identical to lower_bound over the whole
+    // CDF (hi itself is returned when the bucket's entries are all below u).
+    const auto it = std::lower_bound(cdf_.begin() + hint_[bucket],
+                                     cdf_.begin() + hint_[bucket + 1], u);
+    const std::uint64_t index = static_cast<std::uint64_t>(it - cdf_.begin());
+    return index >= n_ ? n_ - 1 : index;
+  }
 
   // Probability mass of rank `i` (used by tests and the LAR estimator tests).
   double Pmf(std::uint64_t i) const;
@@ -33,6 +48,12 @@ class ZipfSampler {
   std::uint64_t n_;
   double s_;
   std::vector<double> cdf_;
+  // Bucketed lower_bound hints: hint_[k] is the first rank whose CDF value
+  // reaches k/buckets_, so a draw binary-searches one bucket (a handful of
+  // ranks), not the whole CDF.
+  std::uint64_t buckets_ = 0;
+  double bucket_width_ = 0.0;
+  std::vector<std::uint32_t> hint_;
 };
 
 }  // namespace numalp

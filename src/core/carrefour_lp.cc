@@ -30,21 +30,28 @@ LpDecision CarrefourLp::Step(const LpObservation& observation) {
     }
 
     // Lines 15-18: demote all shared large pages when splitting is on or 2MB
-    // allocation is off (pages promoted meanwhile must not linger).
+    // allocation is off (pages promoted meanwhile must not linger). The
+    // demotion budget is filled in ascending address order (the canonical
+    // decision order), so which pages make the per-epoch cut does not depend
+    // on map iteration internals.
     if (split_pages_ || !thp_.alloc_enabled) {
-      for (const auto& [page_base, agg] : *observation.mapping_pages) {
-        if (static_cast<int>(decision.split_shared.size()) >=
-            config_.max_shared_splits_per_epoch) {
-          break;
-        }
-        if (agg.size != PageSize::k4K && agg.dram > 0 && agg.SharerCount() >= 2) {
-          decision.split_shared.emplace_back(page_base, agg.size);
-        }
-      }
+      ForEachPageSorted(*observation.mapping_pages,
+                        [&](Addr page_base, const PageAgg& agg) {
+                          if (static_cast<int>(decision.split_shared.size()) >=
+                              config_.max_shared_splits_per_epoch) {
+                            return;
+                          }
+                          if (agg.size != PageSize::k4K && agg.dram > 0 &&
+                              agg.SharerCount() >= 2) {
+                            decision.split_shared.emplace_back(page_base, agg.size);
+                          }
+                        });
       thp_.alloc_enabled = false;
     }
 
-    // Line 19: hot large pages are split and interleaved unconditionally.
+    // Line 19: hot large pages are split and interleaved unconditionally
+    // (also in canonical order: the split sequence drives the caller's
+    // piece-placement RNG).
     std::uint64_t total_samples = 0;
     for (const auto& [page_base, agg] : *observation.mapping_pages) {
       if (agg.dram > 0) {
@@ -52,16 +59,17 @@ LpDecision CarrefourLp::Step(const LpObservation& observation) {
       }
     }
     if (total_samples > 0) {
-      for (const auto& [page_base, agg] : *observation.mapping_pages) {
-        if (agg.size == PageSize::k4K || agg.dram == 0) {
-          continue;
-        }
-        const double share =
-            100.0 * static_cast<double>(agg.total) / static_cast<double>(total_samples);
-        if (share > config_.hot_page_share_pct) {
-          decision.split_hot.emplace_back(page_base, agg.size);
-        }
-      }
+      ForEachPageSorted(
+          *observation.mapping_pages, [&](Addr page_base, const PageAgg& agg) {
+            if (agg.size == PageSize::k4K || agg.dram == 0) {
+              return;
+            }
+            const double share =
+                100.0 * static_cast<double>(agg.total) / static_cast<double>(total_samples);
+            if (share > config_.hot_page_share_pct) {
+              decision.split_hot.emplace_back(page_base, agg.size);
+            }
+          });
     }
   }
 

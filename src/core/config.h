@@ -54,6 +54,12 @@ struct SimConfig {
   // split/promote oscillation the paper discusses in Section 4.3.
   int promote_scan_windows = 256;
   int promote_max_per_epoch = 1;
+  // Run the seed's slow sampling pipeline (full window re-aggregation every
+  // epoch, per-page shootdowns) instead of the incremental engine. Results
+  // are bit-identical either way — the reference path exists as the
+  // correctness oracle and the wall-clock baseline for BENCH_perf.json
+  // (env: NUMALP_REFERENCE_PIPELINE=1).
+  bool reference_pipeline = false;
 
   TlbConfig tlb;
   WalkerConfig walker;

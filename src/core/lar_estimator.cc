@@ -3,8 +3,12 @@
 namespace numalp {
 
 double EstimateCarrefourLarPct(const PageAggMap& pages, int num_nodes) {
+  // Accumulate in integers scaled by num_nodes (one exact division at the
+  // end) so the estimate is independent of map iteration order — a
+  // floating-point running sum would pick up different rounding under
+  // different insertion histories.
   std::uint64_t total = 0;
-  double local = 0.0;
+  std::uint64_t local_scaled = 0;  // expected-local samples, times num_nodes
   for (const auto& [base, agg] : pages) {
     if (agg.dram == 0) {
       continue;
@@ -12,13 +16,15 @@ double EstimateCarrefourLarPct(const PageAggMap& pages, int num_nodes) {
     total += agg.total;
     if (agg.SingleNode()) {
       // Migrated to its one requesting node: all accesses local.
-      local += static_cast<double>(agg.total);
+      local_scaled += agg.total * static_cast<std::uint64_t>(num_nodes);
     } else {
       // Interleaved to a random node: expected locality 1/N.
-      local += static_cast<double>(agg.total) / static_cast<double>(num_nodes);
+      local_scaled += agg.total;
     }
   }
-  return total == 0 ? 100.0 : 100.0 * local / static_cast<double>(total);
+  return total == 0 ? 100.0
+                    : 100.0 * static_cast<double>(local_scaled) /
+                          (static_cast<double>(num_nodes) * static_cast<double>(total));
 }
 
 LarEstimates EstimateLar(std::span<const IbsSample> samples,

@@ -112,7 +112,8 @@ Simulation::Simulation(const Topology& topo, const WorkloadSpec& workload,
       counters_(topo_.num_cores(), topo_.num_nodes()),
       policy_rng_(sim_.seed ^ 0x9e37u),
       carrefour_(policy_.carrefour, topo_.num_nodes(), sim_.seed ^ 0xc4fu),
-      khugepaged_(*address_space_) {
+      khugepaged_(*address_space_),
+      window_(kSampleWindowEpochs, sim_.reference_pipeline) {
   thp_state_.alloc_enabled = policy_.initial_thp_alloc;
   thp_state_.promote_enabled = policy_.initial_thp_promote;
   workload_ = std::make_unique<Workload>(workload_spec_, *address_space_, topo_.num_cores(),
@@ -126,6 +127,13 @@ Simulation::Simulation(const Topology& topo, const WorkloadSpec& workload,
   }
   fault_parts_.resize(static_cast<std::size_t>(topo_.num_cores()));
   batches_.resize(static_cast<std::size_t>(topo_.num_cores()));
+  translate_caches_.resize(static_cast<std::size_t>(topo_.num_cores()));
+  region_mlp_.reserve(static_cast<std::size_t>(workload_->num_regions()));
+  region_intensity_.reserve(static_cast<std::size_t>(workload_->num_regions()));
+  for (int r = 0; r < workload_->num_regions(); ++r) {
+    region_mlp_.push_back(workload_->mlp(r));
+    region_intensity_.push_back(workload_->dram_intensity(r));
+  }
   if (policy_.use_reactive || policy_.use_conservative) {
     lp_ = std::make_unique<CarrefourLp>(policy_, thp_state_);
   }
@@ -141,91 +149,100 @@ int Simulation::CoreOfThread(int thread) const {
   return (thread % nodes) * cores_per_node + thread / nodes;
 }
 
-void Simulation::ProcessAccess(int core, int node, const WorkloadAccess& access) {
+void Simulation::ProcessSlice(int core, int node, const WorkloadAccess* accesses,
+                              std::size_t count) {
+  // Per-core state hoisted once per slice instead of re-resolved per access.
   CoreCounters& cc = counters_.cores[static_cast<std::size_t>(core)];
   Rng& rng = core_rngs_[static_cast<std::size_t>(core)];
-  ++cc.accesses;
-  Cycles cost = sim_.costs.cpu_per_access;
-
-  int home = 0;
   Tlb& tlb = tlbs_[static_cast<std::size_t>(core)];
-  const TlbLookup hit = tlb.Lookup(access.va);
-  if (hit.level == TlbHitLevel::kL1) {
-    home = hit.node;
-  } else if (hit.level == TlbHitLevel::kL2) {
-    ++cc.tlb_l1_miss;
-    ++cc.tlb_l2_hit;
-    cost += sim_.costs.tlb_l2_hit;
-    home = hit.node;
-  } else {
-    ++cc.tlb_l1_miss;
-    auto mapping = address_space_->Translate(access.va);
-    if (!mapping.has_value()) {
-      const TouchResult touch = address_space_->Touch(access.va, node);
-      const FaultInfo& fault = *touch.fault;
-      switch (fault.size) {
-        case PageSize::k4K:
-          ++cc.faults_4k;
-          break;
-        case PageSize::k2M:
-          ++cc.faults_2m;
-          break;
-        case PageSize::k1G:
-          ++cc.faults_1g;
-          break;
+  AddressSpace::TranslationCache& translate_cache =
+      translate_caches_[static_cast<std::size_t>(core)];
+  std::uint64_t* node_requests = counters_.node_requests.data();
+  std::uint64_t* core_requests =
+      counters_.core_node_requests[static_cast<std::size_t>(core)].data();
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const WorkloadAccess& access = accesses[i];
+    ++cc.accesses;
+    Cycles cost = sim_.costs.cpu_per_access;
+
+    int home = 0;
+    const TlbLookup hit = tlb.Lookup(access.va);
+    if (hit.level == TlbHitLevel::kL1) {
+      home = hit.node;
+    } else if (hit.level == TlbHitLevel::kL2) {
+      ++cc.tlb_l1_miss;
+      ++cc.tlb_l2_hit;
+      cost += sim_.costs.tlb_l2_hit;
+      home = hit.node;
+    } else {
+      ++cc.tlb_l1_miss;
+      auto mapping = address_space_->Translate(access.va, translate_cache);
+      if (!mapping.has_value()) {
+        const TouchResult touch = address_space_->Touch(access.va, node);
+        const FaultInfo& fault = *touch.fault;
+        switch (fault.size) {
+          case PageSize::k4K:
+            ++cc.faults_4k;
+            break;
+          case PageSize::k2M:
+            ++cc.faults_2m;
+            break;
+          case PageSize::k1G:
+            ++cc.faults_1g;
+            break;
+        }
+        cc.fault_bytes += fault.bytes;
+        FaultCycleParts& parts = fault_parts_[static_cast<std::size_t>(core)];
+        parts.fixed += sim_.costs.fault_fixed;
+        parts.zero += static_cast<Cycles>(sim_.costs.fault_zero_per_byte *
+                                          static_cast<double>(fault.bytes));
+        mapping = touch.mapping;
       }
-      cc.fault_bytes += fault.bytes;
-      FaultCycleParts& parts = fault_parts_[static_cast<std::size_t>(core)];
-      parts.fixed += sim_.costs.fault_fixed;
-      parts.zero += static_cast<Cycles>(sim_.costs.fault_zero_per_byte *
-                                        static_cast<double>(fault.bytes));
-      mapping = touch.mapping;
-    }
-    if (!migrate_on_touch_.empty()) {
-      const Addr piece = AlignDown(access.va, BytesOf(mapping->size));
-      const auto it = migrate_on_touch_.find(piece);
-      if (it != migrate_on_touch_.end()) {
-        migrate_on_touch_.erase(it);
-        if (mapping->node != node) {
-          if (auto moved = address_space_->MigratePage(piece, node)) {
-            cost += sim_.costs.fault_fixed / 2;  // hinting fault on this core
-            hint_kernel_cycles_ += sim_.costs.migrate_fixed +
-                                   static_cast<Cycles>(sim_.costs.migrate_per_byte *
-                                                       static_cast<double>(moved->bytes));
-            ++hint_migrations_;
-            mapping = address_space_->Translate(access.va);
+      if (!migrate_on_touch_.empty()) {
+        const Addr piece = AlignDown(access.va, BytesOf(mapping->size));
+        if (migrate_on_touch_.Erase(piece)) {
+          if (mapping->node != node) {
+            if (auto moved = address_space_->MigratePage(piece, node)) {
+              cost += sim_.costs.fault_fixed / 2;  // hinting fault on this core
+              hint_kernel_cycles_ += sim_.costs.migrate_fixed +
+                                     static_cast<Cycles>(sim_.costs.migrate_per_byte *
+                                                         static_cast<double>(moved->bytes));
+              ++hint_migrations_;
+              mapping = address_space_->Translate(access.va, translate_cache);
+            }
           }
         }
       }
+      ++cc.tlb_walks;
+      const WalkResult walk =
+          walker_.Walk(mapping->size, address_space_->page_table().table_bytes(), rng);
+      const double mlp = region_mlp_[access.region];
+      cost += mlp > 1.0 ? static_cast<Cycles>(static_cast<double>(walk.cycles) / mlp)
+                        : walk.cycles;
+      if (walk.l2_miss) {
+        ++cc.walk_l2_miss;
+      }
+      tlb.Insert(mapping->page_base, mapping->size, mapping->pfn, mapping->node);
+      home = mapping->node;
     }
-    ++cc.tlb_walks;
-    const WalkResult walk =
-        walker_.Walk(mapping->size, address_space_->page_table().table_bytes(), rng);
-    const double mlp = workload_->mlp(access.region);
-    cost += mlp > 1.0 ? static_cast<Cycles>(static_cast<double>(walk.cycles) / mlp)
-                      : walk.cycles;
-    if (walk.l2_miss) {
-      ++cc.walk_l2_miss;
-    }
-    tlb.Insert(mapping->page_base, mapping->size, mapping->pfn, mapping->node);
-    home = mapping->node;
-  }
 
-  // Does this access reach DRAM? (Per-region cache abstraction.)
-  const double intensity = workload_->dram_intensity(access.region);
-  const bool dram = rng.Bernoulli(intensity);
-  if (dram) {
-    ++counters_.node_requests[static_cast<std::size_t>(home)];
-    ++counters_.core_node_requests[static_cast<std::size_t>(core)][static_cast<std::size_t>(home)];
-    if (home == node) {
-      ++cc.dram_local;
-    } else {
-      ++cc.dram_remote;
-      ++counters_.node_incoming_remote[static_cast<std::size_t>(home)];
+    // Does this access reach DRAM? (Per-region cache abstraction.)
+    const double intensity = region_intensity_[access.region];
+    const bool dram = rng.Bernoulli(intensity);
+    if (dram) {
+      ++node_requests[static_cast<std::size_t>(home)];
+      ++core_requests[static_cast<std::size_t>(home)];
+      if (home == node) {
+        ++cc.dram_local;
+      } else {
+        ++cc.dram_remote;
+        ++counters_.node_incoming_remote[static_cast<std::size_t>(home)];
+      }
     }
+    ibs_.Observe(access.va, core, node, home, dram);
+    cc.exec_cycles += cost;
   }
-  ibs_.Observe(access.va, core, node, home, dram);
-  cc.exec_cycles += cost;
 }
 
 Cycles Simulation::RunPolicies(Cycles wall_so_far, EpochRecord& record) {
@@ -237,6 +254,7 @@ Cycles Simulation::RunPolicies(Cycles wall_so_far, EpochRecord& record) {
   Cycles kernel_cycles = 0;
   Cycles overhead = 0;
   std::vector<IbsSample> fresh = ibs_.Drain();
+  const std::size_t fresh_count = fresh.size();
   const PageAggMap fresh_pages =
       AggregateSamples(fresh, *address_space_, AggGranularity::kMapping);
   record.metrics = ComputeNumaMetrics(counters_, fresh_pages, std::max<Cycles>(wall_so_far, 1));
@@ -244,23 +262,25 @@ Cycles Simulation::RunPolicies(Cycles wall_so_far, EpochRecord& record) {
   // Policy decisions accumulate samples over a sliding window of epochs: the
   // kernel module keeps per-page statistics continuously, and at realistic
   // IBS rates a single second yields too few samples per page to act on.
-  const std::vector<IbsSample> fresh_copy = fresh;  // estimator input (per-iteration)
-  sample_window_.push_back(std::move(fresh));
-  if (sample_window_.size() > kSampleWindowEpochs) {
-    sample_window_.erase(sample_window_.begin());
+  // The window aggregate is maintained incrementally (add newest epoch,
+  // retire oldest) and folded to the current mapping granularity on demand —
+  // per-epoch cost no longer scales with window length x samples per epoch.
+  // Runs with no page-placement policy never consume the window aggregate,
+  // so they skip its maintenance entirely (the reference engine keeps the
+  // seed's always-on behavior; the fold result is identical and unused).
+  const bool window_consumed = policy_.use_carrefour || lp_ != nullptr;
+  PageAggMap pages;
+  if (window_consumed || sim_.reference_pipeline) {
+    window_.PushEpoch(std::move(fresh));
+    pages = window_.FoldToMapping(*address_space_);
   }
-  std::vector<IbsSample> samples;
-  for (const auto& epoch_samples : sample_window_) {
-    samples.insert(samples.end(), epoch_samples.begin(), epoch_samples.end());
-  }
-  const PageAggMap pages = AggregateSamples(samples, *address_space_, AggGranularity::kMapping);
 
   std::vector<std::pair<Addr, PageSize>> shootdowns;
+  std::vector<std::pair<Addr, std::uint64_t>> shootdown_ranges;
   bool did_split = false;
   const bool any_policy =
       policy_.use_carrefour || policy_.use_reactive || policy_.use_conservative;
   if (any_policy) {
-    const std::size_t fresh_count = sample_window_.empty() ? 0 : sample_window_.back().size();
     overhead += sim_.costs.policy_fixed_per_epoch +
                 static_cast<Cycles>(fresh_count) * sim_.costs.per_ibs_sample /
                     static_cast<Cycles>(topo_.num_cores());
@@ -272,8 +292,9 @@ Cycles Simulation::RunPolicies(Cycles wall_so_far, EpochRecord& record) {
     observation.max_fault_time_share = record.metrics.max_fault_time_share;
     // Estimates use the iteration's own samples (the paper estimates each
     // second from that second's IBS data); placement uses the accumulated
-    // per-page statistics.
-    observation.lar = EstimateLar(fresh_copy, *address_space_, fresh_pages, topo_.num_nodes());
+    // per-page statistics. The window owns the fresh samples now — no copy.
+    observation.lar =
+        EstimateLar(window_.latest_samples(), *address_space_, fresh_pages, topo_.num_nodes());
     observation.mapping_pages = &pages;
     record.est_current_lar = observation.lar.current_pct;
     record.est_carrefour_lar = observation.lar.carrefour_pct;
@@ -293,7 +314,13 @@ Cycles Simulation::RunPolicies(Cycles wall_so_far, EpochRecord& record) {
       kernel_cycles += sim_.costs.split_fixed + sim_.costs.shootdown_per_op;
       ++record.splits;
       carrefour_.Forget(base);
-      shootdowns.emplace_back(base, size);
+      if (sim_.reference_pipeline) {
+        shootdowns.emplace_back(base, size);
+      } else {
+        // One ranged shootdown covers the stale large-page translation and
+        // every piece the interleave loop below migrates.
+        shootdown_ranges.emplace_back(base, BytesOf(size));
+      }
       did_split = true;
       const PageSize piece = size == PageSize::k1G ? PageSize::k2M : PageSize::k4K;
       const std::uint64_t step = BytesOf(piece);
@@ -306,7 +333,9 @@ Cycles Simulation::RunPolicies(Cycles wall_so_far, EpochRecord& record) {
                                                static_cast<double>(moved->bytes)) +
                            sim_.costs.shootdown_per_op;
           ++record.migrations;
-          shootdowns.emplace_back(p, piece);
+          if (sim_.reference_pipeline) {
+            shootdowns.emplace_back(p, piece);
+          }
         }
       }
     }
@@ -324,7 +353,7 @@ Cycles Simulation::RunPolicies(Cycles wall_so_far, EpochRecord& record) {
             entry.second == PageSize::k1G ? PageSize::k2M : PageSize::k4K;
         const std::uint64_t piece_step = BytesOf(piece_size);
         for (Addr p = base; p < base + BytesOf(entry.second); p += piece_step) {
-          migrate_on_touch_.insert(p);
+          migrate_on_touch_.Insert(p);
         }
       }
     }
@@ -342,7 +371,10 @@ Cycles Simulation::RunPolicies(Cycles wall_so_far, EpochRecord& record) {
       const PageAggMap* plan_pages = &pages;
       PageAggMap reaggregated;
       if (did_split) {
-        reaggregated = AggregateSamples(samples, *address_space_, AggGranularity::kMapping);
+        // Re-fold so the plan sees the post-split granularity (the 4KB window
+        // aggregate itself needed no re-bucketing: splits do not move 4KB
+        // windows across 4KB boundaries).
+        reaggregated = window_.FoldToMapping(*address_space_);
         plan_pages = &reaggregated;
       }
       const auto plan = carrefour_.Plan(*plan_pages, record.epoch);
@@ -372,16 +404,24 @@ Cycles Simulation::RunPolicies(Cycles wall_so_far, EpochRecord& record) {
     }
     record.promotions += promotions.size();
     for (const PromotionRecord& promo : promotions) {
-      // The 512 stale 4KB translations of the consolidated window.
-      for (Addr p = promo.window_base; p < promo.window_base + kBytes2M; p += kBytes4K) {
-        shootdowns.emplace_back(p, PageSize::k4K);
+      // The 512 stale 4KB translations of the consolidated window, as one
+      // ranged shootdown (the reference engine queues them one by one).
+      if (sim_.reference_pipeline) {
+        for (Addr p = promo.window_base; p < promo.window_base + kBytes2M; p += kBytes4K) {
+          shootdowns.emplace_back(p, PageSize::k4K);
+        }
+      } else {
+        shootdown_ranges.emplace_back(promo.window_base, kBytes2M);
       }
     }
   }
 
-  for (const auto& [page_base, size] : shootdowns) {
-    for (Tlb& tlb : tlbs_) {
+  for (Tlb& tlb : tlbs_) {
+    for (const auto& [page_base, size] : shootdowns) {
       tlb.InvalidatePage(page_base, size);
+    }
+    for (const auto& [base, bytes] : shootdown_ranges) {
+      tlb.InvalidateRange(base, bytes);
     }
   }
   overhead += static_cast<Cycles>(static_cast<double>(kernel_cycles) /
@@ -422,8 +462,9 @@ RunResult Simulation::Run() {
         const int core = CoreOfThread(t);
         const int node = topo_.NodeOfCore(core);
         const auto& batch = batches_[static_cast<std::size_t>(t)];
-        for (std::size_t i = offset; i < slice_end && i < batch.size(); ++i) {
-          ProcessAccess(core, node, batch[i]);
+        const std::size_t end = std::min<std::size_t>(slice_end, batch.size());
+        if (offset < end) {
+          ProcessSlice(core, node, batch.data() + offset, end - offset);
         }
       }
     }

@@ -7,7 +7,6 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "src/carrefour/carrefour.h"
@@ -22,6 +21,7 @@
 #include "src/hw/walker.h"
 #include "src/mem/phys_mem.h"
 #include "src/metrics/numa_metrics.h"
+#include "src/metrics/sample_window.h"
 #include "src/topo/topology.h"
 #include "src/vm/address_space.h"
 #include "src/vm/thp.h"
@@ -118,7 +118,11 @@ class Simulation {
   };
 
   int CoreOfThread(int thread) const;
-  void ProcessAccess(int core, int node, const WorkloadAccess& access);
+  // Executes one slice of a thread's access batch on `core`. Batching hoists
+  // the per-core state (counters, RNG, TLB, translate cache) and the
+  // per-region cost tables out of the per-access path; each access is
+  // processed exactly as the seed's per-call engine did.
+  void ProcessSlice(int core, int node, const WorkloadAccess* accesses, std::size_t count);
   // Runs the policy stack at the epoch boundary; returns overhead cycles and
   // fills the epoch record. `wall_so_far` is the app portion of the epoch.
   Cycles RunPolicies(Cycles wall_so_far, EpochRecord& record);
@@ -151,12 +155,22 @@ class Simulation {
   static constexpr std::size_t kSampleWindowEpochs = 512;
 
   PageAggMap cumulative_pages_;
-  std::vector<std::vector<IbsSample>> sample_window_;
+  // Incrementally maintained sliding window over the last
+  // kSampleWindowEpochs epochs of IBS samples (reference mode re-aggregates
+  // from scratch instead; results are identical).
+  SampleWindow window_;
   std::vector<std::vector<WorkloadAccess>> batches_;  // one per thread
+  // Per-core last-mapping caches in front of AddressSpace::Translate: a TLB
+  // miss on a page whose mapping is unchanged no longer walks the radix
+  // table (host-side only; the modeled walk cost is still charged).
+  std::vector<AddressSpace::TranslationCache> translate_caches_;
+  // Per-region cost tables hoisted out of the access loop.
+  std::vector<double> region_mlp_;
+  std::vector<double> region_intensity_;
   // Pages demoted by the reactive component are placed lazily: the next
   // touch migrates the piece to the toucher's node (NUMA hinting-fault
   // placement — per-4KB-piece IBS evidence would take minutes to gather).
-  std::unordered_set<Addr> migrate_on_touch_;
+  FlatSet<Addr> migrate_on_touch_;
   Cycles hint_kernel_cycles_ = 0;
   std::uint64_t hint_migrations_ = 0;
 };

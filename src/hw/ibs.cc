@@ -12,12 +12,7 @@ IbsEngine::IbsEngine(int num_nodes, int num_cores, std::uint64_t interval, std::
   }
 }
 
-bool IbsEngine::Observe(Addr va, int core, int req_node, int home_node, bool dram) {
-  auto& countdown = countdown_[static_cast<std::size_t>(core)];
-  if (--countdown > 0) {
-    return false;
-  }
-  countdown = interval_;
+void IbsEngine::TakeSample(Addr va, int core, int req_node, int home_node, bool dram) {
   IbsSample sample;
   sample.va = va;
   sample.core = static_cast<std::uint16_t>(core);
@@ -26,7 +21,6 @@ bool IbsEngine::Observe(Addr va, int core, int req_node, int home_node, bool dra
   sample.dram = dram;
   stores_[static_cast<std::size_t>(req_node)].push_back(sample);
   ++total_samples_;
-  return true;
 }
 
 std::vector<IbsSample> IbsEngine::Drain() {

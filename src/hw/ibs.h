@@ -31,8 +31,17 @@ class IbsEngine {
   IbsEngine(int num_nodes, int num_cores, std::uint64_t interval, std::uint64_t seed);
 
   // Called for every simulated access; cheap counter decrement in the common
-  // case. Returns true when the access was sampled.
-  bool Observe(Addr va, int core, int req_node, int home_node, bool dram);
+  // case (defined inline — this sits on the per-access hot path). Returns
+  // true when the access was sampled.
+  bool Observe(Addr va, int core, int req_node, int home_node, bool dram) {
+    auto& countdown = countdown_[static_cast<std::size_t>(core)];
+    if (--countdown > 0) {
+      return false;
+    }
+    countdown = interval_;
+    TakeSample(va, core, req_node, home_node, dram);
+    return true;
+  }
 
   // Samples collected since the last Drain, store-ordered per node.
   const std::vector<std::vector<IbsSample>>& stores() const { return stores_; }
@@ -44,6 +53,9 @@ class IbsEngine {
   std::uint64_t total_samples() const { return total_samples_; }
 
  private:
+  // The rare sampled path (store append), kept out of line.
+  void TakeSample(Addr va, int core, int req_node, int home_node, bool dram);
+
   std::uint64_t interval_;
   std::vector<std::uint64_t> countdown_;  // per core
   std::vector<std::vector<IbsSample>> stores_;

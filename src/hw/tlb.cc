@@ -5,42 +5,22 @@ namespace numalp {
 void Tlb::Array::Init(int s, int w) {
   sets = s;
   ways = w;
-  entries.assign(static_cast<std::size_t>(s) * static_cast<std::size_t>(w), Entry{});
-}
-
-Tlb::Entry* Tlb::Array::Find(std::uint64_t tag, std::uint64_t set_index) {
-  Entry* base = &entries[set_index * static_cast<std::size_t>(ways)];
-  for (int w = 0; w < ways; ++w) {
-    if (base[w].tag == tag) {
-      return &base[w];
-    }
-  }
-  return nullptr;
-}
-
-void Tlb::Array::Install(std::uint64_t tag, std::uint64_t set_index, Pfn pfn, int node,
-                         std::uint64_t tick) {
-  Entry* base = &entries[set_index * static_cast<std::size_t>(ways)];
-  Entry* victim = &base[0];
-  for (int w = 0; w < ways; ++w) {
-    if (base[w].tag == kInvalidTag) {
-      victim = &base[w];
-      break;
-    }
-    if (base[w].last_used < victim->last_used) {
-      victim = &base[w];
-    }
-  }
-  victim->tag = tag;
-  victim->pfn = pfn;
-  victim->node = static_cast<std::uint32_t>(node);
-  victim->last_used = tick;
+  pow2_sets = s > 0 && (static_cast<unsigned>(s) & (static_cast<unsigned>(s) - 1)) == 0;
+  set_mask = pow2_sets ? static_cast<std::uint64_t>(s) - 1 : 0;
+  const std::size_t n = static_cast<std::size_t>(s) * static_cast<std::size_t>(w);
+  tags.assign(n, kInvalidTag);
+  payloads.assign(n, Payload{});
+  last_used.assign(n, 0);
+  live = 0;
+  live_parity[0] = live_parity[1] = 0;
 }
 
 void Tlb::Array::Flush() {
-  for (auto& entry : entries) {
-    entry.tag = kInvalidTag;
+  for (auto& tag : tags) {
+    tag = kInvalidTag;
   }
+  live = 0;
+  live_parity[0] = live_parity[1] = 0;
 }
 
 Tlb::Tlb(const TlbConfig& config) {
@@ -50,89 +30,66 @@ Tlb::Tlb(const TlbConfig& config) {
   l2_.Init(config.l2_sets, config.l2_ways);
 }
 
-TlbLookup Tlb::Lookup(Addr va) {
-  ++lookups_;
-  ++tick_;
-  const std::uint64_t vpn4k = va >> kShift4K;
-  const std::uint64_t vpn2m = va >> kShift2M;
-  const std::uint64_t vpn1g = va >> kShift1G;
-
-  if (Entry* e = l1_4k_.Find(vpn4k, vpn4k % static_cast<std::uint64_t>(l1_4k_.sets))) {
-    e->last_used = tick_;
-    return TlbLookup{TlbHitLevel::kL1, e->pfn, static_cast<int>(e->node), PageSize::k4K};
-  }
-  if (Entry* e = l1_2m_.Find(vpn2m, vpn2m % static_cast<std::uint64_t>(l1_2m_.sets))) {
-    e->last_used = tick_;
-    return TlbLookup{TlbHitLevel::kL1, e->pfn, static_cast<int>(e->node), PageSize::k2M};
-  }
-  if (Entry* e = l1_1g_.Find(vpn1g, vpn1g % static_cast<std::uint64_t>(l1_1g_.sets))) {
-    e->last_used = tick_;
-    return TlbLookup{TlbHitLevel::kL1, e->pfn, static_cast<int>(e->node), PageSize::k1G};
-  }
-  // Unified L2: tags disambiguate page size.
-  const std::uint64_t l2_tag_4k = (vpn4k << 1) | 0;
-  const std::uint64_t l2_tag_2m = (vpn2m << 1) | 1;
-  if (Entry* e = l2_.Find(l2_tag_4k, vpn4k % static_cast<std::uint64_t>(l2_.sets))) {
-    e->last_used = tick_;
-    l1_4k_.Install(vpn4k, vpn4k % static_cast<std::uint64_t>(l1_4k_.sets), e->pfn,
-                   static_cast<int>(e->node), tick_);
-    return TlbLookup{TlbHitLevel::kL2, e->pfn, static_cast<int>(e->node), PageSize::k4K};
-  }
-  if (Entry* e = l2_.Find(l2_tag_2m, vpn2m % static_cast<std::uint64_t>(l2_.sets))) {
-    e->last_used = tick_;
-    l1_2m_.Install(vpn2m, vpn2m % static_cast<std::uint64_t>(l1_2m_.sets), e->pfn,
-                   static_cast<int>(e->node), tick_);
-    return TlbLookup{TlbHitLevel::kL2, e->pfn, static_cast<int>(e->node), PageSize::k2M};
-  }
-  return TlbLookup{};
-}
-
-void Tlb::Insert(Addr va, PageSize size, Pfn pfn, int node) {
-  ++tick_;
-  switch (size) {
-    case PageSize::k4K: {
-      const std::uint64_t vpn = va >> kShift4K;
-      l1_4k_.Install(vpn, vpn % static_cast<std::uint64_t>(l1_4k_.sets), pfn, node, tick_);
-      l2_.Install((vpn << 1) | 0, vpn % static_cast<std::uint64_t>(l2_.sets), pfn, node, tick_);
-      break;
-    }
-    case PageSize::k2M: {
-      const std::uint64_t vpn = va >> kShift2M;
-      l1_2m_.Install(vpn, vpn % static_cast<std::uint64_t>(l1_2m_.sets), pfn, node, tick_);
-      l2_.Install((vpn << 1) | 1, vpn % static_cast<std::uint64_t>(l2_.sets), pfn, node, tick_);
-      break;
-    }
-    case PageSize::k1G: {
-      const std::uint64_t vpn = va >> kShift1G;
-      l1_1g_.Install(vpn, 0, pfn, node, tick_);
-      break;
-    }
-  }
-}
-
 void Tlb::InvalidatePage(Addr page_base, PageSize size) {
-  auto clear = [](Array& array, std::uint64_t tag, std::uint64_t set_index) {
-    if (Entry* e = array.Find(tag, set_index)) {
-      e->tag = kInvalidTag;
+  const auto clear = [](Array& array, std::uint64_t tag, std::uint64_t set_index) {
+    if (const std::size_t at = array.Find(tag, set_index); at != kNoEntry) {
+      array.tags[at] = kInvalidTag;
+      --array.live;
+      --array.live_parity[tag & 1];
     }
   };
   switch (size) {
     case PageSize::k4K: {
       const std::uint64_t vpn = page_base >> kShift4K;
-      clear(l1_4k_, vpn, vpn % static_cast<std::uint64_t>(l1_4k_.sets));
-      clear(l2_, (vpn << 1) | 0, vpn % static_cast<std::uint64_t>(l2_.sets));
+      clear(l1_4k_, vpn, l1_4k_.SetIndex(vpn));
+      clear(l2_, (vpn << 1) | 0, l2_.SetIndex(vpn));
       break;
     }
     case PageSize::k2M: {
       const std::uint64_t vpn = page_base >> kShift2M;
-      clear(l1_2m_, vpn, vpn % static_cast<std::uint64_t>(l1_2m_.sets));
-      clear(l2_, (vpn << 1) | 1, vpn % static_cast<std::uint64_t>(l2_.sets));
+      clear(l1_2m_, vpn, l1_2m_.SetIndex(vpn));
+      clear(l2_, (vpn << 1) | 1, l2_.SetIndex(vpn));
       break;
     }
     case PageSize::k1G: {
       const std::uint64_t vpn = page_base >> kShift1G;
-      clear(l1_1g_, vpn, 0);
+      clear(l1_1g_, vpn, l1_1g_.SetIndex(vpn));
       break;
+    }
+  }
+}
+
+void Tlb::InvalidateRange(Addr base, std::uint64_t bytes) {
+  const Addr end = base + bytes;
+  const auto sweep = [&](Array& array, int va_shift) {
+    for (auto& tag : array.tags) {
+      if (tag == kInvalidTag) {
+        continue;
+      }
+      const Addr va = tag << va_shift;
+      const std::uint64_t span = 1ull << va_shift;
+      if (va < end && va + span > base) {
+        --array.live;
+        --array.live_parity[tag & 1];
+        tag = kInvalidTag;
+      }
+    }
+  };
+  sweep(l1_4k_, kShift4K);
+  sweep(l1_2m_, kShift2M);
+  sweep(l1_1g_, kShift1G);
+  // The unified L2 packs the page size into tag bit 0.
+  for (auto& tag : l2_.tags) {
+    if (tag == kInvalidTag) {
+      continue;
+    }
+    const int va_shift = (tag & 1) != 0 ? kShift2M : kShift4K;
+    const Addr va = (tag >> 1) << va_shift;
+    const std::uint64_t span = 1ull << va_shift;
+    if (va < end && va + span > base) {
+      --l2_.live;
+      --l2_.live_parity[tag & 1];
+      tag = kInvalidTag;
     }
   }
 }

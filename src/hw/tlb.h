@@ -2,9 +2,17 @@
 // unified L2, modelled after the AMD family 10h/15h designs in the paper's
 // testbeds. Entries carry the translation payload (PFN + home node) so the
 // simulation engine can resolve a hit without touching the page table.
+//
+// Host-side layout: tags and payloads live in separate parallel arrays
+// (structure-of-arrays). A probe — the single hottest operation in the
+// whole simulator — then scans a dense run of 8-byte tags (a 4-way set is
+// half a cache line) and touches the payload only on a hit. Set selection
+// uses power-of-two masking when the configuration allows (all shipped
+// configs do); both changes are invisible to the modeled behavior.
 #ifndef NUMALP_SRC_HW_TLB_H_
 #define NUMALP_SRC_HW_TLB_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -52,30 +60,64 @@ class Tlb {
   // every policy action would overcharge policies by a full refill storm.
   void InvalidatePage(Addr page_base, PageSize size);
 
+  // Ranged shootdown: drops every cached translation (any page size, both
+  // levels) whose page overlaps [base, base + bytes). Equivalent to — and
+  // far cheaper than — looping InvalidatePage over each constituent page:
+  // one pass over the arrays instead of per-page probes. Batches the 512
+  // stale 4KB invalidations a 2MB promotion broadcasts, and the piece-wise
+  // storms after a hot-page split.
+  void InvalidateRange(Addr base, std::uint64_t bytes);
+
   void FlushAll();
 
   std::uint64_t lookups() const { return lookups_; }
 
  private:
-  struct Entry {
-    std::uint64_t tag = kInvalidTag;
+  static constexpr std::uint64_t kInvalidTag = ~0ull;
+  static constexpr std::size_t kNoEntry = ~static_cast<std::size_t>(0);
+
+  struct Payload {
     Pfn pfn = 0;
     std::uint32_t node = 0;
-    std::uint64_t last_used = 0;
   };
+
   struct Array {
     int sets = 0;
     int ways = 0;
-    std::vector<Entry> entries;  // sets * ways
+    // Set selection: hardware-style power-of-two masking when `sets` allows
+    // it (every shipped TlbConfig does), falling back to modulo. The two are
+    // value-identical for power-of-two set counts; the mask form keeps an
+    // integer division out of the per-access probe loop.
+    std::uint64_t set_mask = 0;
+    bool pow2_sets = false;
+    std::vector<std::uint64_t> tags;       // sets * ways, kInvalidTag = empty
+    std::vector<Payload> payloads;         // parallel to tags
+    std::vector<std::uint64_t> last_used;  // parallel to tags (LRU victim scan)
+    // Occupancy tracking: an array (or, for the unified L2, a tag-parity
+    // class — bit 0 encodes the page size) with no live entries cannot hit,
+    // so Lookup skips the probe entirely. Workloads touch one page size
+    // almost exclusively, making half the probe work vanish.
+    std::uint64_t live = 0;
+    std::uint64_t live_parity[2] = {0, 0};
 
     void Init(int s, int w);
-    Entry* Find(std::uint64_t tag, std::uint64_t set_index);
+    std::uint64_t SetIndex(std::uint64_t value) const {
+      return pow2_sets ? (value & set_mask) : value % static_cast<std::uint64_t>(sets);
+    }
+    // Index of `tag` within the set, or kNoEntry.
+    std::size_t Find(std::uint64_t tag, std::uint64_t set_index) const {
+      const std::size_t base = set_index * static_cast<std::size_t>(ways);
+      for (int w = 0; w < ways; ++w) {
+        if (tags[base + static_cast<std::size_t>(w)] == tag) {
+          return base + static_cast<std::size_t>(w);
+        }
+      }
+      return kNoEntry;
+    }
     void Install(std::uint64_t tag, std::uint64_t set_index, Pfn pfn, int node,
                  std::uint64_t tick);
     void Flush();
   };
-
-  static constexpr std::uint64_t kInvalidTag = ~0ull;
 
   Array l1_4k_;
   Array l1_2m_;
@@ -84,6 +126,108 @@ class Tlb {
   std::uint64_t tick_ = 0;
   std::uint64_t lookups_ = 0;
 };
+
+
+// Hot-path definitions (one Lookup per simulated access; inlined into the
+// engine's access loop — behavior identical to the out-of-line form).
+inline void Tlb::Array::Install(std::uint64_t tag, std::uint64_t set_index, Pfn pfn, int node,
+                         std::uint64_t tick) {
+  const std::size_t base = set_index * static_cast<std::size_t>(ways);
+  std::size_t victim = base;
+  for (int w = 0; w < ways; ++w) {
+    const std::size_t at = base + static_cast<std::size_t>(w);
+    if (tags[at] == kInvalidTag) {
+      victim = at;
+      break;
+    }
+    if (last_used[at] < last_used[victim]) {
+      victim = at;
+    }
+  }
+  if (tags[victim] == kInvalidTag) {
+    ++live;
+  } else {
+    --live_parity[tags[victim] & 1];
+  }
+  ++live_parity[tag & 1];
+  tags[victim] = tag;
+  payloads[victim].pfn = pfn;
+  payloads[victim].node = static_cast<std::uint32_t>(node);
+  last_used[victim] = tick;
+}
+
+inline TlbLookup Tlb::Lookup(Addr va) {
+  ++lookups_;
+  ++tick_;
+  const std::uint64_t vpn4k = va >> kShift4K;
+  const std::uint64_t vpn2m = va >> kShift2M;
+  const std::uint64_t vpn1g = va >> kShift1G;
+
+  if (l1_4k_.live != 0) {
+    if (std::size_t at = l1_4k_.Find(vpn4k, l1_4k_.SetIndex(vpn4k)); at != kNoEntry) {
+      Payload& p = l1_4k_.payloads[at];
+      l1_4k_.last_used[at] = tick_;
+      return TlbLookup{TlbHitLevel::kL1, p.pfn, static_cast<int>(p.node), PageSize::k4K};
+    }
+  }
+  if (l1_2m_.live != 0) {
+    if (std::size_t at = l1_2m_.Find(vpn2m, l1_2m_.SetIndex(vpn2m)); at != kNoEntry) {
+      Payload& p = l1_2m_.payloads[at];
+      l1_2m_.last_used[at] = tick_;
+      return TlbLookup{TlbHitLevel::kL1, p.pfn, static_cast<int>(p.node), PageSize::k2M};
+    }
+  }
+  if (l1_1g_.live != 0) {
+    if (std::size_t at = l1_1g_.Find(vpn1g, l1_1g_.SetIndex(vpn1g)); at != kNoEntry) {
+      Payload& p = l1_1g_.payloads[at];
+      l1_1g_.last_used[at] = tick_;
+      return TlbLookup{TlbHitLevel::kL1, p.pfn, static_cast<int>(p.node), PageSize::k1G};
+    }
+  }
+  // Unified L2: tags disambiguate page size.
+  const std::uint64_t l2_tag_4k = (vpn4k << 1) | 0;
+  const std::uint64_t l2_tag_2m = (vpn2m << 1) | 1;
+  if (l2_.live_parity[0] != 0) {
+    if (std::size_t at = l2_.Find(l2_tag_4k, l2_.SetIndex(vpn4k)); at != kNoEntry) {
+      Payload& p = l2_.payloads[at];
+      l2_.last_used[at] = tick_;
+      l1_4k_.Install(vpn4k, l1_4k_.SetIndex(vpn4k), p.pfn, static_cast<int>(p.node), tick_);
+      return TlbLookup{TlbHitLevel::kL2, p.pfn, static_cast<int>(p.node), PageSize::k4K};
+    }
+  }
+  if (l2_.live_parity[1] != 0) {
+    if (std::size_t at = l2_.Find(l2_tag_2m, l2_.SetIndex(vpn2m)); at != kNoEntry) {
+      Payload& p = l2_.payloads[at];
+      l2_.last_used[at] = tick_;
+      l1_2m_.Install(vpn2m, l1_2m_.SetIndex(vpn2m), p.pfn, static_cast<int>(p.node), tick_);
+      return TlbLookup{TlbHitLevel::kL2, p.pfn, static_cast<int>(p.node), PageSize::k2M};
+    }
+  }
+  return TlbLookup{};
+}
+
+inline void Tlb::Insert(Addr va, PageSize size, Pfn pfn, int node) {
+  ++tick_;
+  switch (size) {
+    case PageSize::k4K: {
+      const std::uint64_t vpn = va >> kShift4K;
+      l1_4k_.Install(vpn, l1_4k_.SetIndex(vpn), pfn, node, tick_);
+      l2_.Install((vpn << 1) | 0, l2_.SetIndex(vpn), pfn, node, tick_);
+      break;
+    }
+    case PageSize::k2M: {
+      const std::uint64_t vpn = va >> kShift2M;
+      l1_2m_.Install(vpn, l1_2m_.SetIndex(vpn), pfn, node, tick_);
+      l2_.Install((vpn << 1) | 1, l2_.SetIndex(vpn), pfn, node, tick_);
+      break;
+    }
+    case PageSize::k1G: {
+      const std::uint64_t vpn = va >> kShift1G;
+      l1_1g_.Install(vpn, l1_1g_.SetIndex(vpn), pfn, node, tick_);
+      break;
+    }
+  }
+}
 
 }  // namespace numalp
 

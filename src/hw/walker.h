@@ -41,10 +41,27 @@ class PageWalker {
   explicit PageWalker(const WalkerConfig& config) : config_(config) {}
 
   // One hardware walk for a page of `size` with `table_bytes` of resident
-  // paging structures. Deterministic given the Rng stream.
-  WalkResult Walk(PageSize size, std::uint64_t table_bytes, Rng& rng) const;
+  // paging structures. Deterministic given the Rng stream. Defined inline:
+  // one call per TLB miss puts this on the engine's hot path.
+  WalkResult Walk(PageSize size, std::uint64_t table_bytes, Rng& rng) const {
+    WalkResult result;
+    // Walk depth by leaf level (PageTable::WalkDepth, restated here to keep
+    // the hw layer free of vm includes): 4KB -> 4, 2MB -> 3, 1GB -> 2.
+    const int levels = size == PageSize::k4K ? 4 : (size == PageSize::k2M ? 3 : 2);
+    result.cycles = config_.per_level * static_cast<Cycles>(levels - 1);
+    if (rng.Bernoulli(PteMissProbability(table_bytes))) {
+      result.l2_miss = true;
+      result.cycles += config_.pte_l2_hit + config_.pte_l2_miss_extra;
+    } else {
+      result.cycles += config_.pte_l2_hit;
+    }
+    return result;
+  }
 
-  double PteMissProbability(std::uint64_t table_bytes) const;
+  double PteMissProbability(std::uint64_t table_bytes) const {
+    const double t = static_cast<double>(table_bytes);
+    return config_.miss_floor + config_.miss_span * t / (t + config_.half_sat_bytes);
+  }
 
   const WalkerConfig& config() const { return config_; }
 

@@ -33,11 +33,14 @@ int PageAgg::SharerCount() const { return std::popcount(core_mask); }
 PageAggMap AggregateSamples(std::span<const IbsSample> samples,
                             const AddressSpace& address_space, AggGranularity granularity) {
   PageAggMap pages;
+  // Samples arrive with strong page locality; the one-line cache turns the
+  // common repeat-translation into a range check (identical results).
+  AddressSpace::TranslationCache cache;
   for (const IbsSample& sample : samples) {
     Addr page_base = 0;
     PageSize size = PageSize::k4K;
     int home_node = -1;
-    const auto mapping = address_space.Translate(sample.va);
+    const auto mapping = address_space.Translate(sample.va, cache);
     if (!mapping.has_value()) {
       continue;  // page was unmapped between sampling and aggregation
     }

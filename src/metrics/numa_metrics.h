@@ -13,11 +13,13 @@
 #ifndef NUMALP_SRC_METRICS_NUMA_METRICS_H_
 #define NUMALP_SRC_METRICS_NUMA_METRICS_H_
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <span>
-#include <unordered_map>
+#include <vector>
 
+#include "src/common/flat_map.h"
 #include "src/common/units.h"
 #include "src/hw/counters.h"
 #include "src/hw/ibs.h"
@@ -50,7 +52,44 @@ struct PageAgg {
   int SharerCount() const;
 };
 
-using PageAggMap = std::unordered_map<Addr, PageAgg>;
+// Flat open-addressing map (src/common/flat_map.h): contiguous storage, no
+// per-node allocation. Iteration order is deterministic but unspecified;
+// decision code that consumes RNG or budgets while iterating must use
+// ForEachPageSorted for the canonical ascending-address order (DESIGN.md
+// Section 7), so results do not depend on map internals.
+using PageAggMap = FlatMap<Addr, PageAgg>;
+
+// Invokes fn(Addr, const PageAgg&) for every page in ascending address
+// order. This is the iteration contract for every order-sensitive consumer
+// (Carrefour planning, Carrefour-LP split selection): two maps with equal
+// contents always produce the same visit sequence, whatever the insertion
+// or erase history that built them. Skips the sort when the map's dense
+// storage is already ascending (the window fold emits pages in address
+// order, making this a linear scan in the steady state).
+template <typename Fn>
+void ForEachPageSorted(const PageAggMap& pages, Fn&& fn) {
+  const auto ascending = [](const PageAggMap::Item& a, const PageAggMap::Item& b) {
+    return a.first < b.first;
+  };
+  if (std::is_sorted(pages.begin(), pages.end(), ascending)) {
+    for (const auto& item : pages) {
+      fn(item.first, item.second);
+    }
+    return;
+  }
+  std::vector<const PageAggMap::Item*> order;
+  order.reserve(pages.size());
+  for (const auto& item : pages) {
+    order.push_back(&item);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const PageAggMap::Item* a, const PageAggMap::Item* b) {
+              return a->first < b->first;
+            });
+  for (const PageAggMap::Item* item : order) {
+    fn(item->first, item->second);
+  }
+}
 
 // Folds samples into per-page aggregates at the requested granularity.
 // Samples for unmapped addresses are dropped.

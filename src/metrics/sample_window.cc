@@ -1,0 +1,117 @@
+#include "src/metrics/sample_window.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+#include <vector>
+
+namespace numalp {
+
+SampleWindow::SampleWindow(std::size_t max_epochs, bool reference)
+    : max_epochs_(max_epochs), reference_(reference) {
+  assert(max_epochs_ > 0);
+}
+
+void SampleWindow::Apply(const IbsSample& sample, int direction) {
+  const Addr base = AlignDown(sample.va, kBytes4K);
+  if (direction > 0) {
+    PageAgg& agg = window_4k_[base];
+    agg.total += 1;
+    agg.dram += sample.dram ? 1u : 0u;
+    agg.req_node_counts[sample.req_node] += 1;
+    std::uint32_t& core_count = core_counts_[CoreCountKey(base, sample.core)];
+    if (core_count++ == 0) {
+      agg.core_mask |= 1ull << (sample.core % 64);
+    }
+    return;
+  }
+  PageAgg* agg = window_4k_.Find(base);
+  assert(agg != nullptr && agg->total > 0);
+  agg->total -= 1;
+  agg->dram -= sample.dram ? 1u : 0u;
+  agg->req_node_counts[sample.req_node] -= 1;
+  const std::uint64_t core_key = CoreCountKey(base, sample.core);
+  std::uint32_t* core_count = core_counts_.Find(core_key);
+  assert(core_count != nullptr && *core_count > 0);
+  if (--*core_count == 0) {
+    core_counts_.Erase(core_key);
+    agg->core_mask &= ~(1ull << (sample.core % 64));
+  }
+  if (agg->total == 0) {
+    assert(agg->core_mask == 0);
+    window_4k_.Erase(base);
+  }
+}
+
+void SampleWindow::PushEpoch(std::vector<IbsSample> samples) {
+  if (!reference_) {
+    for (const IbsSample& sample : samples) {
+      Apply(sample, +1);
+    }
+  }
+  epochs_.push_back(std::move(samples));
+  if (epochs_.size() > max_epochs_) {
+    if (!reference_) {
+      for (const IbsSample& sample : epochs_.front()) {
+        Apply(sample, -1);
+      }
+    }
+    epochs_.pop_front();
+  }
+}
+
+PageAggMap SampleWindow::FoldToMapping(const AddressSpace& address_space) const {
+  if (reference_) {
+    // The seed engine's computation, verbatim: concatenate every epoch and
+    // aggregate from scratch (the wall-clock and bit-identity baseline).
+    std::vector<IbsSample> samples;
+    for (const auto& epoch_samples : epochs_) {
+      samples.insert(samples.end(), epoch_samples.begin(), epoch_samples.end());
+    }
+    return AggregateSamples(samples, address_space, AggGranularity::kMapping);
+  }
+  // Fold in ascending 4KB-base order: containing mappings are disjoint and
+  // ordered, so the folded map's dense storage comes out ascending too —
+  // ForEachPageSorted's linear fast path engages for every decision pass,
+  // and consecutive 4KB bases share a mapping, so the translate cache turns
+  // most translations into a range check. The fold *contents* are
+  // order-independent (integer merges); only the storage order changes.
+  std::vector<const PageAggMap::Item*> order;
+  order.reserve(window_4k_.size());
+  for (const auto& item : window_4k_) {
+    order.push_back(&item);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const PageAggMap::Item* a, const PageAggMap::Item* b) {
+              return a->first < b->first;
+            });
+  PageAggMap folded;
+  AddressSpace::TranslationCache cache;
+  for (const PageAggMap::Item* item : order) {
+    const auto& [base, agg] = *item;
+    const auto mapping = address_space.Translate(base, cache);
+    if (!mapping.has_value()) {
+      continue;  // page was unmapped since sampling: reference drops it too
+    }
+    PageAgg& out = folded[mapping->page_base];
+    out.size = mapping->size;
+    out.home_node = mapping->node;
+    out.total += agg.total;
+    out.dram += agg.dram;
+    out.core_mask |= agg.core_mask;
+    for (int n = 0; n < kMaxNodes; ++n) {
+      out.req_node_counts[static_cast<std::size_t>(n)] +=
+          agg.req_node_counts[static_cast<std::size_t>(n)];
+    }
+  }
+  return folded;
+}
+
+std::span<const IbsSample> SampleWindow::latest_samples() const {
+  if (epochs_.empty()) {
+    return {};
+  }
+  return std::span<const IbsSample>(epochs_.back());
+}
+
+}  // namespace numalp

@@ -1,0 +1,85 @@
+// Epoch-incremental IBS sample window (the RunPolicies hot path).
+//
+// Policies act on a sliding window of epochs' samples. The seed engine
+// re-concatenated and re-aggregated the whole window every epoch —
+// O(window_epochs x samples_per_epoch) hash-and-translate work per epoch,
+// quadratic over a run. SampleWindow keeps a running aggregate at 4KB
+// granularity instead and updates it by adding the newest epoch and
+// subtracting the oldest, so per-epoch cost is O(samples_per_epoch +
+// distinct_pages) no matter how long the window is.
+//
+// 4KB is the one granularity that never re-buckets: every mapping-size page
+// is a union of aligned 4KB windows, so splits, promotions and migrations
+// leave the running aggregate untouched. The mapping-granularity view that
+// the policies consume is derived on demand by FoldToMapping, which
+// translates each 4KB base against the *current* address space — exactly
+// what full re-aggregation computed, including the post-split re-bucketing
+// path (just fold again after splitting).
+//
+// Sharer masks are ORs and cannot be subtracted, so the window additionally
+// keeps a per-(page, core-bit) sample count; a bit clears when its count
+// hits zero. All updates are integer-exact: FoldToMapping is bit-identical
+// to AggregateSamples over the concatenated window (reference mode runs
+// that very computation — tests/perf_structures_test.cc holds the two
+// equal; SimConfig::reference_pipeline switches the whole engine over).
+#ifndef NUMALP_SRC_METRICS_SAMPLE_WINDOW_H_
+#define NUMALP_SRC_METRICS_SAMPLE_WINDOW_H_
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "src/common/flat_map.h"
+#include "src/hw/ibs.h"
+#include "src/metrics/numa_metrics.h"
+#include "src/vm/address_space.h"
+
+namespace numalp {
+
+class SampleWindow {
+ public:
+  // `max_epochs`: sliding-window length (the safety cap; Carrefour's kernel
+  // module never resets its per-page statistics). `reference`: keep only the
+  // raw per-epoch sample lists and make FoldToMapping re-aggregate the whole
+  // window from scratch — the seed engine's behavior, preserved as the
+  // bit-identity oracle and wall-clock baseline.
+  explicit SampleWindow(std::size_t max_epochs, bool reference = false);
+
+  // Appends one epoch of samples and retires the oldest epoch once more
+  // than `max_epochs` are held (matching the seed's push-then-trim order).
+  void PushEpoch(std::vector<IbsSample> samples);
+
+  // The mapping-granularity aggregate of every sample in the window,
+  // translated against the current address space. Equal to
+  // AggregateSamples(<concatenated window>, address_space, kMapping).
+  PageAggMap FoldToMapping(const AddressSpace& address_space) const;
+
+  // The most recently pushed epoch's samples (the per-iteration estimator
+  // input; valid until the next PushEpoch).
+  std::span<const IbsSample> latest_samples() const;
+
+  std::size_t epochs() const { return epochs_.size(); }
+  // Distinct 4KB pages currently aggregated (0 in reference mode).
+  std::size_t distinct_pages() const { return window_4k_.size(); }
+
+ private:
+  // Running 4KB aggregate entry. home_node/size of PageAgg are not
+  // maintained here (FoldToMapping re-derives both from the live mapping).
+  void Apply(const IbsSample& sample, int direction);
+
+  static std::uint64_t CoreCountKey(Addr page_4k, int core) {
+    return (page_4k >> kShift4K) << 6 | static_cast<std::uint64_t>(core % 64);
+  }
+
+  std::size_t max_epochs_;
+  bool reference_;
+  std::deque<std::vector<IbsSample>> epochs_;
+  FlatMap<Addr, PageAgg> window_4k_;
+  // Samples per (4KB page, core bit) — makes the OR'd core_mask retirable.
+  FlatMap<std::uint64_t, std::uint32_t> core_counts_;
+};
+
+}  // namespace numalp
+
+#endif  // NUMALP_SRC_METRICS_SAMPLE_WINDOW_H_

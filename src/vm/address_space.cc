@@ -58,6 +58,11 @@ int AddressSpace::PlacementNode(Vma& vma, int core_node) {
 }
 
 void AddressSpace::NoteMapped(Addr page_base, PageSize size) {
+  // Deliberately no mutation_gen_ bump: mapping a previously-unmapped page
+  // cannot invalidate any cached translation (caches hold only successful
+  // translations, and re-mapping a once-unmapped VA goes through
+  // NoteUnmapped first). Faults are the most frequent mutation by far;
+  // leaving them out keeps the translate caches warm through fault storms.
   mapped_bytes_ += BytesOf(size);
   switch (size) {
     case PageSize::k4K:
@@ -77,6 +82,7 @@ void AddressSpace::NoteMapped(Addr page_base, PageSize size) {
 }
 
 void AddressSpace::NoteUnmapped(Addr page_base, PageSize size) {
+  ++mutation_gen_;
   mapped_bytes_ -= BytesOf(size);
   switch (size) {
     case PageSize::k4K:
@@ -175,6 +181,7 @@ std::optional<MigrationRecord> AddressSpace::MigratePage(Addr page_base, int tar
     return std::nullopt;  // target node full: skip, like Linux migrate_pages
   }
   const Pfn old_pfn = page_table_.ReplaceLeaf(page_base, *new_pfn);
+  ++mutation_gen_;
   phys_.Free(old_pfn, order);
   MigrationRecord record;
   record.page_base = page_base;
@@ -194,6 +201,7 @@ std::optional<SplitRecord> AddressSpace::SplitLargePage(Addr page_base) {
   if (!page_table_.Split(page_base)) {
     return std::nullopt;
   }
+  ++mutation_gen_;
   SplitRecord record;
   record.page_base = page_base;
   record.from_size = mapping->size;
@@ -240,6 +248,7 @@ std::optional<PromotionRecord> AddressSpace::PromoteWindow(Addr window_base, int
     phys_.Free(*new_pfn, OrderOf(PageSize::k2M));
     return std::nullopt;
   }
+  ++mutation_gen_;  // 512 cached 4KB translations of the window just died
   for (Pfn pfn : old_frames) {
     phys_.Free(pfn, /*order=*/0);
   }
@@ -254,8 +263,8 @@ std::optional<PromotionRecord> AddressSpace::PromoteWindow(Addr window_base, int
 }
 
 int AddressSpace::WindowPopulation(Addr window_base) const {
-  const auto it = window_pop_.find(window_base);
-  return it == window_pop_.end() ? 0 : it->second;
+  const int* population = window_pop_.Find(window_base);
+  return population == nullptr ? 0 : *population;
 }
 
 double AddressSpace::LargePageCoverage() const {

@@ -5,13 +5,14 @@
 #ifndef NUMALP_SRC_VM_ADDRESS_SPACE_H_
 #define NUMALP_SRC_VM_ADDRESS_SPACE_H_
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <set>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/flat_map.h"
 #include "src/common/units.h"
 #include "src/mem/phys_mem.h"
 #include "src/topo/topology.h"
@@ -74,6 +75,49 @@ class AddressSpace {
 
   std::optional<TranslateResult> Translate(Addr va) const;
 
+  // A caller-owned mapping cache for Translate-heavy loops (the per-core
+  // simulation hot path, sample aggregation, the window fold). Direct-mapped
+  // lines hold recent successful translations — 4KB mappings indexed by
+  // their 4KB page, larger mappings by 2MB window — each valid while no
+  // *existing* mapping has changed (`generation()` tracks migrate / split /
+  // promote / unmap; faults map fresh VAs and cannot stale a cached
+  // translation, so they leave the generation alone). A hit skips the
+  // radix-table walk entirely; the result is identical to an uncached
+  // Translate by construction.
+  struct TranslationCache {
+    static constexpr std::size_t kLines = 512;
+    struct Line {
+      std::uint64_t generation = ~0ull;
+      std::uint64_t bytes = 0;  // 0 = empty line
+      TranslateResult mapping;
+    };
+    std::array<Line, kLines> lines;
+  };
+  std::optional<TranslateResult> Translate(Addr va, TranslationCache& cache) const {
+    TranslationCache::Line& fine =
+        cache.lines[(va >> kShift4K) & (TranslationCache::kLines - 1)];
+    if (fine.generation == mutation_gen_ && va - fine.mapping.page_base < fine.bytes) {
+      return fine.mapping;
+    }
+    TranslationCache::Line& coarse =
+        cache.lines[(va >> kShift2M) & (TranslationCache::kLines - 1)];
+    if (coarse.generation == mutation_gen_ && va - coarse.mapping.page_base < coarse.bytes) {
+      return coarse.mapping;
+    }
+    const auto mapping = Translate(va);
+    if (mapping.has_value()) {
+      TranslationCache::Line& line = mapping->size == PageSize::k4K ? fine : coarse;
+      line.generation = mutation_gen_;
+      line.bytes = BytesOf(mapping->size);
+      line.mapping = *mapping;
+    }
+    return mapping;
+  }
+
+  // Incremented whenever an existing mapping is modified or removed;
+  // TranslationCache lines from an older generation are dead.
+  std::uint64_t generation() const { return mutation_gen_; }
+
   // Translates `va`, taking a demand fault if unmapped. `core_node` is the
   // NUMA node of the touching core (first-touch target).
   TouchResult Touch(Addr va, int core_node);
@@ -124,10 +168,11 @@ class AddressSpace {
   PageTable page_table_;
   std::vector<Vma> vmas_;  // sorted by base
   Addr next_base_ = 1ull << 32;
-  std::unordered_map<Addr, int> window_pop_;
+  FlatMap<Addr, int> window_pop_;
   std::set<Addr> pages_2m_;
   std::set<Addr> pages_1g_;
   std::uint64_t mapped_bytes_ = 0;
+  std::uint64_t mutation_gen_ = 0;
 };
 
 }  // namespace numalp

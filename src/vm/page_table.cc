@@ -8,45 +8,58 @@
 namespace numalp {
 
 PageTable::PageTable(PhysicalMemory& phys, int pt_node) : phys_(phys), pt_node_(pt_node) {
-  root_ = NewTable(kTopLevel);
+  const std::uint32_t root = NewTable(kTopLevel);
+  assert(root == kRootIndex);
+  (void)root;
 }
 
 PageTable::~PageTable() {
-  if (root_ != nullptr) {
-    FreeTable(root_.get());
-    root_.reset();
+  if (!tables_.empty()) {
+    FreeTable(kRootIndex);
   }
 }
 
-std::unique_ptr<PageTable::Table> PageTable::NewTable(int level) {
-  auto table = std::make_unique<Table>();
-  table->level = level;
+std::uint32_t PageTable::NewTable(int level) {
+  std::uint32_t index;
+  if (!free_.empty()) {
+    index = free_.back();
+    free_.pop_back();
+    tables_[index] = Table{};
+  } else {
+    index = static_cast<std::uint32_t>(tables_.size());
+    tables_.emplace_back();
+  }
+  Table& table = tables_[index];
+  table.level = level;
   const auto alloc = phys_.Alloc(/*order=*/0, pt_node_);
   if (!alloc.has_value()) {
     NUMALP_LOG(LogLevel::kError) << "out of physical memory allocating a paging structure";
     std::abort();
   }
-  table->frame = alloc->pfn;
+  table.frame = alloc->pfn;
   ++num_tables_;
-  return table;
+  return index;
 }
 
-void PageTable::FreeTable(Table* table) {
-  for (auto& entry : table->entries) {
+void PageTable::FreeTable(std::uint32_t index) {
+  Table& table = tables_[index];
+  for (auto& entry : table.entries) {
     if (entry.kind == Entry::Kind::kTable) {
-      FreeTable(entry.child.get());
-      entry.child.reset();
+      FreeTable(entry.child);
+      entry.child = kNoChild;
     }
     entry.kind = Entry::Kind::kEmpty;
   }
-  phys_.Free(table->frame, /*order=*/0);
+  phys_.Free(table.frame, /*order=*/0);
   --num_tables_;
+  free_.push_back(index);
 }
 
 PageTable::Entry* PageTable::Descend(Addr va, int target_level, bool create) {
-  Table* table = root_.get();
+  std::uint32_t table_index = kRootIndex;
   for (int level = kTopLevel; level > target_level; --level) {
-    Entry& entry = table->entries[static_cast<std::size_t>(IndexAt(va, level))];
+    Entry& entry =
+        tables_[table_index].entries[static_cast<std::size_t>(IndexAt(va, level))];
     if (entry.kind == Entry::Kind::kLeaf) {
       return nullptr;  // blocked by a larger mapping
     }
@@ -54,17 +67,23 @@ PageTable::Entry* PageTable::Descend(Addr va, int target_level, bool create) {
       if (!create) {
         return nullptr;
       }
-      entry.child = NewTable(level - 1);
-      entry.kind = Entry::Kind::kTable;
-      ++table->populated;
+      // NewTable may reallocate the pool: re-resolve the entry afterwards.
+      const std::uint32_t child = NewTable(level - 1);
+      Entry& fresh =
+          tables_[table_index].entries[static_cast<std::size_t>(IndexAt(va, level))];
+      fresh.child = child;
+      fresh.kind = Entry::Kind::kTable;
+      ++tables_[table_index].populated;
+      table_index = child;
+      continue;
     }
-    table = entry.child.get();
+    table_index = entry.child;
   }
-  return &table->entries[static_cast<std::size_t>(IndexAt(va, target_level))];
+  return &tables_[table_index].entries[static_cast<std::size_t>(IndexAt(va, target_level))];
 }
 
 std::optional<PageTable::Mapping> PageTable::Lookup(Addr va) const {
-  const Table* table = root_.get();
+  const Table* table = &tables_[kRootIndex];
   for (int level = kTopLevel; level >= 1; --level) {
     const Entry& entry = table->entries[static_cast<std::size_t>(IndexAt(va, level))];
     if (entry.kind == Entry::Kind::kEmpty) {
@@ -78,7 +97,7 @@ std::optional<PageTable::Mapping> PageTable::Lookup(Addr va) const {
       m.size = size;
       return m;
     }
-    table = entry.child.get();
+    table = &tables_[entry.child];
   }
   return std::nullopt;
 }
@@ -90,22 +109,24 @@ void PageTable::Map(Addr va, Pfn pfn, PageSize size) {
   entry->kind = Entry::Kind::kLeaf;
   entry->pfn = pfn;
   // Find the owning table to bump its population count.
-  Table* table = root_.get();
+  std::uint32_t table_index = kRootIndex;
   for (int level = kTopLevel; level > leaf_level; --level) {
-    table = table->entries[static_cast<std::size_t>(IndexAt(va, level))].child.get();
+    table_index =
+        tables_[table_index].entries[static_cast<std::size_t>(IndexAt(va, level))].child;
   }
-  ++table->populated;
+  ++tables_[table_index].populated;
   ++mapping_counts_[static_cast<std::size_t>(size)];
 }
 
 PageTable::Mapping PageTable::Unmap(Addr va) {
   // Walk down remembering the path so empty tables can be reclaimed.
-  Table* path[kTopLevel + 1] = {};
-  Table* table = root_.get();
+  std::uint32_t path[kTopLevel + 1] = {};
+  std::uint32_t table_index = kRootIndex;
   int level = kTopLevel;
   for (; level >= 1; --level) {
-    path[level] = table;
-    Entry& entry = table->entries[static_cast<std::size_t>(IndexAt(va, level))];
+    path[level] = table_index;
+    Entry& entry =
+        tables_[table_index].entries[static_cast<std::size_t>(IndexAt(va, level))];
     assert(entry.kind != Entry::Kind::kEmpty);
     if (entry.kind == Entry::Kind::kLeaf) {
       const PageSize size = LeafSizeAt(level);
@@ -115,23 +136,24 @@ PageTable::Mapping PageTable::Unmap(Addr va) {
       removed.size = size;
       entry.kind = Entry::Kind::kEmpty;
       entry.pfn = 0;
-      --table->populated;
+      --tables_[table_index].populated;
       --mapping_counts_[static_cast<std::size_t>(size)];
       // Reclaim now-empty tables bottom-up (never the root).
       for (int l = level; l < kTopLevel; ++l) {
-        if (path[l]->populated > 0) {
+        if (tables_[path[l]].populated > 0) {
           break;
         }
-        Table* parent = path[l + 1];
-        Entry& parent_entry = parent->entries[static_cast<std::size_t>(IndexAt(va, l + 1))];
-        FreeTable(parent_entry.child.get());
-        parent_entry.child.reset();
+        Table& parent = tables_[path[l + 1]];
+        Entry& parent_entry =
+            parent.entries[static_cast<std::size_t>(IndexAt(va, l + 1))];
+        FreeTable(parent_entry.child);
+        parent_entry.child = kNoChild;
         parent_entry.kind = Entry::Kind::kEmpty;
-        --parent->populated;
+        --parent.populated;
       }
       return removed;
     }
-    table = entry.child.get();
+    table_index = entry.child;
   }
   assert(false && "Unmap of unmapped address");
   return Mapping{};
@@ -139,32 +161,37 @@ PageTable::Mapping PageTable::Unmap(Addr va) {
 
 bool PageTable::Split(Addr va) {
   // Locate the leaf level of the large page.
-  Table* table = root_.get();
+  std::uint32_t table_index = kRootIndex;
   for (int level = kTopLevel; level >= 2; --level) {
-    Entry& entry = table->entries[static_cast<std::size_t>(IndexAt(va, level))];
+    const Entry& entry =
+        tables_[table_index].entries[static_cast<std::size_t>(IndexAt(va, level))];
     if (entry.kind == Entry::Kind::kEmpty) {
       return false;
     }
     if (entry.kind == Entry::Kind::kLeaf) {
       const PageSize old_size = LeafSizeAt(level);
       const Pfn base_pfn = entry.pfn;
-      auto child = NewTable(level - 1);
+      const std::uint32_t child_index = NewTable(level - 1);
+      Table& child = tables_[child_index];
       const PageSize child_size = LeafSizeAt(level - 1);
       const std::uint64_t frames_per_child = BytesOf(child_size) / kBytes4K;
       for (int i = 0; i < 512; ++i) {
-        Entry& sub = child->entries[static_cast<std::size_t>(i)];
+        Entry& sub = child.entries[static_cast<std::size_t>(i)];
         sub.kind = Entry::Kind::kLeaf;
         sub.pfn = base_pfn + frames_per_child * static_cast<std::uint64_t>(i);
       }
-      child->populated = 512;
-      entry.kind = Entry::Kind::kTable;
-      entry.pfn = 0;
-      entry.child = std::move(child);
+      child.populated = 512;
+      // Re-resolve: NewTable may have moved the pool.
+      Entry& parent =
+          tables_[table_index].entries[static_cast<std::size_t>(IndexAt(va, level))];
+      parent.kind = Entry::Kind::kTable;
+      parent.pfn = 0;
+      parent.child = child_index;
       --mapping_counts_[static_cast<std::size_t>(old_size)];
       mapping_counts_[static_cast<std::size_t>(child_size)] += 512;
       return true;
     }
-    table = entry.child.get();
+    table_index = entry.child;
   }
   return false;  // 4KB leaf: nothing to split
 }
@@ -175,12 +202,11 @@ bool PageTable::Promote2M(Addr window_base, Pfn new_pfn) {
   if (pd_entry == nullptr || pd_entry->kind != Entry::Kind::kTable) {
     return false;
   }
-  Table* pt = pd_entry->child.get();
-  if (pt->populated != 512) {
+  if (tables_[pd_entry->child].populated != 512) {
     return false;
   }
-  FreeTable(pt);
-  pd_entry->child.reset();
+  FreeTable(pd_entry->child);
+  pd_entry->child = kNoChild;
   pd_entry->kind = Entry::Kind::kLeaf;
   pd_entry->pfn = new_pfn;
   mapping_counts_[static_cast<std::size_t>(PageSize::k4K)] -= 512;
@@ -189,16 +215,17 @@ bool PageTable::Promote2M(Addr window_base, Pfn new_pfn) {
 }
 
 Pfn PageTable::ReplaceLeaf(Addr va, Pfn new_pfn) {
-  Table* table = root_.get();
+  std::uint32_t table_index = kRootIndex;
   for (int level = kTopLevel; level >= 1; --level) {
-    Entry& entry = table->entries[static_cast<std::size_t>(IndexAt(va, level))];
+    Entry& entry =
+        tables_[table_index].entries[static_cast<std::size_t>(IndexAt(va, level))];
     assert(entry.kind != Entry::Kind::kEmpty);
     if (entry.kind == Entry::Kind::kLeaf) {
       const Pfn old = entry.pfn;
       entry.pfn = new_pfn;
       return old;
     }
-    table = entry.child.get();
+    table_index = entry.child;
   }
   assert(false && "ReplaceLeaf of unmapped address");
   return 0;

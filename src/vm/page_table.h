@@ -8,13 +8,20 @@
 // Leaf levels: PT (4KB), PD (2MB), PDPT (1GB). The table supports in-place
 // demotion (Split: 2MB -> 512 x 4KB, 1GB -> 512 x 2MB) and promotion
 // (Promote2M), the two mechanisms Carrefour-LP toggles at runtime.
+//
+// Host-side layout: tables live in one pool (a contiguous vector indexed by
+// 32-bit handles with a free list) instead of per-node heap allocations, and
+// entries store a pool index rather than a unique_ptr — 16 bytes per entry
+// instead of 24, no allocator traffic on map/unmap churn, and lookups walk
+// one arena instead of four scattered heap blocks. None of this changes the
+// *modeled* walk cost (hw/walker.h); it only makes the simulator faster.
 #ifndef NUMALP_SRC_VM_PAGE_TABLE_H_
 #define NUMALP_SRC_VM_PAGE_TABLE_H_
 
 #include <array>
 #include <cstdint>
-#include <memory>
 #include <optional>
+#include <vector>
 
 #include "src/common/units.h"
 #include "src/mem/phys_mem.h"
@@ -67,6 +74,11 @@ class PageTable {
     return mapping_counts_[static_cast<std::size_t>(size)];
   }
 
+  // Pool occupancy, for tests: live tables and reusable free slots.
+  std::uint64_t num_tables() const { return num_tables_; }
+  std::size_t pool_capacity() const { return tables_.size(); }
+  std::size_t pool_free() const { return free_.size(); }
+
   // Number of levels a hardware walk traverses to translate a page of `size`:
   // 4KB -> 4, 2MB -> 3, 1GB -> 2.
   static int WalkDepth(PageSize size) {
@@ -85,26 +97,26 @@ class PageTable {
   // [base, base + bytes).
   template <typename Fn>
   void ForEachMappingIn(Addr base, std::uint64_t bytes, Fn&& fn) const {
-    ForEachImpl(root_.get(), kTopLevel, /*table_base=*/0, base, base + bytes, fn);
+    ForEachImpl(kRootIndex, kTopLevel, /*table_base=*/0, base, base + bytes, fn);
   }
 
  private:
   static constexpr int kTopLevel = 4;
-
-  struct Table;
+  static constexpr std::uint32_t kRootIndex = 0;
+  static constexpr std::uint32_t kNoChild = 0xffffffffu;
 
   struct Entry {
     enum class Kind : std::uint8_t { kEmpty, kTable, kLeaf };
+    Pfn pfn = 0;                   // leaf only
+    std::uint32_t child = kNoChild;  // pool index, table only
     Kind kind = Kind::kEmpty;
-    Pfn pfn = 0;  // leaf only
-    std::unique_ptr<Table> child;
   };
 
   struct Table {
-    Pfn frame = 0;  // simulated physical frame backing this structure
-    int level = 0;  // 4 = PML4 .. 1 = PT
-    int populated = 0;
     std::array<Entry, 512> entries;
+    Pfn frame = 0;  // simulated physical frame backing this structure
+    std::int32_t level = 0;  // 4 = PML4 .. 1 = PT
+    std::int32_t populated = 0;
   };
 
   static int IndexAt(Addr va, int level) {
@@ -114,21 +126,22 @@ class PageTable {
     return level == 1 ? PageSize::k4K : (level == 2 ? PageSize::k2M : PageSize::k1G);
   }
 
-  std::unique_ptr<Table> NewTable(int level);
-  void FreeTable(Table* table);
+  // Pool allocation: reuses a free-list slot or grows the vector. The
+  // returned index is stable; Table references are NOT (growth reallocates),
+  // so callers re-index after any allocation.
+  std::uint32_t NewTable(int level);
+  void FreeTable(std::uint32_t index);
   // Returns the entry for va at `target_level`, creating tables on the way
   // when `create` is set; nullptr if the path is blocked by a leaf or absent.
   Entry* Descend(Addr va, int target_level, bool create);
 
   template <typename Fn>
-  void ForEachImpl(const Table* table, int level, Addr table_base, Addr lo, Addr hi,
-                   Fn&& fn) const {
-    if (table == nullptr) {
-      return;
-    }
+  void ForEachImpl(std::uint32_t table_index, int level, Addr table_base, Addr lo,
+                   Addr hi, Fn&& fn) const {
+    const Table& table = tables_[table_index];
     const std::uint64_t span = 1ull << (kShift4K + 9 * (level - 1));
     for (int i = 0; i < 512; ++i) {
-      const auto& entry = table->entries[static_cast<std::size_t>(i)];
+      const auto& entry = table.entries[static_cast<std::size_t>(i)];
       if (entry.kind == Entry::Kind::kEmpty) {
         continue;
       }
@@ -137,7 +150,7 @@ class PageTable {
         continue;
       }
       if (entry.kind == Entry::Kind::kTable) {
-        ForEachImpl(entry.child.get(), level - 1, entry_base, lo, hi, fn);
+        ForEachImpl(entry.child, level - 1, entry_base, lo, hi, fn);
       } else {
         Mapping m;
         m.page_base = entry_base;
@@ -150,7 +163,8 @@ class PageTable {
 
   PhysicalMemory& phys_;
   int pt_node_;
-  std::unique_ptr<Table> root_;
+  std::vector<Table> tables_;       // pool; index 0 is the root (PML4)
+  std::vector<std::uint32_t> free_;  // recycled pool slots
   std::uint64_t num_tables_ = 0;
   std::array<std::uint64_t, 3> mapping_counts_{};
 };

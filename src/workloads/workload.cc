@@ -34,6 +34,10 @@ Workload::Workload(const WorkloadSpec& spec, AddressSpace& address_space, int nu
     rt.slice_pages = rt.pages / static_cast<std::uint64_t>(num_threads_);
     if (region_spec.pattern == PatternKind::kZipf) {
       rt.zipf.emplace(rt.pages, region_spec.zipf_s);
+      const int blocks = region_spec.zipf_block_shuffle;
+      if (blocks > 1 && rt.pages >= static_cast<std::uint64_t>(blocks)) {
+        rt.zipf_stride = rt.pages / static_cast<std::uint64_t>(blocks);
+      }
     }
     if (region_spec.pattern == PatternKind::kHotChunks) {
       rt.chunks = region_spec.num_chunks > 0 ? region_spec.num_chunks : num_threads_;
@@ -229,11 +233,10 @@ WorkloadAccess Workload::SteadyAccess(int thread) {
         break;
       case PatternKind::kZipf: {
         const std::uint64_t rank = region.zipf->Sample(rng);
-        const int blocks = rspec.zipf_block_shuffle;
-        if (blocks > 1 && region.pages >= static_cast<std::uint64_t>(blocks)) {
-          const std::uint64_t stride = region.pages / static_cast<std::uint64_t>(blocks);
-          page = (rank % static_cast<std::uint64_t>(blocks)) * stride +
-                 rank / static_cast<std::uint64_t>(blocks);
+        if (region.zipf_stride != 0) {
+          const std::uint64_t blocks =
+              static_cast<std::uint64_t>(rspec.zipf_block_shuffle);
+          page = (rank % blocks) * region.zipf_stride + rank / blocks;
           if (page >= region.pages) {
             page = rank;  // tail ranks past the blocked area map identically
           }

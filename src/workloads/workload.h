@@ -54,6 +54,9 @@ class Workload {
 
   const WorkloadSpec& spec() const { return spec_; }
   int num_threads() const { return num_threads_; }
+  // Region count including the internal scratch region (region ids in
+  // emitted accesses are < num_regions()).
+  int num_regions() const { return static_cast<int>(regions_.size()); }
   Addr region_base(int region) const {
     return regions_[static_cast<std::size_t>(region)].base;
   }
@@ -70,6 +73,7 @@ class Workload {
     std::uint64_t pages = 0;  // 4KB pages
     std::optional<ZipfSampler> zipf;
     std::uint64_t slice_pages = 0;  // partitioned / sequential / incremental
+    std::uint64_t zipf_stride = 0;  // block-shuffle stride (0 = identity layout)
     int chunks = 0;
     std::uint64_t chunk_pages = 0;
     std::uint64_t stride_pages = 0;

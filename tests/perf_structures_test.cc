@@ -1,0 +1,378 @@
+// Correctness of the hot-path performance structures: the flat map against
+// std::unordered_map, the incremental sample window against full
+// re-aggregation (across splits / promotions / migrations and the window
+// boundary), ranged TLB shootdowns against per-page loops, the pooled page
+// table, the translate cache, and fast-vs-reference engine bit-identity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/flat_map.h"
+#include "src/common/rng.h"
+#include "src/core/config.h"
+#include "src/core/simulation.h"
+#include "src/hw/tlb.h"
+#include "src/metrics/numa_metrics.h"
+#include "src/metrics/sample_window.h"
+#include "src/topo/topology.h"
+#include "src/vm/address_space.h"
+#include "src/workloads/spec.h"
+
+namespace numalp {
+namespace {
+
+VmaOptions MakeNoThpOpts() {
+  VmaOptions opts;
+  opts.thp_eligible = false;
+  return opts;
+}
+
+// ---------------------------------------------------------------------------
+// FlatMap vs std::unordered_map golden equivalence.
+// ---------------------------------------------------------------------------
+
+TEST(FlatMapTest, MirrorsUnorderedMapUnderRandomChurn) {
+  FlatMap<Addr, std::uint64_t> flat;
+  std::unordered_map<Addr, std::uint64_t> reference;
+  Rng rng(7);
+  for (int op = 0; op < 20000; ++op) {
+    const Addr key = rng.Uniform(512) * kBytes4K;  // heavy collisions
+    switch (rng.Uniform(4)) {
+      case 0:
+      case 1:
+        flat[key] += op;
+        reference[key] += static_cast<std::uint64_t>(op);
+        break;
+      case 2: {
+        const bool flat_erased = flat.Erase(key);
+        const bool ref_erased = reference.erase(key) > 0;
+        EXPECT_EQ(flat_erased, ref_erased);
+        break;
+      }
+      default: {
+        const std::uint64_t* found = flat.Find(key);
+        const auto it = reference.find(key);
+        ASSERT_EQ(found != nullptr, it != reference.end());
+        if (found != nullptr) {
+          EXPECT_EQ(*found, it->second);
+        }
+      }
+    }
+  }
+  ASSERT_EQ(flat.size(), reference.size());
+  for (const auto& [key, value] : flat) {
+    const auto it = reference.find(key);
+    ASSERT_NE(it, reference.end());
+    EXPECT_EQ(value, it->second);
+  }
+}
+
+TEST(FlatMapTest, IterationOrderIsInsertionOrderWithoutErase) {
+  FlatMap<Addr, int> map;
+  const std::vector<Addr> keys = {0x9000, 0x1000, 0x5000, 0x3000};
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    map[keys[i]] = static_cast<int>(i);
+  }
+  std::size_t at = 0;
+  for (const auto& [key, value] : map) {
+    EXPECT_EQ(key, keys[at]);
+    EXPECT_EQ(value, static_cast<int>(at));
+    ++at;
+  }
+}
+
+TEST(FlatSetTest, InsertEraseContains) {
+  FlatSet<Addr> set;
+  EXPECT_TRUE(set.Insert(42));
+  EXPECT_FALSE(set.Insert(42));
+  EXPECT_TRUE(set.Contains(42));
+  EXPECT_TRUE(set.Erase(42));
+  EXPECT_FALSE(set.Erase(42));
+  EXPECT_TRUE(set.empty());
+}
+
+// Order-sensitive consumers iterate through ForEachPageSorted: equal
+// contents must give one canonical visit sequence whatever the build
+// history (this is the portability contract of DESIGN.md Section 7).
+TEST(FlatMapTest, SortedIterationIsCanonicalAcrossHistories) {
+  PageAggMap a;
+  PageAggMap b;
+  const std::vector<Addr> keys = {0x7000, 0x2000, 0x9000, 0x4000, 0x1000};
+  for (const Addr key : keys) {
+    a[key].total = key;
+  }
+  for (auto it = keys.rbegin(); it != keys.rend(); ++it) {
+    b[*it].total = *it;
+  }
+  b[0xdead000].total = 1;  // erase churn perturbs b's dense order
+  b.Erase(0xdead000);
+  std::vector<Addr> visited_a;
+  std::vector<Addr> visited_b;
+  ForEachPageSorted(a, [&](Addr key, const PageAgg&) { visited_a.push_back(key); });
+  ForEachPageSorted(b, [&](Addr key, const PageAgg&) { visited_b.push_back(key); });
+  EXPECT_EQ(visited_a, visited_b);
+  EXPECT_TRUE(std::is_sorted(visited_a.begin(), visited_a.end()));
+}
+
+// ---------------------------------------------------------------------------
+// Incremental window vs full re-aggregation.
+// ---------------------------------------------------------------------------
+
+class SampleWindowTest : public ::testing::Test {
+ protected:
+  SampleWindowTest() : topo_(Topology::Tiny(256 * kMiB)), phys_(topo_), as_(phys_, topo_, thp_) {}
+
+  IbsSample Sample(Addr va, int core, int req_node, bool dram = true) {
+    IbsSample s;
+    s.va = va;
+    s.core = static_cast<std::uint16_t>(core);
+    s.req_node = static_cast<std::uint8_t>(req_node);
+    s.home_node = 0;
+    s.dram = dram;
+    return s;
+  }
+
+  static void ExpectEqualAggregates(const PageAggMap& got, const PageAggMap& want) {
+    ASSERT_EQ(got.size(), want.size());
+    for (const auto& [base, agg] : want) {
+      const PageAgg* found = got.Find(base);
+      ASSERT_NE(found, nullptr) << "missing page " << std::hex << base;
+      EXPECT_EQ(found->total, agg.total) << std::hex << base;
+      EXPECT_EQ(found->dram, agg.dram) << std::hex << base;
+      EXPECT_EQ(found->core_mask, agg.core_mask) << std::hex << base;
+      EXPECT_EQ(found->home_node, agg.home_node) << std::hex << base;
+      EXPECT_EQ(found->size, agg.size) << std::hex << base;
+      EXPECT_EQ(found->req_node_counts, agg.req_node_counts) << std::hex << base;
+    }
+  }
+
+  Topology topo_;
+  PhysicalMemory phys_;
+  ThpState thp_;
+  AddressSpace as_;
+};
+
+TEST_F(SampleWindowTest, IncrementalMatchesReferenceAcrossMappingChurn) {
+  thp_.alloc_enabled = true;
+  const Addr big = as_.MmapAnon(8 * kMiB, {});
+  for (Addr offset = 0; offset < 8 * kMiB; offset += kBytes2M) {
+    as_.Touch(big + offset, 0);  // four 2M pages
+  }
+  const Addr small = as_.MmapAnon(kMiB, MakeNoThpOpts());
+  for (Addr offset = 0; offset < kMiB; offset += kBytes4K) {
+    as_.Touch(small + offset, static_cast<int>((offset >> kShift4K) % 2));
+  }
+
+  SampleWindow fast(/*max_epochs=*/4);
+  SampleWindow reference(/*max_epochs=*/4, /*reference=*/true);
+  Rng rng(99);
+  for (int epoch = 0; epoch < 12; ++epoch) {
+    std::vector<IbsSample> samples;
+    for (int i = 0; i < 200; ++i) {
+      const bool in_big = rng.Uniform(3) != 0;
+      const Addr va = in_big ? big + rng.Uniform(8 * kMiB) : small + rng.Uniform(kMiB);
+      samples.push_back(Sample(va, static_cast<int>(rng.Uniform(4)),
+                               static_cast<int>(rng.Uniform(2)), rng.Uniform(4) != 0));
+    }
+    fast.PushEpoch(samples);
+    reference.PushEpoch(samples);
+
+    // Mutate mappings the way the policies do: the incremental aggregate
+    // must track re-bucketing (split), merging (promote) and home changes
+    // (migrate) without touching the window itself.
+    if (epoch == 2) {
+      ASSERT_TRUE(as_.SplitLargePage(big).has_value());
+    }
+    if (epoch == 4) {
+      as_.MigratePage(big + 2 * kBytes2M, 1);
+      as_.MigratePage(small, 1);
+    }
+    if (epoch == 6) {
+      ASSERT_TRUE(as_.PromoteWindow(big, 1).has_value());
+    }
+    if (epoch == 8) {
+      as_.MigratePage(big + kBytes4K * 3, 0);  // no-op unless still 4K-mapped
+    }
+
+    ExpectEqualAggregates(fast.FoldToMapping(as_), reference.FoldToMapping(as_));
+    EXPECT_EQ(fast.epochs(), reference.epochs());
+  }
+}
+
+// The satellite regression: retiring the oldest epoch at the window
+// boundary (the seed's erase(begin())) must leave exactly the last
+// `max_epochs` epochs aggregated — counts and sharer masks both.
+TEST_F(SampleWindowTest, WindowBoundaryRetiresOldestEpoch) {
+  const Addr base = as_.MmapAnon(kMiB, MakeNoThpOpts());
+  as_.Touch(base, 0);
+  as_.Touch(base + kBytes4K, 0);
+
+  SampleWindow window(/*max_epochs=*/3);
+  // Epoch 0 is the only epoch where core 7 touches page 0.
+  window.PushEpoch({Sample(base, /*core=*/7, 0), Sample(base + kBytes4K, 1, 1)});
+  window.PushEpoch({Sample(base, 0, 0)});
+  window.PushEpoch({Sample(base, 1, 0)});
+  {
+    const PageAggMap folded = window.FoldToMapping(as_);
+    const PageAgg* page0 = folded.Find(base);
+    ASSERT_NE(page0, nullptr);
+    EXPECT_EQ(page0->total, 3u);
+    EXPECT_EQ(page0->core_mask, (1ull << 7) | (1ull << 0) | (1ull << 1));
+    EXPECT_NE(folded.Find(base + kBytes4K), nullptr);
+  }
+  // Fourth push: epoch 0 retires; core 7's bit and page 1 must vanish.
+  window.PushEpoch({Sample(base, 0, 0)});
+  const PageAggMap folded = window.FoldToMapping(as_);
+  EXPECT_EQ(window.epochs(), 3u);
+  const PageAgg* page0 = folded.Find(base);
+  ASSERT_NE(page0, nullptr);
+  EXPECT_EQ(page0->total, 3u);
+  EXPECT_EQ(page0->core_mask, (1ull << 0) | (1ull << 1));
+  EXPECT_EQ(folded.Find(base + kBytes4K), nullptr);
+  EXPECT_EQ(window.distinct_pages(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Ranged TLB shootdown vs the per-page loop it replaces.
+// ---------------------------------------------------------------------------
+
+TEST(TlbRangeTest, InvalidateRangeMatchesPerPageLoop) {
+  const TlbConfig config;
+  Tlb ranged(config);
+  Tlb per_page(config);
+  const Addr window = 0x40000000;  // 2M-aligned
+  // Populate both TLBs identically: the window's 512 4K translations plus
+  // neighbors on both sides and an unrelated 2M entry.
+  const auto fill = [&](Tlb& tlb) {
+    for (Addr p = window - 4 * kBytes4K; p < window + kBytes2M + 4 * kBytes4K;
+         p += kBytes4K) {
+      tlb.Insert(p, PageSize::k4K, p >> kShift4K, 0);
+    }
+    tlb.Insert(window + 8 * kBytes2M, PageSize::k2M, 12345, 1);
+  };
+  fill(ranged);
+  fill(per_page);
+  ranged.InvalidateRange(window, kBytes2M);
+  for (Addr p = window; p < window + kBytes2M; p += kBytes4K) {
+    per_page.InvalidatePage(p, PageSize::k4K);
+  }
+  // Probe both with the same sequence; every lookup must agree.
+  for (Addr p = window - 4 * kBytes4K; p < window + kBytes2M + 4 * kBytes4K;
+       p += kBytes4K) {
+    const TlbLookup a = ranged.Lookup(p);
+    const TlbLookup b = per_page.Lookup(p);
+    EXPECT_EQ(a.level, b.level) << std::hex << p;
+    if (a.level != TlbHitLevel::kMiss) {
+      EXPECT_EQ(a.pfn, b.pfn);
+    }
+  }
+  EXPECT_EQ(ranged.Lookup(window + 8 * kBytes2M).level,
+            per_page.Lookup(window + 8 * kBytes2M).level);
+}
+
+// ---------------------------------------------------------------------------
+// Pooled page table and translate cache.
+// ---------------------------------------------------------------------------
+
+TEST(PageTablePoolTest, SplitPromoteChurnReusesPoolSlots) {
+  const Topology topo = Topology::Tiny(256 * kMiB);
+  PhysicalMemory phys(topo);
+  ThpState thp;
+  thp.alloc_enabled = true;
+  AddressSpace as(phys, topo, thp);
+  const Addr base = as.MmapAnon(4 * kMiB, {});
+  as.Touch(base, 0);
+  const std::uint64_t tables_before = as.page_table().num_tables();
+  for (int round = 0; round < 8; ++round) {
+    ASSERT_TRUE(as.SplitLargePage(base).has_value());
+    ASSERT_TRUE(as.PromoteWindow(base, 0).has_value());
+  }
+  // Every split's PT came from (and went back to) the pool free list: no
+  // net growth in live tables, and capacity stopped growing after round 1.
+  EXPECT_EQ(as.page_table().num_tables(), tables_before);
+  EXPECT_GE(as.page_table().pool_free(), 1u);
+  EXPECT_LE(as.page_table().pool_capacity(), tables_before + 2);
+}
+
+TEST(TranslateCacheTest, CacheHitsAreInvalidatedByMutations) {
+  const Topology topo = Topology::Tiny(256 * kMiB);
+  PhysicalMemory phys(topo);
+  ThpState thp;
+  AddressSpace as(phys, topo, thp);
+  const Addr base = as.MmapAnon(kMiB, MakeNoThpOpts());
+  as.Touch(base, 0);
+  AddressSpace::TranslationCache cache;
+  const auto first = as.Translate(base + 100, cache);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->node, 0);
+  // Cached repeat: same mapping.
+  const auto repeat = as.Translate(base + 200, cache);
+  ASSERT_TRUE(repeat.has_value());
+  EXPECT_EQ(repeat->pfn, first->pfn);
+  // A migration must invalidate the cached line, not serve the stale node.
+  ASSERT_TRUE(as.MigratePage(base, 1).has_value());
+  const auto after = as.Translate(base + 100, cache);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->node, 1);
+  EXPECT_EQ(after->node, as.Translate(base + 100)->node);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-engine bit-identity: fast vs reference pipeline.
+// ---------------------------------------------------------------------------
+
+void ExpectIdenticalRuns(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.measured_cycles, b.measured_cycles);
+  EXPECT_EQ(a.epochs, b.epochs);
+  EXPECT_EQ(a.total_migrations, b.total_migrations);
+  EXPECT_EQ(a.total_splits, b.total_splits);
+  EXPECT_EQ(a.total_promotions, b.total_promotions);
+  EXPECT_EQ(a.total_policy_overhead, b.total_policy_overhead);
+  EXPECT_EQ(a.totals.accesses, b.totals.accesses);
+  EXPECT_EQ(a.totals.dram_local, b.totals.dram_local);
+  EXPECT_EQ(a.totals.dram_remote, b.totals.dram_remote);
+  EXPECT_EQ(a.totals.walk_l2_miss, b.totals.walk_l2_miss);
+  EXPECT_EQ(a.node_request_totals, b.node_request_totals);
+  EXPECT_EQ(a.final_thp_coverage, b.final_thp_coverage);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t e = 0; e < a.history.size(); ++e) {
+    EXPECT_EQ(a.history[e].wall, b.history[e].wall) << "epoch " << e;
+    EXPECT_EQ(a.history[e].migrations, b.history[e].migrations) << "epoch " << e;
+    EXPECT_EQ(a.history[e].splits, b.history[e].splits) << "epoch " << e;
+    EXPECT_EQ(a.history[e].promotions, b.history[e].promotions) << "epoch " << e;
+    EXPECT_EQ(a.history[e].metrics.lar_pct, b.history[e].metrics.lar_pct) << "epoch " << e;
+    EXPECT_EQ(a.history[e].est_split_lar, b.history[e].est_split_lar) << "epoch " << e;
+  }
+  // Cumulative page aggregates (drives PAMUP/NHP/PSP reporting).
+  ASSERT_EQ(a.cumulative_pages.size(), b.cumulative_pages.size());
+  EXPECT_EQ(a.PamupPct(), b.PamupPct());
+  EXPECT_EQ(a.Nhp(), b.Nhp());
+  EXPECT_EQ(a.PspPct(), b.PspPct());
+}
+
+TEST(EngineIdentityTest, FastAndReferencePipelinesAreBitIdentical) {
+  const Topology topo = Topology::MachineA();
+  for (const PolicyKind kind :
+       {PolicyKind::kThp, PolicyKind::kCarrefour2M, PolicyKind::kCarrefourLp,
+        PolicyKind::kConservativeOnly}) {
+    SimConfig sim;
+    sim.accesses_per_thread_per_epoch = 1024;
+    sim.max_epochs = 25;
+    WorkloadSpec spec = MakeWorkloadSpec(BenchmarkId::kCG_D, topo);
+    spec.steady_accesses_per_thread = 16'000;
+
+    Simulation fast(topo, spec, MakePolicyConfig(kind), sim);
+    const RunResult fast_result = fast.Run();
+    sim.reference_pipeline = true;
+    Simulation reference(topo, spec, MakePolicyConfig(kind), sim);
+    const RunResult reference_result = reference.Run();
+    ExpectIdenticalRuns(fast_result, reference_result);
+  }
+}
+
+}  // namespace
+}  // namespace numalp
