@@ -1,0 +1,113 @@
+// Ablation of the reactive cost/decision model (DESIGN.md Section 8): which
+// model component buys which part of the Carrefour-LP fidelity fix?
+//
+// Five variants of Carrefour-LP run on the workloads that motivated the
+// redesign — the three that regressed hardest under the literal Algorithm 1
+// transcription (LU.B, MatrixMultiply, SPECjbb: mass demotion on
+// over-predicted split gains), UA.B (the false-sharing split that must
+// still happen), and CG.D (the hot-page recovery that must not regress):
+//
+//   lpmodel=full      the shipped model (hysteresis + re-promotion + cost budget)
+//   lpmodel=nohyst    hysteresis off — immediate engage/disengage
+//   lpmodel=noreprom  re-promotion off — demoted windows stay 4KB forever
+//   lpmodel=nobudget  cost model off — threshold-only veto, flat demotion cap
+//   lpmodel=alg1      all three off — the paper's literal Algorithm 1
+//
+// Each variant is one Carrefour-LP cell per (machine, benchmark) against a
+// shared Linux-4K baseline, plus one Carrefour-2M reference column per
+// benchmark (the yardstick the `carrefour-lp-geq-carrefour` check measures
+// against). Expected shape: `alg1`/`nobudget` reproduce the old 30-48%
+// regressions on the mass-demotion workloads, `full` tracks Carrefour-2M
+// within a few points everywhere while keeping CG.D's recovery.
+#include <string>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/runner.h"
+#include "src/report/collector.h"
+#include "src/report/options.h"
+#include "src/topo/topology.h"
+#include "src/workloads/spec.h"
+
+namespace {
+
+struct ModelVariant {
+  const char* tag;
+  numalp::LpModelConfig model;
+};
+
+std::vector<ModelVariant> MakeVariants() {
+  std::vector<ModelVariant> variants;
+  variants.push_back({"lpmodel=full", numalp::LpModelConfig{}});
+  numalp::LpModelConfig nohyst;
+  nohyst.hysteresis = false;
+  variants.push_back({"lpmodel=nohyst", nohyst});
+  numalp::LpModelConfig noreprom;
+  noreprom.repromotion = false;
+  variants.push_back({"lpmodel=noreprom", noreprom});
+  numalp::LpModelConfig nobudget;
+  nobudget.cost_budget = false;
+  variants.push_back({"lpmodel=nobudget", nobudget});
+  variants.push_back({"lpmodel=alg1", numalp::LpModelConfig::Algorithm1()});
+  return variants;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const numalp::report::ToolInfo info = {
+      "ablation_lp_model", "ablation_lp_model",
+      "Ablation: the reactive cost/decision model, component by component"};
+  const numalp::report::Options options = numalp::report::ParseToolArgs(argc, argv, info);
+
+  const std::vector<numalp::Topology> machines = {numalp::Topology::MachineA(),
+                                                  numalp::Topology::MachineB()};
+  const std::vector<numalp::BenchmarkId> benches = {
+      numalp::BenchmarkId::kCG_D, numalp::BenchmarkId::kLU_B, numalp::BenchmarkId::kUA_B,
+      numalp::BenchmarkId::kMatrixMultiply, numalp::BenchmarkId::kSPECjbb};
+  const std::vector<ModelVariant> variants = MakeVariants();
+
+  // Flat cell list: per machine, one baseline per benchmark, one untagged
+  // Carrefour-2M reference per benchmark, then one Carrefour-LP cell per
+  // (variant, benchmark).
+  std::vector<numalp::RunSpec> cells;
+  std::vector<numalp::report::GridReport::CellMeta> meta;
+  for (const numalp::Topology& topo : machines) {
+    std::vector<int> baseline_of(benches.size());
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+      numalp::RunSpec base;
+      base.topo = topo;
+      base.workload = numalp::MakeWorkloadSpec(benches[b], topo);
+      base.policy = numalp::MakePolicyConfig(numalp::PolicyKind::kLinux4K);
+      base.sim = options.sim;
+      baseline_of[b] = static_cast<int>(cells.size());
+      cells.push_back(base);
+      meta.push_back({"", -1, 0});
+    }
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+      numalp::RunSpec c2m;
+      c2m.topo = topo;
+      c2m.workload = numalp::MakeWorkloadSpec(benches[b], topo);
+      c2m.policy = numalp::MakePolicyConfig(numalp::PolicyKind::kCarrefour2M);
+      c2m.sim = options.sim;
+      cells.push_back(c2m);
+      meta.push_back({"", baseline_of[b], 0});
+    }
+    for (const ModelVariant& variant : variants) {
+      for (std::size_t b = 0; b < benches.size(); ++b) {
+        numalp::RunSpec lp;
+        lp.topo = topo;
+        lp.workload = numalp::MakeWorkloadSpec(benches[b], topo);
+        lp.policy = numalp::MakePolicyConfig(numalp::PolicyKind::kCarrefourLp);
+        lp.policy.lp_model = variant.model;
+        lp.sim = options.sim;
+        cells.push_back(lp);
+        meta.push_back({variant.tag, baseline_of[b], 0});
+      }
+    }
+  }
+
+  numalp::report::GridReport report(options, info);
+  report.RunCells(cells, meta);
+  return 0;
+}

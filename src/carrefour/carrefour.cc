@@ -29,7 +29,7 @@ std::vector<CarrefourAction> Carrefour::Plan(const PageAggMap& pages, int epoch)
     if (last != nullptr && epoch - *last < config_.per_page_cooldown_epochs) {
       return;
     }
-    if (agg.SingleNode()) {
+    if (agg.SingleNode() || agg.MajorityReqSharePct() >= config_.migrate_majority_pct) {
       if (agg.total < config_.min_samples_migrate) {
         return;
       }
@@ -48,6 +48,9 @@ std::vector<CarrefourAction> Carrefour::Plan(const PageAggMap& pages, int epoch)
     } else {
       // Multi-node page: interleave once (move to a random node); keep it
       // there afterwards to avoid churn.
+      if (agg.total < config_.min_samples_interleave) {
+        return;
+      }
       if (interleaved_.Insert(page_base)) {
         const int target = static_cast<int>(rng_.Uniform(static_cast<std::uint64_t>(num_nodes_)));
         if (target != agg.home_node) {
@@ -64,6 +67,12 @@ std::vector<CarrefourAction> Carrefour::Plan(const PageAggMap& pages, int epoch)
     }
   });
   return actions;
+}
+
+void Carrefour::ForgetRange(Addr base, std::uint64_t bytes) {
+  for (Addr page = base; page < base + bytes; page += kBytes4K) {
+    Forget(page);
+  }
 }
 
 }  // namespace numalp

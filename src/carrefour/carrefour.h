@@ -33,6 +33,18 @@ struct CarrefourConfig {
   // Single-node *migration* needs more evidence than interleaving: moving a
   // page toward a single sampled accessor on 2 samples chases noise.
   std::uint32_t min_samples_migrate = 3;
+  // A page whose majority node issues at least this share of its sampled
+  // accesses is treated as single-node (migrated to the majority) rather
+  // than interleaved. The kernel module's literal rule is "any second node
+  // interleaves" — sound when per-page statistics reset every second, but
+  // over an accumulated decision window a 90/10 page is a migration target,
+  // not an interleave candidate. 100 restores the literal rule.
+  double migrate_majority_pct = 85.0;
+  // Declaring a page *contested* (interleave it) likewise takes evidence: a
+  // 1/1 node split is sampling noise, not contest, and interleaving on it
+  // randomizes placement the hinting faults just got right. Below this many
+  // samples a multi-node page is left alone until the window says more.
+  std::uint32_t min_samples_interleave = 6;
   // Migration budget per epoch (rate limiting, like the kernel module).
   int max_actions_per_epoch = 16384;
   // A page migrated in epoch e may not move again before e + cooldown:
@@ -70,6 +82,10 @@ class Carrefour {
     interleaved_.Erase(page_base);
     last_action_epoch_.Erase(page_base);
   }
+  // Range form for consolidation: when a 2MB window is promoted back to one
+  // huge page, the per-4KB-piece state underneath it (interleave marks,
+  // cooldown stamps) describes pages that no longer exist.
+  void ForgetRange(Addr base, std::uint64_t bytes);
   void ForgetAll() {
     interleaved_.clear();
     last_action_epoch_.clear();

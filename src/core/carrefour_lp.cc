@@ -1,9 +1,158 @@
 #include "src/core/carrefour_lp.h"
 
+#include <algorithm>
+
 namespace numalp {
 
 CarrefourLp::CarrefourLp(const PolicyConfig& config, ThpState& thp)
     : config_(config), thp_(thp) {}
+
+CarrefourLp::SplitDesire CarrefourLp::EvaluateDesire(
+    const LpObservation& observation,
+    const std::vector<std::pair<Addr, const PageAgg*>>& shared,
+    std::uint64_t total_samples) {
+  const LarEstimates& lar = observation.lar;
+  const LpModelConfig& model = config_.lp_model;
+  bool carrefour_trusted = true;
+  if (lar.carrefour_pct - lar.current_pct > config_.lar_gain_carrefour_pct) {
+    // Line 10: migration alone promises enough — but the promise must be
+    // credible. Under sparse sampling the what-if estimate over-predicts
+    // persistently (one sample per page reads as "single-node, migratable"),
+    // so with the model on, the exit holds only while the measured LAR is
+    // actually moving toward the promise; a promise that sits undelivered
+    // for `mig_gain_patience_epochs` expires — the split condition is
+    // evaluated instead, with the benefit anchored to the *measured* LAR
+    // rather than the discredited estimate.
+    if (!model.hysteresis) {
+      return SplitDesire::kOff;
+    }
+    if (mig_promise_streak_ == 0 ||
+        lar.current_pct >=
+            mig_promise_baseline_lar_ + 0.5 * config_.lar_gain_carrefour_pct) {
+      // New promise, or the last one delivered: re-anchor and keep trusting.
+      mig_promise_baseline_lar_ = lar.current_pct;
+      mig_promise_streak_ = 1;
+      return SplitDesire::kOff;
+    }
+    ++mig_promise_streak_;
+    if (mig_promise_streak_ <= model.mig_gain_patience_epochs) {
+      return SplitDesire::kOff;
+    }
+    ++stats_.expired_mig_promises;
+    carrefour_trusted = false;  // fall through to the split condition
+  } else {
+    mig_promise_streak_ = 0;
+  }
+  if (lar.carrefour_split_pct - lar.current_pct <= config_.lar_gain_split_pct) {
+    return SplitDesire::kNeutral;
+  }
+  // A recently failed split experiment suppresses re-engagement: the same
+  // signal that just measurably under-delivered is not a reason to demote
+  // the same pages again.
+  if (model.hysteresis && !split_pages_ && split_cooldown_ > 0) {
+    return SplitDesire::kNeutral;
+  }
+  // Line 12's threshold fires. The cost model gets a veto on *engagement*:
+  // the split estimate is known to over-predict (Section 4.1's SSCA case), so
+  // the LAR points splitting adds over what migration alone achieves must be
+  // worth more cycles than the post-split 4KB thrash of demoting the shared
+  // set. Once engaged, the per-epoch budget takes over as the limiter.
+  if (model.cost_budget && observation.costs.epoch_accesses > 0 && !split_pages_) {
+    const double anchor = carrefour_trusted
+                              ? std::max(lar.current_pct, lar.carrefour_pct)
+                              : lar.current_pct;
+    const double incremental =
+        lar.carrefour_split_pct - anchor - model.split_estimate_margin_pct;
+    const Cycles benefit = PredictedLarGainCyclesPerEpoch(observation.costs, incremental);
+    // Thrash of demoting the whole shared set, on top of what is already
+    // demoted: the miss rate saturates with the TLB-slot demand, so a
+    // handful of narrowly-shared windows (UA's false-sharing boundaries)
+    // price cheap while mass demotion of widely-shared pages (LU, SPECjbb)
+    // prices at full walk cost.
+    std::uint64_t slot_demand = demoted_slot_demand_;
+    for (const auto& [base, agg] : shared) {
+      if (agg->size == PageSize::k2M) {
+        slot_demand += kFramesPer2M * static_cast<std::uint64_t>(agg->SharerCount());
+      }
+    }
+    const double miss_rate =
+        PostSplitTlbMissRate(model.post_split_tlb_miss_rate, slot_demand,
+                             observation.costs.tlb_4k_reach_pages);
+    Cycles cost = 0;
+    for (const auto& [base, agg] : shared) {
+      const double share = total_samples == 0 ? 0.0
+                                              : static_cast<double>(agg->total) /
+                                                    static_cast<double>(total_samples);
+      cost += PredictedThrashCyclesPerEpoch(observation.costs, share, miss_rate);
+      cost += static_cast<Cycles>(static_cast<double>(observation.costs.split_op_cycles) /
+                                  model.split_payback_epochs);
+    }
+    if (benefit <= cost) {
+      ++stats_.cost_vetoes;
+      return SplitDesire::kNeutral;  // not kOff: a veto must not drive disengage
+    }
+  }
+  return SplitDesire::kOn;
+}
+
+void CarrefourLp::UpdateSplitMode(SplitDesire desire, double current_lar_pct) {
+  if (desire == SplitDesire::kOn) {
+    ++stats_.on_streak;
+    stats_.off_streak = 0;
+  } else {
+    stats_.on_streak = 0;
+    if (split_pages_) {
+      ++stats_.off_streak;
+    }
+  }
+
+  const LpModelConfig& model = config_.lp_model;
+  if (!model.hysteresis) {
+    // Algorithm 1's literal transitions: engage on split gain, disengage on
+    // migration gain, sticky otherwise.
+    if (desire == SplitDesire::kOn) {
+      split_pages_ = true;
+    } else if (desire == SplitDesire::kOff) {
+      split_pages_ = false;
+    }
+    return;
+  }
+  if (!split_pages_) {
+    if (stats_.on_streak >= model.split_on_epochs) {
+      split_pages_ = true;
+      stats_.off_streak = 0;
+      engage_baseline_lar_ = current_lar_pct;
+      engaged_epochs_ = 0;
+    }
+    return;
+  }
+  // Engagement is a reviewed experiment: every split_patience_epochs the
+  // measured LAR must have moved since the last review, or the promised gain
+  // is not materializing (SSCA's mis-estimation) — roll the mode back and
+  // suppress re-engagement.
+  ++engaged_epochs_;
+  if (engaged_epochs_ >= model.split_patience_epochs) {
+    if (current_lar_pct <
+        engage_baseline_lar_ + model.min_realized_split_gain_pct) {
+      split_pages_ = false;
+      ++stats_.failed_engagements;
+      split_cooldown_ = model.failed_split_cooldown_epochs;
+      stats_.on_streak = 0;
+      stats_.off_streak = 0;
+      return;
+    }
+    engage_baseline_lar_ = current_lar_pct;
+    engaged_epochs_ = 0;
+  }
+  if (stats_.off_streak >= model.split_off_epochs) {
+    // Hysteresis smooths both edges: the split-gain signal (or a credible
+    // migration-gain exit) must persist for split_off_epochs before the mode
+    // disengages — the transient has genuinely subsided.
+    split_pages_ = false;
+    stats_.on_streak = 0;
+    stats_.off_streak = 0;
+  }
+}
 
 LpDecision CarrefourLp::Step(const LpObservation& observation) {
   LpDecision decision;
@@ -20,44 +169,111 @@ LpDecision CarrefourLp::Step(const LpObservation& observation) {
     }
   }
 
-  // --- Reactive component (lines 10-14) ------------------------------------
+  // --- Reactive component (lines 10-19 + the cost model) --------------------
   if (config_.use_reactive) {
-    const LarEstimates& lar = observation.lar;
-    if (lar.carrefour_pct - lar.current_pct > config_.lar_gain_carrefour_pct) {
-      split_pages_ = false;
-    } else if (lar.carrefour_split_pct - lar.current_pct > config_.lar_gain_split_pct) {
-      split_pages_ = true;
+    const LpModelConfig& model = config_.lp_model;
+
+    // One canonical ascending-address pass collects everything the decision
+    // stages consume: the total sample mass and the shared-large-page
+    // demotion candidates. Every LP read shares this iteration contract —
+    // nothing below touches map internals order.
+    std::uint64_t total_samples = 0;
+    std::vector<std::pair<Addr, const PageAgg*>> shared;
+    ForEachPageSorted(*observation.mapping_pages,
+                      [&](Addr page_base, const PageAgg& agg) {
+                        if (agg.dram == 0) {
+                          return;
+                        }
+                        total_samples += agg.total;
+                        if (agg.size != PageSize::k4K && agg.SharerCount() >= 2) {
+                          shared.emplace_back(page_base, &agg);
+                        }
+                      });
+
+    if (split_cooldown_ > 0) {
+      --split_cooldown_;
+    }
+    UpdateSplitMode(EvaluateDesire(observation, shared, total_samples),
+                    observation.lar.current_pct);
+
+    // Re-promotion path: the mode disengaged, so the transient that justified
+    // splitting has subsided — re-enable 2MB allocation and hand the demoted
+    // windows back, a bounded batch per epoch in ascending address order.
+    // (Runs before the demotion branch so the disengage epoch does not demote
+    // under the stale !alloc_enabled condition.)
+    if (model.repromotion && !split_pages_ && !demoted_windows_.empty()) {
+      thp_.alloc_enabled = true;
+      std::vector<Addr> pending;
+      pending.reserve(demoted_windows_.size());
+      for (const auto& [base, demand] : demoted_windows_) {
+        pending.push_back(base);
+      }
+      std::sort(pending.begin(), pending.end());
+      const std::size_t batch = std::min<std::size_t>(
+          pending.size(), static_cast<std::size_t>(model.repromote_max_per_epoch));
+      for (std::size_t i = 0; i < batch; ++i) {
+        decision.repromote_windows.push_back(pending[i]);
+        demoted_slot_demand_ -= *demoted_windows_.Find(pending[i]);
+        demoted_windows_.Erase(pending[i]);
+      }
     }
 
-    // Lines 15-18: demote all shared large pages when splitting is on or 2MB
-    // allocation is off (pages promoted meanwhile must not linger). The
-    // demotion budget is filled in ascending address order (the canonical
-    // decision order), so which pages make the per-epoch cut does not depend
-    // on map iteration internals.
+    // Lines 15-18: demote shared large pages when splitting is on or 2MB
+    // allocation is off (pages promoted meanwhile must not linger). With the
+    // cost model on, the per-epoch limit is a cycle budget for the split
+    // operations themselves — splitting is heavyweight work under the page
+    // table lock, bounded to a fraction of the epoch's wall — instead of a
+    // flat page count. (The *thrash* economics of demoting the set were
+    // already judged by the engagement veto; re-charging them here would
+    // stretch the demotion transient across the whole run.)
     if (split_pages_ || !thp_.alloc_enabled) {
-      ForEachPageSorted(*observation.mapping_pages,
-                        [&](Addr page_base, const PageAgg& agg) {
-                          if (static_cast<int>(decision.split_shared.size()) >=
-                              config_.max_shared_splits_per_epoch) {
-                            return;
-                          }
-                          if (agg.size != PageSize::k4K && agg.dram > 0 &&
-                              agg.SharerCount() >= 2) {
-                            decision.split_shared.emplace_back(page_base, agg.size);
-                          }
-                        });
+      const bool use_budget = model.cost_budget && observation.costs.epoch_accesses > 0;
+      const Cycles budget =
+          use_budget ? static_cast<Cycles>(model.demotion_budget_frac *
+                                           static_cast<double>(observation.costs.epoch_wall))
+                     : 0;
+      Cycles spent = 0;
+      bool exhausted = false;
+      for (const auto& [page_base, agg] : shared) {
+        if (use_budget) {
+          // The budget bounds the demotion *rate*, it never starves it: the
+          // first candidate of an epoch always fits (mirrors the kernel,
+          // which makes progress however slow the budget).
+          if (!decision.split_shared.empty() &&
+              spent + observation.costs.split_op_cycles > budget) {
+            exhausted = true;
+            break;
+          }
+          spent += observation.costs.split_op_cycles;
+        } else if (static_cast<int>(decision.split_shared.size()) >=
+                   config_.max_shared_splits_per_epoch) {
+          exhausted = true;
+          break;
+        }
+        decision.split_shared.emplace_back(page_base, agg->size);
+        if (agg->size == PageSize::k2M) {
+          const auto [demand, inserted] = demoted_windows_.FindOrInsert(page_base);
+          if (inserted) {
+            *demand = static_cast<std::uint32_t>(
+                kFramesPer2M * static_cast<std::uint64_t>(agg->SharerCount()));
+            demoted_slot_demand_ += *demand;
+          }
+        }
+      }
+      if (exhausted) {
+        ++stats_.budget_exhaustions;
+      }
       thp_.alloc_enabled = false;
     }
 
-    // Line 19: hot large pages are split and interleaved unconditionally
-    // (also in canonical order: the split sequence drives the caller's
-    // piece-placement RNG).
-    std::uint64_t total_samples = 0;
-    for (const auto& [page_base, agg] : *observation.mapping_pages) {
-      if (agg.dram > 0) {
-        total_samples += agg.total;
-      }
-    }
+    // Line 19: hot large pages are split unconditionally (also in canonical
+    // order: the split sequence drives the caller's piece-placement RNG).
+    // The cost model refines *what happens to the pieces*: interleaving is
+    // the right fix only for a page hammered from every node (CG's reduction
+    // chunks — migration cannot balance fewer hot pages than nodes); a page
+    // over the hot bar but accessed from few nodes is a false-sharing window
+    // (UA's mesh boundaries), and its pieces belong with their accessors —
+    // split it like a shared page and let the hinting faults localize them.
     if (total_samples > 0) {
       ForEachPageSorted(
           *observation.mapping_pages, [&](Addr page_base, const PageAgg& agg) {
@@ -66,11 +282,25 @@ LpDecision CarrefourLp::Step(const LpObservation& observation) {
             }
             const double share =
                 100.0 * static_cast<double>(agg.total) / static_cast<double>(total_samples);
-            if (share > config_.hot_page_share_pct) {
-              decision.split_hot.emplace_back(page_base, agg.size);
+            if (share <= config_.hot_page_share_pct) {
+              return;
             }
+            const bool interleave = !model.cost_budget || observation.num_nodes <= 0 ||
+                                    agg.DistinctNodes() >= observation.num_nodes;
+            if (interleave) {
+              decision.split_hot.emplace_back(page_base, agg.size);
+              return;
+            }
+            for (const auto& [base, size] : decision.split_shared) {
+              if (base == page_base) {
+                return;  // already demoted by the shared pass this epoch
+              }
+            }
+            decision.split_shared.emplace_back(page_base, agg.size);
           });
     }
+
+    stats_.pending_repromotions = demoted_windows_.size();
   }
 
   decision.split_pages_flag = split_pages_;

@@ -1,12 +1,22 @@
-// Carrefour-LP: large-page extensions to Carrefour (Algorithm 1).
+// Carrefour-LP: large-page extensions to Carrefour (Algorithm 1), with the
+// reactive component grown from the paper's literal transcription into a
+// cost-aware decision engine (DESIGN.md Section 8).
 //
-// Reactive component (lines 10-19): from IBS samples, estimate the LAR that
-// Carrefour alone would deliver versus Carrefour plus demoting every large
-// page. If migration alone promises a >15-point gain, do not split; if
-// splitting promises a >5-point gain, demote all *shared* large pages and
-// stop allocating 2MB pages. Hot pages (>6% of accesses) are always split
-// and their pieces interleaved — migration cannot balance fewer hot pages
-// than nodes.
+// Reactive component (lines 10-19 of Algorithm 1, plus the cost model): from
+// IBS samples, estimate the LAR that Carrefour alone would deliver versus
+// Carrefour plus demoting every large page. Migration-only gains > 15 points
+// suppress splitting; split gains > 5 points request it. On top of the
+// thresholds, three model components (each independently switchable via
+// LpModelConfig):
+//   * hysteresis — the split-gain condition must persist for several epochs
+//     before demotion engages, and stay absent before it disengages;
+//   * a cost budget — engagement requires the predicted LAR-gain cycles to
+//     beat the predicted post-split 4KB-thrash cycles, and each epoch's
+//     demotions are bounded by a cycle budget priced by the same model;
+//   * re-promotion — 2MB windows demoted during a transient return to large
+//     pages once the mode disengages.
+// Hot pages (>6% of accesses) are always split and their pieces interleaved —
+// migration cannot balance fewer hot pages than nodes.
 //
 // Conservative component (lines 4-9): re-enable 2MB allocation (and
 // promotion) when the counters show TLB pressure (>5% of L2 misses are PTE
@@ -18,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/flat_map.h"
 #include "src/core/config.h"
 #include "src/core/lar_estimator.h"
 #include "src/metrics/numa_metrics.h"
@@ -30,6 +41,11 @@ struct LpObservation {
   double max_fault_time_share = 0.0;
   LarEstimates lar;
   const PageAggMap* mapping_pages = nullptr;
+  int num_nodes = 0;  // for the hot-page interleave-vs-localize decision
+  // Cost-model inputs, filled by the simulator from its own cost models and
+  // the epoch's measured counters. All-zero (the default) bypasses the cost
+  // model: threshold-only decisions, flat demotion cap.
+  LpCostInputs costs;
 };
 
 struct LpDecision {
@@ -37,25 +53,69 @@ struct LpDecision {
   std::vector<std::pair<Addr, PageSize>> split_shared;
   // Hot large pages to demote and interleave (line 19).
   std::vector<std::pair<Addr, PageSize>> split_hot;
+  // 2MB windows to consolidate back to a huge page: previously demoted
+  // windows whose split-mode transient has subsided.
+  std::vector<Addr> repromote_windows;
   bool split_pages_flag = false;
   bool alloc_enabled_after = false;
   bool promote_enabled_after = false;
 };
 
+// Introspection for tests and the ablation bench.
+struct LpEngineStats {
+  int on_streak = 0;   // consecutive epochs the split-gain condition held
+  int off_streak = 0;  // consecutive epochs it did not (while engaged)
+  std::uint64_t cost_vetoes = 0;        // engagements blocked by the cost model
+  std::uint64_t budget_exhaustions = 0; // epochs where the budget cut demotion short
+  std::uint64_t expired_mig_promises = 0;  // migration-gain exits that never delivered
+  std::uint64_t failed_engagements = 0;    // split experiments reviewed and rolled back
+  std::size_t pending_repromotions = 0; // demoted windows awaiting re-promotion
+};
+
 class CarrefourLp {
  public:
   // Mutates `thp` exactly like the kernel implementation toggles THP sysfs
-  // state. Which components run comes from `config`.
+  // state. Which components run comes from `config`; the reactive model's
+  // shape comes from `config.lp_model`.
   CarrefourLp(const PolicyConfig& config, ThpState& thp);
 
   LpDecision Step(const LpObservation& observation);
 
   bool split_pages_flag() const { return split_pages_; }
+  const LpEngineStats& stats() const { return stats_; }
 
  private:
+  // What this epoch's estimates ask for, before hysteresis.
+  enum class SplitDesire : std::uint8_t {
+    kOff,      // migration-only gain clears its bar: do not split
+    kOn,       // split gain clears its bar (and the cost model approves)
+    kNeutral,  // neither condition fires
+  };
+
+  SplitDesire EvaluateDesire(const LpObservation& observation,
+                             const std::vector<std::pair<Addr, const PageAgg*>>& shared,
+                             std::uint64_t total_samples);
+  void UpdateSplitMode(SplitDesire desire, double current_lar_pct);
+
   PolicyConfig config_;
   ThpState& thp_;
   bool split_pages_ = false;
+  LpEngineStats stats_;
+  // 2MB windows demoted by the reactive component (split_shared), kept for
+  // the re-promotion path; the value is the window's TLB-slot demand
+  // (pieces x sharing cores) so the thrash model prices the already-demoted
+  // footprint exactly. 1GB demotions leave 2MB pieces and are not tracked.
+  FlatMap<Addr, std::uint32_t> demoted_windows_;
+  std::uint64_t demoted_slot_demand_ = 0;  // sum of demoted_windows_ values
+  // Realized-gain accounting for the migration-gain exit: how long the
+  // current promise has gone undelivered, and the measured LAR when it began.
+  int mig_promise_streak_ = 0;
+  double mig_promise_baseline_lar_ = 0.0;
+  // Split-side review state: LAR at the last engagement review, epochs since,
+  // and the re-engagement cooldown after a failed experiment.
+  double engage_baseline_lar_ = 0.0;
+  int engaged_epochs_ = 0;
+  int split_cooldown_ = 0;
 };
 
 }  // namespace numalp

@@ -80,6 +80,72 @@ enum class PolicyKind : std::uint8_t {
 
 std::string_view NameOf(PolicyKind kind);
 
+// Cost/decision model of the redesigned reactive component (DESIGN.md
+// Section 8). Each feature switches off independently so
+// bench/ablation_lp_model.cc can attribute the fidelity fix to its parts;
+// with all three off the component degrades to the original Algorithm 1
+// transcription (threshold-only, sticky split flag, flat demotion cap).
+struct LpModelConfig {
+  // Hysteresis on the split-mode state machine: the split-gain condition must
+  // persist for `split_on_epochs` before demotion engages, and must stay
+  // absent for `split_off_epochs` before the mode disengages — one noisy
+  // epoch of over-predicted split LAR no longer triggers mass demotion.
+  bool hysteresis = true;
+  int split_on_epochs = 3;
+  int split_off_epochs = 5;
+  // Realized-gain accounting on the migration-gain exit (Algorithm 1 line
+  // 10): a "Carrefour alone will gain >15 points" prediction suppresses
+  // splitting only while it is credible. If the promise persists this many
+  // epochs without the measured LAR actually improving, it expires — the
+  // estimate is a sparse-sampling artifact (the same mis-estimation the
+  // paper reports for SSCA) — and the split condition is evaluated instead.
+  int mig_gain_patience_epochs = 4;
+  // Realized-gain accounting on the split side: engagement is an experiment.
+  // Every `split_patience_epochs` the measured LAR must have improved by at
+  // least `min_realized_split_gain_pct` points since the last review, or the
+  // mode disengages (re-promoting what it demoted) and re-engagement is
+  // suppressed for `failed_split_cooldown_epochs` — the SSCA case, where the
+  // estimator promises 59% and delivers 25% (Section 4.1), stops burning
+  // split work on a promise that measurably does not materialize.
+  int split_patience_epochs = 8;
+  double min_realized_split_gain_pct = 5.0;
+  int failed_split_cooldown_epochs = 50;
+  // Re-promotion: 2MB windows the reactive component demoted return to large
+  // pages once the mode disengages (the transient that justified splitting
+  // has subsided), instead of thrashing at 4KB for the rest of the run.
+  bool repromotion = true;
+  int repromote_max_per_epoch = 16;
+  // Cost-aware engagement and demotion budget: split mode engages only when
+  // the predicted LAR-gain cycles beat the predicted post-split 4KB-thrash
+  // cycles (see PredictedThrashCyclesPerEpoch), and each epoch's demotions
+  // are bounded by a cycle budget priced by that same model — measured
+  // walk cost and epoch wall time, not a flat page count.
+  bool cost_budget = true;
+  double demotion_budget_frac = 0.02;  // of the epoch's app wall cycles
+  double split_payback_epochs = 10.0;  // amortization horizon for one-time split cost
+  // Known bias of the what-if split estimator: with realistic sampling most
+  // 4KB sub-pages carry 0-1 samples, so the post-split LAR prediction runs
+  // high (the paper measures a 34-point error on SSCA, Section 4.1). The
+  // benefit side of the veto discounts the predicted gain by this margin —
+  // marginal split promises (LU's 10-point mirage) die here, massive ones
+  // (UA's 60-point false-sharing recovery) survive.
+  double split_estimate_margin_pct = 12.0;
+  // P(TLB miss) assumed for a demoted page's accesses: 512 4KB entries
+  // replacing one 2MB entry overwhelm the 4KB arrays for any page hot
+  // enough to be a demotion candidate.
+  double post_split_tlb_miss_rate = 0.5;
+
+  // The un-redesigned reactive component, for ablation and for the unit
+  // tests that pin the paper's literal Algorithm 1 semantics.
+  static LpModelConfig Algorithm1() {
+    LpModelConfig model;
+    model.hysteresis = false;
+    model.repromotion = false;
+    model.cost_budget = false;
+    return model;
+  }
+};
+
 struct PolicyConfig {
   PolicyKind kind = PolicyKind::kLinux4K;
   bool initial_thp_alloc = false;
@@ -94,10 +160,13 @@ struct PolicyConfig {
   double lar_gain_carrefour_pct = 15.0;    // line 10
   double lar_gain_split_pct = 5.0;         // line 12
   double hot_page_share_pct = 6.0;         // line 19 (Section 3.1 footnote)
-  // Demotion rate limit: splitting is a heavyweight operation under the page
-  // table lock (Section 4.3 mentions the scalability concern), so shared
-  // pages are demoted in bounded batches per iteration.
+  // Demotion rate limit when the cost-aware budget is disabled: splitting is
+  // a heavyweight operation under the page table lock (Section 4.3 mentions
+  // the scalability concern), so shared pages are demoted in bounded batches
+  // per iteration.
   int max_shared_splits_per_epoch = 32;
+  // The reactive component's cost/decision model.
+  LpModelConfig lp_model;
 };
 
 PolicyConfig MakePolicyConfig(PolicyKind kind);

@@ -27,6 +27,31 @@ double EstimateCarrefourLarPct(const PageAggMap& pages, int num_nodes) {
                           (static_cast<double>(num_nodes) * static_cast<double>(total));
 }
 
+double PostSplitTlbMissRate(double cap, std::uint64_t tlb_slot_demand,
+                            std::uint64_t tlb_reach_pages) {
+  const double pages = static_cast<double>(tlb_slot_demand);
+  const double reach = static_cast<double>(tlb_reach_pages);
+  if (pages + reach <= 0.0) {
+    return 0.0;
+  }
+  return cap * pages / (pages + reach);
+}
+
+Cycles PredictedThrashCyclesPerEpoch(const LpCostInputs& inputs, double access_share,
+                                     double miss_rate) {
+  return static_cast<Cycles>(access_share * static_cast<double>(inputs.epoch_accesses) *
+                             miss_rate * static_cast<double>(inputs.walk_cycles_4k));
+}
+
+Cycles PredictedLarGainCyclesPerEpoch(const LpCostInputs& inputs, double lar_gain_pct) {
+  if (lar_gain_pct <= 0.0) {
+    return 0;
+  }
+  return static_cast<Cycles>(lar_gain_pct / 100.0 *
+                             static_cast<double>(inputs.epoch_dram_accesses) *
+                             static_cast<double>(inputs.remote_dram_penalty));
+}
+
 LarEstimates EstimateLar(std::span<const IbsSample> samples,
                          const AddressSpace& address_space,
                          const PageAggMap& mapping_pages, int num_nodes) {

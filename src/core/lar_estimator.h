@@ -39,6 +39,55 @@ LarEstimates EstimateLar(std::span<const IbsSample> samples,
 // Expected LAR if every page in `pages` were placed by Carrefour's rule.
 double EstimateCarrefourLarPct(const PageAggMap& pages, int num_nodes);
 
+// --- Post-split 4KB-thrash cost model (DESIGN.md Section 8) ----------------
+//
+// The reactive component's cost/benefit vocabulary. The inputs come from the
+// simulator's own cost models — walk cycles from the PageWalker the engine
+// charges per miss, the remote penalty from the interconnect model, wall and
+// access counts from the epoch's measured counters — so the decision engine
+// predicts with exactly the constants the simulation will charge.
+struct LpCostInputs {
+  std::uint64_t epoch_accesses = 0;       // app accesses this epoch, all cores
+  std::uint64_t epoch_dram_accesses = 0;  // the DRAM-reaching subset
+  Cycles epoch_wall = 0;                  // app portion of the epoch's wall
+  Cycles walk_cycles_4k = 0;   // expected cost of one 4KB walk (PageWalker)
+  // Extra cycles one remote DRAM access cost this epoch beyond a local one,
+  // measured from the epoch's resolved latency tables (hop latency plus the
+  // destination controller's queueing premium) — the value of one LAR point
+  // under congestion is much larger than the bare hop.
+  Cycles remote_dram_penalty = 0;
+  Cycles split_op_cycles = 0;  // one-time kernel cost of one split
+  // 4KB translations the machine's TLBs can hold in total (per-core unified
+  // L2 entries x cores): the thrash a demotion causes depends on whether the
+  // demoted footprint still fits this reach.
+  std::uint64_t tlb_4k_reach_pages = 0;
+};
+
+// Saturating post-split TLB miss probability. `tlb_slot_demand` is the
+// demoted footprint weighted by how many cores cache it (pages x sharing
+// cores: a boundary window split between two threads occupies two TLBs, a
+// globally-hot one occupies all of them), competing for `tlb_reach_pages`
+// machine-wide slots; saturates at `cap` with the same half-saturation shape
+// as the walker's PTE-miss curve. A few demoted windows still fit the TLBs
+// and cost little; demoting dozens of widely-shared ones overwhelms them and
+// every access walks.
+double PostSplitTlbMissRate(double cap, std::uint64_t tlb_slot_demand,
+                            std::uint64_t tlb_reach_pages);
+
+// Predicted extra cycles per epoch after demoting a page that carries
+// `access_share` of the sampled accesses: its accesses stop hitting the 2MB
+// TLB arrays and miss at 4KB reach with probability `miss_rate`, each miss
+// paying one 4KB walk. This is the steady-state 4KB-thrash regime the
+// simulator enters after a split — modeled here with the same walker cost it
+// charges there.
+Cycles PredictedThrashCyclesPerEpoch(const LpCostInputs& inputs, double access_share,
+                                     double miss_rate);
+
+// Predicted cycles saved per epoch by `lar_gain_pct` points of LAR
+// improvement: that fraction of DRAM accesses stops paying the remote
+// interconnect penalty.
+Cycles PredictedLarGainCyclesPerEpoch(const LpCostInputs& inputs, double lar_gain_pct);
+
 }  // namespace numalp
 
 #endif  // NUMALP_SRC_CORE_LAR_ESTIMATOR_H_

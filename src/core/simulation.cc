@@ -286,6 +286,7 @@ Cycles Simulation::RunPolicies(Cycles wall_so_far, EpochRecord& record) {
                     static_cast<Cycles>(topo_.num_cores());
   }
 
+  std::vector<Addr> repromote_windows;
   if (lp_ != nullptr) {
     LpObservation observation;
     observation.walk_l2_miss_frac = record.metrics.walk_l2_miss_frac;
@@ -296,6 +297,21 @@ Cycles Simulation::RunPolicies(Cycles wall_so_far, EpochRecord& record) {
     observation.lar =
         EstimateLar(window_.latest_samples(), *address_space_, fresh_pages, topo_.num_nodes());
     observation.mapping_pages = &pages;
+    observation.num_nodes = topo_.num_nodes();
+    // Cost-model inputs (DESIGN.md Section 8): the decision engine predicts
+    // with the same constants the engine charges — the walker's expected 4KB
+    // walk at the current page-table footprint, the interconnect's per-hop
+    // penalty, and this epoch's measured access/wall counters.
+    observation.costs.epoch_accesses = counters_.TotalAccesses();
+    observation.costs.epoch_dram_accesses = counters_.TotalDram();
+    observation.costs.epoch_wall = wall_so_far;
+    observation.costs.walk_cycles_4k = walker_.ExpectedWalkCycles(
+        PageSize::k4K, address_space_->page_table().table_bytes());
+    observation.costs.remote_dram_penalty = remote_dram_premium_;
+    observation.costs.split_op_cycles = sim_.costs.split_fixed + sim_.costs.shootdown_per_op;
+    observation.costs.tlb_4k_reach_pages = static_cast<std::uint64_t>(sim_.tlb.l2_sets) *
+                                           static_cast<std::uint64_t>(sim_.tlb.l2_ways) *
+                                           static_cast<std::uint64_t>(topo_.num_cores());
     record.est_current_lar = observation.lar.current_pct;
     record.est_carrefour_lar = observation.lar.carrefour_pct;
     record.est_split_lar = observation.lar.carrefour_split_pct;
@@ -357,6 +373,7 @@ Cycles Simulation::RunPolicies(Cycles wall_so_far, EpochRecord& record) {
         }
       }
     }
+    repromote_windows = std::move(decision.repromote_windows);
   }
 
   // Carrefour migration/interleave pass (Algorithm 1 line 20). If pages were
@@ -391,11 +408,63 @@ Cycles Simulation::RunPolicies(Cycles wall_so_far, EpochRecord& record) {
     }
   }
 
+  // Reactive re-promotion (DESIGN.md Section 8): consolidate the windows the
+  // decision engine handed back, under khugepaged's own rule (majority node,
+  // anti-oscillation guard). Like khugepaged promotions, these land after
+  // this epoch's placement pass — next epoch's fold sees the new granularity.
+  for (const Addr base : repromote_windows) {
+    const auto target = WindowPromotionTarget(*address_space_, base);
+    if (!target.has_value()) {
+      continue;  // under-populated or interleaved window: khugepaged may
+                 // consolidate it later, once lazy placement fills it in
+    }
+    if (auto promo = address_space_->PromoteWindow(base, *target)) {
+      kernel_cycles += sim_.costs.promote_fixed +
+                       static_cast<Cycles>(sim_.costs.promote_per_byte *
+                                           static_cast<double>(promo->bytes_copied)) +
+                       sim_.costs.shootdown_per_op;
+      ++record.promotions;
+      // The per-4KB-piece policy state underneath the window is stale now:
+      // the pieces no longer exist, and their pending lazy migrations must
+      // not move the consolidated huge page.
+      carrefour_.ForgetRange(base, kBytes2M);
+      if (!migrate_on_touch_.empty()) {
+        for (Addr p = base; p < base + kBytes2M; p += kBytes4K) {
+          migrate_on_touch_.Erase(p);
+        }
+      }
+      if (sim_.reference_pipeline) {
+        for (Addr p = base; p < base + kBytes2M; p += kBytes4K) {
+          shootdowns.emplace_back(p, PageSize::k4K);
+        }
+      } else {
+        shootdown_ranges.emplace_back(base, kBytes2M);
+      }
+    }
+  }
+
   // khugepaged runs only while THP is enabled (splitting disables allocation,
-  // which parks the scanner too — otherwise it would undo every split).
+  // which parks the scanner too — otherwise it would undo every split). The
+  // hot-page localize path splits *without* disabling allocation, so the
+  // scanner additionally skips windows whose pieces still await
+  // hinting-fault placement: at split time all frames sit on one node, and
+  // consolidating before the pieces scatter would undo the split in the
+  // same epoch (and leave stale migrate-on-touch marks that could wholesale-
+  // migrate the consolidated page).
   if (thp_state_.promote_enabled && thp_state_.alloc_enabled) {
-    const auto promotions =
-        khugepaged_.Scan(sim_.promote_scan_windows, sim_.promote_max_per_epoch);
+    const auto skip_in_flux = [this](Addr base) {
+      if (migrate_on_touch_.empty()) {
+        return false;
+      }
+      for (Addr p = base; p < base + kBytes2M; p += kBytes4K) {
+        if (migrate_on_touch_.Contains(p)) {
+          return true;
+        }
+      }
+      return false;
+    };
+    const auto promotions = khugepaged_.Scan(sim_.promote_scan_windows,
+                                             sim_.promote_max_per_epoch, skip_in_flux);
     for (const PromotionRecord& promo : promotions) {
       kernel_cycles += sim_.costs.promote_fixed +
                        static_cast<Cycles>(sim_.costs.promote_per_byte *
@@ -442,6 +511,16 @@ RunResult Simulation::Run() {
     counters_.Reset();
     std::fill(fault_parts_.begin(), fault_parts_.end(), FaultCycleParts{});
     const bool epoch_in_setup = !workload_->SetupDone();
+    if (!epoch_in_setup && !steady_transition_done_) {
+      steady_transition_done_ = true;
+      // The setup phase's first-touch storm is over. Its samples — cross-node
+      // touches of windows that are now settled — would otherwise dominate
+      // the decision window (and Carrefour's interleave memory) for the whole
+      // run, which is seconds long where the paper's are minutes: the paper's
+      // benchmarks measure steady state, so the policies decide on it too.
+      window_.Clear();
+      carrefour_.ForgetAll();
+    }
 
     // Generate every thread's batch, then execute them in round-robin slices:
     // threads run concurrently on the real machine, so first-touch races
@@ -512,6 +591,42 @@ RunResult Simulation::Run() {
         dram_cycles += requests * per_request;
       }
       counters_.cores[static_cast<std::size_t>(c)].dram_cycles = dram_cycles;
+    }
+
+    // Measured remote premium for the reactive cost model: averaged over this
+    // epoch's actual remote traffic, what one remote access cost beyond a
+    // local one — the hop latency plus the destination controller's queueing
+    // delta. Floors at the configured hop cost when there was no remote
+    // traffic (or congestion happened to favor the remote node).
+    {
+      double premium_sum = 0.0;
+      std::uint64_t remote_requests = 0;
+      for (int c = 0; c < topo_.num_cores(); ++c) {
+        const int node = topo_.NodeOfCore(c);
+        for (int n = 0; n < topo_.num_nodes(); ++n) {
+          if (n == node) {
+            continue;
+          }
+          const std::uint64_t requests =
+              counters_.core_node_requests[static_cast<std::size_t>(c)]
+                                          [static_cast<std::size_t>(n)];
+          if (requests == 0) {
+            continue;
+          }
+          remote_requests += requests;
+          premium_sum +=
+              static_cast<double>(requests) *
+              (static_cast<double>(remote[static_cast<std::size_t>(node)]
+                                         [static_cast<std::size_t>(n)]) +
+               static_cast<double>(latencies[static_cast<std::size_t>(n)]) -
+               static_cast<double>(latencies[static_cast<std::size_t>(node)]));
+        }
+      }
+      const double floor = static_cast<double>(sim_.interconnect.per_hop);
+      remote_dram_premium_ = static_cast<Cycles>(
+          remote_requests == 0
+              ? floor
+              : std::max(floor, premium_sum / static_cast<double>(remote_requests)));
     }
 
     Cycles wall = 0;

@@ -173,6 +173,13 @@ class Simulation {
   FlatSet<Addr> migrate_on_touch_;
   Cycles hint_kernel_cycles_ = 0;
   std::uint64_t hint_migrations_ = 0;
+  // Measured extra cost of one remote DRAM access this epoch (hop latency
+  // plus destination queueing premium, averaged over the epoch's actual
+  // remote traffic) — the reactive cost model's benefit side (DESIGN.md §8).
+  Cycles remote_dram_premium_ = 0;
+  // One-shot setup→steady transition: the decision window and Carrefour's
+  // placement memory are cleared of the first-touch storm (DESIGN.md §8).
+  bool steady_transition_done_ = false;
 };
 
 // Convenience wrapper used by benches and examples: builds the named

@@ -58,6 +58,15 @@ class PageWalker {
     return result;
   }
 
+  // Probability-weighted cost of one walk: the reactive decision engine's
+  // view of the same model Walk() charges stochastically (DESIGN.md §8).
+  Cycles ExpectedWalkCycles(PageSize size, std::uint64_t table_bytes) const {
+    const int levels = size == PageSize::k4K ? 4 : (size == PageSize::k2M ? 3 : 2);
+    return config_.per_level * static_cast<Cycles>(levels - 1) + config_.pte_l2_hit +
+           static_cast<Cycles>(PteMissProbability(table_bytes) *
+                               static_cast<double>(config_.pte_l2_miss_extra));
+  }
+
   double PteMissProbability(std::uint64_t table_bytes) const {
     const double t = static_cast<double>(table_bytes);
     return config_.miss_floor + config_.miss_span * t / (t + config_.half_sat_bytes);

@@ -28,6 +28,20 @@ int PageAgg::MajorityReqNode() const {
   return best;
 }
 
+double PageAgg::MajorityReqSharePct() const {
+  std::uint64_t total_reqs = 0;
+  for (std::uint32_t c : req_node_counts) {
+    total_reqs += c;
+  }
+  if (total_reqs == 0) {
+    return 100.0;
+  }
+  return 100.0 *
+         static_cast<double>(
+             req_node_counts[static_cast<std::size_t>(MajorityReqNode())]) /
+         static_cast<double>(total_reqs);
+}
+
 int PageAgg::SharerCount() const { return std::popcount(core_mask); }
 
 PageAggMap AggregateSamples(std::span<const IbsSample> samples,

@@ -48,6 +48,9 @@ struct PageAgg {
   int DistinctNodes() const;
   // Node issuing most sampled accesses to this page.
   int MajorityReqNode() const;
+  // Share of the sampled accesses issued by the majority node, in percent
+  // (100 when the page has no samples).
+  double MajorityReqSharePct() const;
   bool SingleNode() const { return DistinctNodes() == 1; }
   int SharerCount() const;
 };

@@ -43,6 +43,12 @@ void SampleWindow::Apply(const IbsSample& sample, int direction) {
   }
 }
 
+void SampleWindow::Clear() {
+  epochs_.clear();
+  window_4k_.clear();
+  core_counts_.clear();
+}
+
 void SampleWindow::PushEpoch(std::vector<IbsSample> samples) {
   if (!reference_) {
     for (const IbsSample& sample : samples) {

@@ -55,6 +55,13 @@ class SampleWindow {
   // AggregateSamples(<concatenated window>, address_space, kMapping).
   PageAggMap FoldToMapping(const AddressSpace& address_space) const;
 
+  // Empties the window — stored epochs, running aggregate, sharer counts.
+  // The engine calls this once, at the setup→steady transition: the paper's
+  // benchmarks exclude initialization, and a 60-epoch run would otherwise
+  // carry the first-touch storm's cross-node samples in every policy
+  // decision for the rest of the run (DESIGN.md Section 8).
+  void Clear();
+
   // The most recently pushed epoch's samples (the per-iteration estimator
   // input; valid until the next PushEpoch).
   std::span<const IbsSample> latest_samples() const;

@@ -17,7 +17,43 @@ constexpr int kMaxNodes = 16;
 KhugepagedScanner::KhugepagedScanner(AddressSpace& address_space)
     : address_space_(address_space) {}
 
-std::vector<PromotionRecord> KhugepagedScanner::Scan(int max_windows, int max_promotions) {
+std::optional<int> WindowPromotionTarget(AddressSpace& address_space, Addr window_base) {
+  if (address_space.WindowPopulation(window_base) != static_cast<int>(kFramesPer2M) ||
+      address_space.pages_2m().count(window_base) != 0) {
+    return std::nullopt;
+  }
+  // Majority node of the constituent 4KB frames.
+  std::array<int, kMaxNodes> node_counts{};
+  address_space.page_table().ForEachMappingIn(
+      window_base, kBytes2M, [&](const PageTable::Mapping& m) {
+        if (m.size == PageSize::k4K) {
+          ++node_counts[static_cast<std::size_t>(address_space.phys().NodeOfPfn(m.pfn))];
+        }
+      });
+  int majority = 0;
+  int total_frames = 0;
+  for (int n = 0; n < kMaxNodes; ++n) {
+    total_frames += node_counts[static_cast<std::size_t>(n)];
+    if (n > 0 && node_counts[static_cast<std::size_t>(n)] >
+                     node_counts[static_cast<std::size_t>(majority)]) {
+      majority = n;
+    }
+  }
+  // Anti-oscillation guard (kPromoteMajorityPct): windows whose frames are
+  // spread across nodes were placed on purpose (interleaved by Carrefour / a
+  // hot-page split, or localized piece-by-piece after a false-sharing
+  // split); re-promoting them onto one node would recreate the page the
+  // policy just fixed.
+  if (total_frames == 0 ||
+      node_counts[static_cast<std::size_t>(majority)] * 100 <
+          total_frames * kPromoteMajorityPct) {
+    return std::nullopt;
+  }
+  return majority;
+}
+
+std::vector<PromotionRecord> KhugepagedScanner::Scan(
+    int max_windows, int max_promotions, const std::function<bool(Addr)>& skip_window) {
   std::vector<PromotionRecord> promoted;
   const auto& vmas = address_space_.vmas();
   if (vmas.empty()) {
@@ -41,37 +77,14 @@ std::vector<PromotionRecord> KhugepagedScanner::Scan(int max_windows, int max_pr
       const Addr base = first_window + window * kBytes2M;
       ++window;
       ++examined;
-      if (address_space_.WindowPopulation(base) != static_cast<int>(kFramesPer2M) ||
-          address_space_.pages_2m().count(base) != 0) {
+      if (skip_window && skip_window(base)) {
         continue;
       }
-      // Majority node of the constituent 4KB frames.
-      std::array<int, kMaxNodes> node_counts{};
-      address_space_.page_table().ForEachMappingIn(
-          base, kBytes2M, [&](const PageTable::Mapping& m) {
-            if (m.size == PageSize::k4K) {
-              ++node_counts[static_cast<std::size_t>(
-                  address_space_.phys().NodeOfPfn(m.pfn))];
-            }
-          });
-      int majority = 0;
-      int total_frames = 0;
-      for (int n = 0; n < kMaxNodes; ++n) {
-        total_frames += node_counts[static_cast<std::size_t>(n)];
-        if (n > 0 && node_counts[static_cast<std::size_t>(n)] >
-                         node_counts[static_cast<std::size_t>(majority)]) {
-          majority = n;
-        }
-      }
-      // Anti-oscillation guard: windows whose frames are spread across nodes
-      // were interleaved on purpose (by Carrefour or a hot-page split);
-      // re-promoting them onto one node would recreate the hot page. Only
-      // consolidate windows that already live mostly on one node.
-      if (total_frames == 0 ||
-          node_counts[static_cast<std::size_t>(majority)] * 100 < total_frames * 55) {
+      const auto target = WindowPromotionTarget(address_space_, base);
+      if (!target.has_value()) {
         continue;
       }
-      if (auto record = address_space_.PromoteWindow(base, majority)) {
+      if (auto record = address_space_.PromoteWindow(base, *target)) {
         promoted.push_back(*record);
       }
     }

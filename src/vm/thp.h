@@ -9,6 +9,8 @@
 #define NUMALP_SRC_VM_THP_H_
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <vector>
 
 #include "src/common/units.h"
@@ -23,6 +25,20 @@ struct ThpState {
   bool promote_enabled = false;
 };
 
+// Anti-oscillation guard shared by khugepaged and the reactive re-promotion
+// path: a 2MB window consolidates only when at least this share of its 4KB
+// frames already lives on one node. Anything more spread was placed
+// deliberately — interleaved hot pieces, or locality splits whose pieces
+// settled on their accessors' nodes — and re-coalescing it would recreate
+// the page the policy just fixed.
+inline constexpr int kPromoteMajorityPct = 80;
+
+// The promotion rule itself, shared by khugepaged's scan and the reactive
+// re-promotion path: the node to consolidate `window_base` onto, or nullopt
+// when the window is not promotable (under-populated, already huge, or
+// spread past the kPromoteMajorityPct guard).
+std::optional<int> WindowPromotionTarget(AddressSpace& address_space, Addr window_base);
+
 class KhugepagedScanner {
  public:
   explicit KhugepagedScanner(AddressSpace& address_space);
@@ -31,7 +47,12 @@ class KhugepagedScanner {
   // cursor position) and promotes up to `max_promotions` fully-populated,
   // 4KB-mapped windows onto their majority node. Returns what was promoted;
   // the caller charges copy costs and performs TLB shootdowns.
-  std::vector<PromotionRecord> Scan(int max_windows, int max_promotions);
+  // `skip_window`, when set, vetoes individual windows — the engine uses it
+  // to keep the scanner off windows whose split pieces still await
+  // hinting-fault placement (consolidating mid-flux would undo the split
+  // before the placement it exists for could happen).
+  std::vector<PromotionRecord> Scan(int max_windows, int max_promotions,
+                                    const std::function<bool(Addr)>& skip_window = {});
 
  private:
   AddressSpace& address_space_;

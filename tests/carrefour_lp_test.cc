@@ -20,7 +20,17 @@ PageAgg SharedLargePage(std::uint64_t samples, int sharers, PageSize size = Page
 
 class CarrefourLpTest : public ::testing::Test {
  protected:
-  CarrefourLpTest() : config_(MakePolicyConfig(PolicyKind::kCarrefourLp)), lp_(config_, thp_) {
+  // These tests pin the paper's literal Algorithm 1 semantics (immediate
+  // engage/disengage, sticky flag, flat demotion cap) — the ablation
+  // baseline the cost/decision model layers on. The redesigned model has
+  // its own suite in carrefour_lp_model_test.cc.
+  static PolicyConfig Algorithm1Config() {
+    PolicyConfig config = MakePolicyConfig(PolicyKind::kCarrefourLp);
+    config.lp_model = LpModelConfig::Algorithm1();
+    return config;
+  }
+
+  CarrefourLpTest() : config_(Algorithm1Config()), lp_(config_, thp_) {
     thp_.alloc_enabled = true;
     thp_.promote_enabled = true;
   }
@@ -126,7 +136,7 @@ TEST_F(CarrefourLpTest, SmallPagesNeverListed) {
 }
 
 TEST_F(CarrefourLpTest, SharedSplitRateLimit) {
-  PolicyConfig config = MakePolicyConfig(PolicyKind::kCarrefourLp);
+  PolicyConfig config = Algorithm1Config();
   config.max_shared_splits_per_epoch = 4;
   ThpState thp;
   thp.alloc_enabled = true;

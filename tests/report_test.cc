@@ -317,7 +317,31 @@ TEST(ChecksTest, PassOnPaperShapedRows) {
   for (const auto& result : results) {
     passed += result.status == CheckStatus::kPass ? 1 : 0;
   }
-  EXPECT_EQ(passed, 8);  // every check has its columns
+  EXPECT_EQ(passed, 9);  // every check has its columns
+}
+
+TEST(ChecksTest, LpGeqCarrefourAcrossAffectedSet) {
+  // Carrefour-LP more than the tolerance band below Carrefour-2M on an
+  // affected workload contradicts the paper's "never loses more than a few
+  // percent" (Figure 3) and must fail.
+  std::vector<ResultRow> rows = {Row("machineA", "LU.B", "Carrefour-2M", -5.0),
+                                 Row("machineA", "LU.B", "Carrefour-LP", -40.0)};
+  auto results = EvaluatePaperChecks(rows);
+  EXPECT_FALSE(AllPassed(results));
+
+  // Within the band: passes.
+  rows = {Row("machineA", "LU.B", "Carrefour-2M", -5.0),
+          Row("machineA", "LU.B", "Carrefour-LP", -8.0)};
+  EXPECT_TRUE(AllPassed(EvaluatePaperChecks(rows)));
+
+  // UA carries the wider transient band: a gap that would fail LU passes on
+  // UA.B, but a catastrophic one still fails.
+  rows = {Row("machineB", "UA.B", "Carrefour-2M", -5.0),
+          Row("machineB", "UA.B", "Carrefour-LP", -40.0)};
+  EXPECT_TRUE(AllPassed(EvaluatePaperChecks(rows)));
+  rows = {Row("machineB", "UA.B", "Carrefour-2M", -5.0),
+          Row("machineB", "UA.B", "Carrefour-LP", -60.0)};
+  EXPECT_FALSE(AllPassed(EvaluatePaperChecks(rows)));
 }
 
 TEST(ChecksTest, FailWhenDataContradictsPaper) {
