@@ -13,6 +13,7 @@
 #include "src/core/runner.h"
 
 #include "src/common/rng.h"
+#include "src/common/zipf.h"
 #include "src/core/config.h"
 #include "src/core/simulation.h"
 #include "src/hw/tlb.h"
@@ -57,8 +58,10 @@ void BM_PageTableMapLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_PageTableMapLookup);
 
+// Arg 0: the vectorized engine (SWAR probe, rank-byte LRU). Arg 1: the
+// scalar reference engine (the seed's probe loop and timestamp scan).
 void BM_TlbLookup(benchmark::State& state) {
-  numalp::Tlb tlb(numalp::TlbConfig{});
+  numalp::Tlb tlb(numalp::TlbConfig{}, /*reference=*/state.range(0) != 0);
   for (int i = 0; i < 64; ++i) {
     tlb.Insert(static_cast<numalp::Addr>(i) * numalp::kBytes4K, numalp::PageSize::k4K, 1, 0);
   }
@@ -68,7 +71,26 @@ void BM_TlbLookup(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_TlbLookup);
+BENCHMARK(BM_TlbLookup)->Arg(0)->Arg(1);
+
+// The zipf batch API against per-call sampling (identical output streams).
+void BM_ZipfSampleRun(benchmark::State& state) {
+  const numalp::ZipfSampler zipf(1 << 16, 0.8);
+  numalp::Rng rng(7);
+  std::uint64_t out[256];
+  for (auto _ : state) {
+    if (state.range(0) != 0) {
+      for (std::uint64_t& sample : out) {
+        sample = zipf.Sample(rng);
+      }
+    } else {
+      zipf.SampleRun(rng, out, 256);
+    }
+    benchmark::DoNotOptimize(out[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_ZipfSampleRun)->Arg(0)->Arg(1);
 
 void BM_SimulatedEpoch(benchmark::State& state) {
   const numalp::Topology topo = numalp::Topology::Tiny();

@@ -5,12 +5,14 @@
 // representative cell, and end-to-end seconds for the fig2/fig3 grids — the
 // workload whose committed baseline (BENCH_perf.json) future engine changes
 // are gated against. With --compare each measurement also runs under the
-// reference sampling pipeline (NUMALP_REFERENCE_PIPELINE: the seed's
-// full-window re-aggregation algorithm on this binary's data structures).
-// That is an in-binary A/B of the *pipeline* layer only — flat maps, the
-// SoA TLB, the pooled page table and the inlined hot paths stay active in
-// both modes; the seed-checkout comparison in REPRODUCING.md is the
-// end-to-end before/after number, this one isolates the aggregation rewrite.
+// reference engine (NUMALP_REFERENCE_PIPELINE), which keeps the seed's
+// *algorithms* on this binary's data structures: full-window re-aggregation
+// each epoch, per-page shootdowns, the scalar TLB probe loop and
+// timestamp-scan LRU, and the one-call-per-access generator. The in-binary
+// A/B therefore isolates the algorithmic rewrites (aggregation, vectorized
+// TLB, run-batched generation) while flat maps, the pooled page table and
+// the translate caches stay active on both sides; the seed-checkout
+// comparison in REPRODUCING.md is the full end-to-end before/after number.
 //
 //   ./perf_hotpath [--out FILE]        write the measurements as JSON
 //                  [--compare]        also time the reference engine

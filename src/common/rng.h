@@ -58,6 +58,17 @@ class Rng {
     return NextDouble() < p;
   }
 
+  // Batch draw: `out[0..n)` = the next `n` Uniform(bound) variates, exactly
+  // as `n` successive Uniform calls would produce them. Fixed-length runs
+  // (the workload generator's spin/setup loops) draw through this so the
+  // generator state stays in registers across the run instead of being
+  // reloaded per call.
+  void UniformRun(std::uint64_t bound, std::uint64_t* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = Uniform(bound);
+    }
+  }
+
   // Derive an independent stream (for per-thread generators).
   Rng Fork() { return Rng(NextU64()); }
 

@@ -23,8 +23,20 @@ class ZipfSampler {
   ZipfSampler(std::uint64_t n, double s);
 
   // Defined inline: one draw per generated access makes this hot-path code.
-  std::uint64_t Sample(Rng& rng) const {
-    const double u = rng.NextDouble();
+  std::uint64_t Sample(Rng& rng) const { return SampleU(rng.NextDouble()); }
+
+  // Batch draw: `out[0..n)` = the next `n` samples, exactly as `n` successive
+  // Sample calls would produce them (one shared draw core — SampleU). For
+  // fixed-length sample runs (benchmarks, precomputed traces); the engine's
+  // interleaved draw sequence uses Sample.
+  void SampleRun(Rng& rng, std::uint64_t* out, std::size_t n) const {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = SampleU(rng.NextDouble());
+    }
+  }
+
+  // Maps one uniform variate u in [0, 1) to its sampled rank.
+  std::uint64_t SampleU(double u) const {
     // buckets_ is a power of two and u carries 53 mantissa bits, so
     // u * buckets_ is exact (a pure exponent shift): the truncated cast is
     // the exact floor, always < buckets_ because u < 1.

@@ -123,6 +123,7 @@ void CarrefourLp::UpdateSplitMode(SplitDesire desire, double current_lar_pct) {
       stats_.off_streak = 0;
       engage_baseline_lar_ = current_lar_pct;
       engaged_epochs_ = 0;
+      engagement_confirmed_ = false;  // a fresh experiment starts on probation
     }
     return;
   }
@@ -131,26 +132,53 @@ void CarrefourLp::UpdateSplitMode(SplitDesire desire, double current_lar_pct) {
   // is not materializing (SSCA's mis-estimation) — roll the mode back and
   // suppress re-engagement.
   ++engaged_epochs_;
+  // Early confirmation: the probation gate does not wait for the scheduled
+  // review — the moment the measured LAR clears the realized-gain bar, the
+  // experiment has proven itself and the confirmed budget opens (UA's gain
+  // shows within an epoch or two of the first demotions; SSCA's never
+  // arrives and keeps probation until the rollback review). The baseline
+  // ratchets to the confirmed level and the review clock restarts.
+  if (!engagement_confirmed_ &&
+      current_lar_pct >=
+          engage_baseline_lar_ + model.min_realized_split_gain_pct) {
+    engagement_confirmed_ = true;
+    engage_baseline_lar_ = current_lar_pct;
+    engaged_epochs_ = 0;
+  }
   if (engaged_epochs_ >= model.split_patience_epochs) {
-    if (current_lar_pct <
-        engage_baseline_lar_ + model.min_realized_split_gain_pct) {
+    // An unconfirmed engagement must *deliver* the promised gain by its
+    // review or roll back (SSCA's mis-estimation). A confirmed engagement
+    // already delivered; its reviews only require the gain be *retained* —
+    // LAR saturates at the workload's locality ceiling, so demanding
+    // another +gain every window would mislabel a real, held recovery as a
+    // failed experiment.
+    const double review_bar =
+        engagement_confirmed_
+            ? engage_baseline_lar_ - model.min_realized_split_gain_pct
+            : engage_baseline_lar_ + model.min_realized_split_gain_pct;
+    if (current_lar_pct < review_bar) {
       split_pages_ = false;
       ++stats_.failed_engagements;
       split_cooldown_ = model.failed_split_cooldown_epochs;
       stats_.on_streak = 0;
       stats_.off_streak = 0;
+      engagement_confirmed_ = false;
       return;
     }
-    engage_baseline_lar_ = current_lar_pct;
+    engage_baseline_lar_ = std::max(engage_baseline_lar_, current_lar_pct);
     engaged_epochs_ = 0;
+    engagement_confirmed_ = true;  // the promised gain is materializing
   }
   if (stats_.off_streak >= model.split_off_epochs) {
     // Hysteresis smooths both edges: the split-gain signal (or a credible
     // migration-gain exit) must persist for split_off_epochs before the mode
-    // disengages — the transient has genuinely subsided.
+    // disengages — the transient has genuinely subsided. The confirmed
+    // budget was earned by *this* engagement; the next one starts on
+    // probation again.
     split_pages_ = false;
     stats_.on_streak = 0;
     stats_.off_streak = 0;
+    engagement_confirmed_ = false;
   }
 }
 
@@ -228,8 +256,13 @@ LpDecision CarrefourLp::Step(const LpObservation& observation) {
     // stretch the demotion transient across the whole run.)
     if (split_pages_ || !thp_.alloc_enabled) {
       const bool use_budget = model.cost_budget && observation.costs.epoch_accesses > 0;
+      // Realized-gain staging: probation rate until a review confirms the
+      // gain, then the confirmed rate drains the rest of the set fast.
+      const double budget_frac = engagement_confirmed_
+                                     ? model.demotion_budget_confirmed_frac
+                                     : model.demotion_budget_frac;
       const Cycles budget =
-          use_budget ? static_cast<Cycles>(model.demotion_budget_frac *
+          use_budget ? static_cast<Cycles>(budget_frac *
                                            static_cast<double>(observation.costs.epoch_wall))
                      : 0;
       Cycles spent = 0;
@@ -285,8 +318,24 @@ LpDecision CarrefourLp::Step(const LpObservation& observation) {
             if (share <= config_.hot_page_share_pct) {
               return;
             }
-            const bool interleave = !model.cost_budget || observation.num_nodes <= 0 ||
-                                    agg.DistinctNodes() >= observation.num_nodes;
+            // Interleave-vs-localize: a page over the hot bar is only a
+            // CG-style hot page — migration cannot balance it, interleave
+            // its pieces — when the pieces *themselves* are contested. A
+            // false-sharing window (UA's mesh boundaries) also collects
+            // accessors from many nodes, but each of its 4KB pieces is
+            // dominated by one node; splitting it and placing pieces with
+            // their users recovers locality that interleaving would destroy.
+            // The window's per-4KB aggregates separate the two directly; a
+            // sampleless page falls back to the distinct-node heuristic.
+            bool interleave = !model.cost_budget || observation.num_nodes <= 0 ||
+                              agg.DistinctNodes() >= observation.num_nodes;
+            if (model.cost_budget && observation.window != nullptr) {
+              const double piece_locality =
+                  observation.window->PieceLocalityPctIn(page_base, BytesOf(agg.size));
+              if (piece_locality >= 0.0) {
+                interleave = piece_locality < model.hot_localize_piece_majority_pct;
+              }
+            }
             if (interleave) {
               decision.split_hot.emplace_back(page_base, agg.size);
               return;

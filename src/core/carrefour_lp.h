@@ -32,6 +32,7 @@
 #include "src/core/config.h"
 #include "src/core/lar_estimator.h"
 #include "src/metrics/numa_metrics.h"
+#include "src/metrics/sample_window.h"
 #include "src/vm/thp.h"
 
 namespace numalp {
@@ -42,6 +43,10 @@ struct LpObservation {
   LarEstimates lar;
   const PageAggMap* mapping_pages = nullptr;
   int num_nodes = 0;  // for the hot-page interleave-vs-localize decision
+  // The engine's sample window, for piece-granularity queries (the hot-page
+  // discrimination reads per-4KB locality; null falls back to the
+  // distinct-node heuristic).
+  const SampleWindow* window = nullptr;
   // Cost-model inputs, filled by the simulator from its own cost models and
   // the epoch's measured counters. All-zero (the default) bypasses the cost
   // model: threshold-only decisions, flat demotion cap.
@@ -116,6 +121,12 @@ class CarrefourLp {
   double engage_baseline_lar_ = 0.0;
   int engaged_epochs_ = 0;
   int split_cooldown_ = 0;
+  // Realized-gain budget staging: a fresh engagement is an unconfirmed
+  // experiment and demotes at the probation rate; once a review measures the
+  // promised LAR actually materializing, the full budget opens up and the
+  // remaining shared set drains fast (the transient is strictly cheaper
+  // compressed than stretched). A failed review resets to probation.
+  bool engagement_confirmed_ = false;
 };
 
 }  // namespace numalp

@@ -116,13 +116,17 @@ Simulation::Simulation(const Topology& topo, const WorkloadSpec& workload,
       window_(kSampleWindowEpochs, sim_.reference_pipeline) {
   thp_state_.alloc_enabled = policy_.initial_thp_alloc;
   thp_state_.promote_enabled = policy_.initial_thp_promote;
+  // The reference engine keeps the seed's per-call access generator and the
+  // scalar TLB probe/install algorithms (the fast engine's run-batched
+  // generator and vectorized TLB are value-identical; perf_hotpath --compare
+  // times the two sides of each A/B).
   workload_ = std::make_unique<Workload>(workload_spec_, *address_space_, topo_.num_cores(),
-                                         sim_.seed);
+                                         sim_.seed, !sim_.reference_pipeline);
   tlbs_.reserve(static_cast<std::size_t>(topo_.num_cores()));
   core_rngs_.reserve(static_cast<std::size_t>(topo_.num_cores()));
   Rng seeder(sim_.seed ^ 0x7777u);
   for (int c = 0; c < topo_.num_cores(); ++c) {
-    tlbs_.emplace_back(sim_.tlb);
+    tlbs_.emplace_back(sim_.tlb, sim_.reference_pipeline);
     core_rngs_.push_back(seeder.Fork());
   }
   fault_parts_.resize(static_cast<std::size_t>(topo_.num_cores()));
@@ -151,20 +155,31 @@ int Simulation::CoreOfThread(int thread) const {
 
 void Simulation::ProcessSlice(int core, int node, const WorkloadAccess* accesses,
                               std::size_t count) {
-  // Per-core state hoisted once per slice instead of re-resolved per access.
+  // Per-core state hoisted once per slice instead of re-resolved per access;
+  // the counters the common (TLB-hit) path touches, the RNG state and the
+  // IBS countdown additionally live in locals for the slice, so the loop's
+  // steady state runs register-to-register (the sums written back are the
+  // same integers the per-access stores accumulated).
   CoreCounters& cc = counters_.cores[static_cast<std::size_t>(core)];
-  Rng& rng = core_rngs_[static_cast<std::size_t>(core)];
+  Rng rng = core_rngs_[static_cast<std::size_t>(core)];
   Tlb& tlb = tlbs_[static_cast<std::size_t>(core)];
   AddressSpace::TranslationCache& translate_cache =
       translate_caches_[static_cast<std::size_t>(core)];
   std::uint64_t* node_requests = counters_.node_requests.data();
+  std::uint64_t* node_incoming_remote = counters_.node_incoming_remote.data();
   std::uint64_t* core_requests =
       counters_.core_node_requests[static_cast<std::size_t>(core)].data();
+  const double* region_intensity = region_intensity_.data();
+  const Cycles cpu_per_access = sim_.costs.cpu_per_access;
+  std::uint64_t ibs_countdown = ibs_.countdown(core);
+  const std::uint64_t ibs_interval = ibs_.interval();
+  Cycles exec_cycles = 0;
+  std::uint64_t dram_local = 0;
+  std::uint64_t dram_remote = 0;
 
   for (std::size_t i = 0; i < count; ++i) {
     const WorkloadAccess& access = accesses[i];
-    ++cc.accesses;
-    Cycles cost = sim_.costs.cpu_per_access;
+    Cycles cost = cpu_per_access;
 
     int home = 0;
     const TlbLookup hit = tlb.Lookup(access.va);
@@ -205,8 +220,11 @@ void Simulation::ProcessSlice(int core, int node, const WorkloadAccess* accesses
           if (mapping->node != node) {
             if (auto moved = address_space_->MigratePage(piece, node)) {
               cost += sim_.costs.fault_fixed / 2;  // hinting fault on this core
-              hint_kernel_cycles_ += sim_.costs.migrate_fixed +
-                                     static_cast<Cycles>(sim_.costs.migrate_per_byte *
+              // Kernel-side cost: the copied bytes accrue per page; the fixed
+              // setup charge is applied per batch at the epoch boundary (the
+              // per-node worker migrates its hinting-fault backlog as batched
+              // page lists, not one syscall-priced operation per page).
+              hint_kernel_cycles_ += static_cast<Cycles>(sim_.costs.migrate_per_byte *
                                                          static_cast<double>(moved->bytes));
               ++hint_migrations_;
               mapping = address_space_->Translate(access.va, translate_cache);
@@ -228,21 +246,31 @@ void Simulation::ProcessSlice(int core, int node, const WorkloadAccess* accesses
     }
 
     // Does this access reach DRAM? (Per-region cache abstraction.)
-    const double intensity = region_intensity_[access.region];
+    const double intensity = region_intensity[access.region];
     const bool dram = rng.Bernoulli(intensity);
     if (dram) {
       ++node_requests[static_cast<std::size_t>(home)];
       ++core_requests[static_cast<std::size_t>(home)];
       if (home == node) {
-        ++cc.dram_local;
+        ++dram_local;
       } else {
-        ++cc.dram_remote;
-        ++counters_.node_incoming_remote[static_cast<std::size_t>(home)];
+        ++dram_remote;
+        ++node_incoming_remote[static_cast<std::size_t>(home)];
       }
     }
-    ibs_.Observe(access.va, core, node, home, dram);
-    cc.exec_cycles += cost;
+    if (--ibs_countdown == 0) {
+      ibs_countdown = ibs_interval;
+      ibs_.Sample(access.va, core, node, home, dram);
+    }
+    exec_cycles += cost;
   }
+
+  cc.accesses += count;
+  cc.exec_cycles += exec_cycles;
+  cc.dram_local += dram_local;
+  cc.dram_remote += dram_remote;
+  ibs_.countdown(core) = ibs_countdown;
+  core_rngs_[static_cast<std::size_t>(core)] = rng;
 }
 
 Cycles Simulation::RunPolicies(Cycles wall_so_far, EpochRecord& record) {
@@ -277,6 +305,23 @@ Cycles Simulation::RunPolicies(Cycles wall_so_far, EpochRecord& record) {
 
   std::vector<std::pair<Addr, PageSize>> shootdowns;
   std::vector<std::pair<Addr, std::uint64_t>> shootdown_ranges;
+  // Batched page-list accounting for the policy migration passes (DESIGN.md
+  // Section 8.4): the per-node workers drain a pass's migrations as page
+  // lists — one fixed setup and one shootdown IPI broadcast per
+  // `migrate_batch_pages` pages (migrate_pages + mmu_gather semantics) —
+  // while the copied bytes always accrue per page. Splits and promotions
+  // stay individually priced.
+  const auto batched_migrate_cycles = [this](std::uint64_t pages,
+                                             std::uint64_t bytes) -> Cycles {
+    if (pages == 0) {
+      return 0;
+    }
+    const std::uint64_t batch = std::max<std::uint64_t>(1, sim_.costs.migrate_batch_pages);
+    const std::uint64_t lists = (pages + batch - 1) / batch;
+    return static_cast<Cycles>(lists) *
+               (sim_.costs.migrate_fixed + sim_.costs.shootdown_per_op) +
+           static_cast<Cycles>(sim_.costs.migrate_per_byte * static_cast<double>(bytes));
+  };
   bool did_split = false;
   const bool any_policy =
       policy_.use_carrefour || policy_.use_reactive || policy_.use_conservative;
@@ -298,6 +343,7 @@ Cycles Simulation::RunPolicies(Cycles wall_so_far, EpochRecord& record) {
         EstimateLar(window_.latest_samples(), *address_space_, fresh_pages, topo_.num_nodes());
     observation.mapping_pages = &pages;
     observation.num_nodes = topo_.num_nodes();
+    observation.window = &window_;
     // Cost-model inputs (DESIGN.md Section 8): the decision engine predicts
     // with the same constants the engine charges — the walker's expected 4KB
     // walk at the current page-table footprint, the interconnect's per-hop
@@ -340,20 +386,21 @@ Cycles Simulation::RunPolicies(Cycles wall_so_far, EpochRecord& record) {
       did_split = true;
       const PageSize piece = size == PageSize::k1G ? PageSize::k2M : PageSize::k4K;
       const std::uint64_t step = BytesOf(piece);
+      std::uint64_t interleaved_pages = 0;
+      std::uint64_t interleaved_bytes = 0;
       for (Addr p = base; p < base + BytesOf(size); p += step) {
         const int target =
             static_cast<int>(policy_rng_.Uniform(static_cast<std::uint64_t>(topo_.num_nodes())));
         if (auto moved = address_space_->MigratePage(p, target)) {
-          kernel_cycles += sim_.costs.migrate_fixed +
-                           static_cast<Cycles>(sim_.costs.migrate_per_byte *
-                                               static_cast<double>(moved->bytes)) +
-                           sim_.costs.shootdown_per_op;
+          ++interleaved_pages;
+          interleaved_bytes += moved->bytes;
           ++record.migrations;
           if (sim_.reference_pipeline) {
             shootdowns.emplace_back(p, piece);
           }
         }
       }
+      kernel_cycles += batched_migrate_cycles(interleaved_pages, interleaved_bytes);
     }
     // Shared large pages (lines 15-18).
     for (const auto& entry : decision.split_shared) {
@@ -364,13 +411,39 @@ Cycles Simulation::RunPolicies(Cycles wall_so_far, EpochRecord& record) {
         carrefour_.Forget(base);
         shootdowns.emplace_back(base, entry.second);
         did_split = true;
-        // Lazy placement: each piece migrates to its next toucher's node.
         const PageSize piece_size =
             entry.second == PageSize::k1G ? PageSize::k2M : PageSize::k4K;
         const std::uint64_t piece_step = BytesOf(piece_size);
+        // Split-time placement (DESIGN.md Section 8.4): the window's own
+        // per-4KB sample aggregates already say who uses each piece, so
+        // sampled pieces move to their majority-requester node *now*, as one
+        // batched relocation — the kernel walks the window once (one fixed
+        // charge per batch plus the copied bytes), and the pieces have no
+        // cached translations yet (the stale large-page entry was just shot
+        // down), so no per-piece shootdowns accrue. The old everything-lazy
+        // path paid a fault plus a full single-page migration for every
+        // piece — the mass-relocation transient UA.B could not amortize.
+        // Every piece additionally keeps a hinting-fault mark: a correctly
+        // pre-placed piece consumes its mark for free (the toucher is
+        // local), while a piece a sparse sample misplaced is corrected by
+        // its very next toucher instead of waiting for Carrefour's
+        // sample-threshold crawl.
+        std::uint64_t relocated_pages = 0;
+        std::uint64_t relocated_bytes = 0;
         for (Addr p = base; p < base + BytesOf(entry.second); p += piece_step) {
           migrate_on_touch_.Insert(p);
+          const auto target = window_.MajorityReqNodeIn(
+              p, piece_step, sim_.costs.split_place_min_samples);
+          if (!target.has_value()) {
+            continue;
+          }
+          if (auto moved = address_space_->MigratePage(p, *target)) {
+            ++relocated_pages;
+            relocated_bytes += moved->bytes;
+            ++record.migrations;
+          }
         }
+        kernel_cycles += batched_migrate_cycles(relocated_pages, relocated_bytes);
       }
     }
     repromote_windows = std::move(decision.repromote_windows);
@@ -395,16 +468,17 @@ Cycles Simulation::RunPolicies(Cycles wall_so_far, EpochRecord& record) {
         plan_pages = &reaggregated;
       }
       const auto plan = carrefour_.Plan(*plan_pages, record.epoch);
+      std::uint64_t plan_pages_moved = 0;
+      std::uint64_t plan_bytes_moved = 0;
       for (const CarrefourAction& action : plan) {
         if (auto moved = address_space_->MigratePage(action.page_base, action.target_node)) {
-          kernel_cycles += sim_.costs.migrate_fixed +
-                           static_cast<Cycles>(sim_.costs.migrate_per_byte *
-                                               static_cast<double>(moved->bytes)) +
-                           sim_.costs.shootdown_per_op;
+          ++plan_pages_moved;
+          plan_bytes_moved += moved->bytes;
           ++record.migrations;
           shootdowns.emplace_back(moved->page_base, moved->size);
         }
       }
+      kernel_cycles += batched_migrate_cycles(plan_pages_moved, plan_bytes_moved);
     }
   }
 
@@ -638,6 +712,17 @@ RunResult Simulation::Run() {
     record.epoch = epoch;
     record.in_setup = epoch_in_setup;
     Cycles overhead = RunPolicies(wall, record);
+    // Batched hinting-fault accounting: the epoch's hint migrations carry
+    // their per-byte copy costs (accrued in ProcessSlice) plus one fixed
+    // setup and shootdown charge per batch of `migrate_batch_pages` pages —
+    // the per-node worker moves its backlog as page lists, not one priced
+    // syscall per page. (The on-core minor-fault charge is unbatchable and
+    // was paid inline.)
+    if (hint_migrations_ > 0) {
+      const std::uint64_t batch = std::max<std::uint64_t>(1, sim_.costs.migrate_batch_pages);
+      hint_kernel_cycles_ += (sim_.costs.migrate_fixed + sim_.costs.shootdown_per_op) *
+                             ((hint_migrations_ + batch - 1) / batch);
+    }
     overhead += static_cast<Cycles>(static_cast<double>(hint_kernel_cycles_) /
                                     (static_cast<double>(topo_.num_nodes()) *
                                      sim_.costs.kernel_time_scale));

@@ -43,6 +43,17 @@ class IbsEngine {
     return true;
   }
 
+  // Direct access to one core's sampling countdown, for callers that batch
+  // accesses and keep the counter in a register across the batch (the
+  // engine's slice loop). Semantics are exactly Observe's: decrement per
+  // access, sample (and reload with interval()) when it reaches zero.
+  std::uint64_t& countdown(int core) { return countdown_[static_cast<std::size_t>(core)]; }
+
+  // The rare sampled path, for batched callers (see countdown()).
+  void Sample(Addr va, int core, int req_node, int home_node, bool dram) {
+    TakeSample(va, core, req_node, home_node, dram);
+  }
+
   // Samples collected since the last Drain, store-ordered per node.
   const std::vector<std::vector<IbsSample>>& stores() const { return stores_; }
 

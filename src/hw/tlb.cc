@@ -2,7 +2,7 @@
 
 namespace numalp {
 
-void Tlb::Array::Init(int s, int w) {
+void Tlb::Array::Init(int s, int w, bool reference) {
   sets = s;
   ways = w;
   pow2_sets = s > 0 && (static_cast<unsigned>(s) & (static_cast<unsigned>(s) - 1)) == 0;
@@ -10,32 +10,70 @@ void Tlb::Array::Init(int s, int w) {
   const std::size_t n = static_cast<std::size_t>(s) * static_cast<std::size_t>(w);
   tags.assign(n, kInvalidTag);
   payloads.assign(n, Payload{});
-  last_used.assign(n, 0);
   live = 0;
   live_parity[0] = live_parity[1] = 0;
+  if (reference) {
+    last_used.assign(n, 0);
+    return;
+  }
+  // Signature: the byte of the tag just above the set-index bits, so tags
+  // that collide into one set (equal low bits) still get distinct digests
+  // for nearby pages. Non-pow2 set counts fall back to the low byte.
+  sig_shift = 0;
+  if (pow2_sets) {
+    int bits = 0;
+    while ((1 << bits) < s) {
+      ++bits;
+    }
+    sig_shift = bits;
+  }
+  way_hi_bits = kHiBits >> (8 * (8 - w));
+  sig.assign(static_cast<std::size_t>(s), 0);
+  occ.assign(static_cast<std::size_t>(s), 0);
+  // Ranks start as the identity permutation; bytes past `ways` keep ranks
+  // >= ways forever and never interfere with the word-parallel updates.
+  lru.assign(static_cast<std::size_t>(s), 0x0706050403020100ull);
 }
 
 void Tlb::Array::Flush() {
   for (auto& tag : tags) {
     tag = kInvalidTag;
   }
+  if (!occ.empty()) {
+    for (auto& mask : occ) {
+      mask = 0;
+    }
+  }
   live = 0;
   live_parity[0] = live_parity[1] = 0;
 }
 
-Tlb::Tlb(const TlbConfig& config) {
-  l1_4k_.Init(config.l1_4k_sets, config.l1_4k_ways);
-  l1_2m_.Init(config.l1_2m_sets, config.l1_2m_ways);
-  l1_1g_.Init(config.l1_1g_sets, config.l1_1g_ways);
-  l2_.Init(config.l2_sets, config.l2_ways);
+Tlb::Tlb(const TlbConfig& config, bool reference) : reference_(reference) {
+  // The summary words hold one byte per way; wider configurations (none
+  // shipped) use the scalar reference engine, which has no width limit.
+  if (config.l1_4k_ways > 8 || config.l1_2m_ways > 8 || config.l1_1g_ways > 8 ||
+      config.l2_ways > 8) {
+    reference_ = true;
+  }
+  l1_4k_.Init(config.l1_4k_sets, config.l1_4k_ways, reference_);
+  l1_2m_.Init(config.l1_2m_sets, config.l1_2m_ways, reference_);
+  l1_1g_.Init(config.l1_1g_sets, config.l1_1g_ways, reference_);
+  l2_.Init(config.l2_sets, config.l2_ways, reference_);
 }
 
 void Tlb::InvalidatePage(Addr page_base, PageSize size) {
-  const auto clear = [](Array& array, std::uint64_t tag, std::uint64_t set_index) {
-    if (const std::size_t at = array.Find(tag, set_index); at != kNoEntry) {
-      array.tags[at] = kInvalidTag;
-      --array.live;
-      --array.live_parity[tag & 1];
+  const auto clear = [this](Array& array, std::uint64_t tag, std::uint64_t set_index) {
+    const std::size_t at = reference_ ? array.Find(tag, set_index)
+                                      : array.FindFast(tag, set_index);
+    if (at == kNoEntry) {
+      return;
+    }
+    array.tags[at] = kInvalidTag;
+    --array.live;
+    --array.live_parity[tag & 1];
+    if (!array.occ.empty()) {
+      const std::size_t w = at - set_index * static_cast<std::size_t>(array.ways);
+      array.occ[set_index] = static_cast<std::uint8_t>(array.occ[set_index] & ~(1u << w));
     }
   };
   switch (size) {
@@ -61,17 +99,31 @@ void Tlb::InvalidatePage(Addr page_base, PageSize size) {
 
 void Tlb::InvalidateRange(Addr base, std::uint64_t bytes) {
   const Addr end = base + bytes;
+  // Clears entry (set, w) of `array`, maintaining every live-entry summary.
+  const auto drop = [](Array& array, std::size_t set, std::size_t w, std::uint64_t tag) {
+    array.tags[set * static_cast<std::size_t>(array.ways) + w] = kInvalidTag;
+    --array.live;
+    --array.live_parity[tag & 1];
+    if (!array.occ.empty()) {
+      array.occ[set] = static_cast<std::uint8_t>(array.occ[set] & ~(1u << w));
+    }
+  };
   const auto sweep = [&](Array& array, int va_shift) {
-    for (auto& tag : array.tags) {
-      if (tag == kInvalidTag) {
-        continue;
-      }
-      const Addr va = tag << va_shift;
-      const std::uint64_t span = 1ull << va_shift;
-      if (va < end && va + span > base) {
-        --array.live;
-        --array.live_parity[tag & 1];
-        tag = kInvalidTag;
+    if (array.live == 0) {
+      return;
+    }
+    const std::size_t ways = static_cast<std::size_t>(array.ways);
+    for (std::size_t set = 0; set < static_cast<std::size_t>(array.sets); ++set) {
+      for (std::size_t w = 0; w < ways; ++w) {
+        const std::uint64_t tag = array.tags[set * ways + w];
+        if (tag == kInvalidTag) {
+          continue;
+        }
+        const Addr va = tag << va_shift;
+        const std::uint64_t span = 1ull << va_shift;
+        if (va < end && va + span > base) {
+          drop(array, set, w, tag);
+        }
       }
     }
   };
@@ -79,17 +131,21 @@ void Tlb::InvalidateRange(Addr base, std::uint64_t bytes) {
   sweep(l1_2m_, kShift2M);
   sweep(l1_1g_, kShift1G);
   // The unified L2 packs the page size into tag bit 0.
-  for (auto& tag : l2_.tags) {
-    if (tag == kInvalidTag) {
-      continue;
-    }
-    const int va_shift = (tag & 1) != 0 ? kShift2M : kShift4K;
-    const Addr va = (tag >> 1) << va_shift;
-    const std::uint64_t span = 1ull << va_shift;
-    if (va < end && va + span > base) {
-      --l2_.live;
-      --l2_.live_parity[tag & 1];
-      tag = kInvalidTag;
+  if (l2_.live != 0) {
+    const std::size_t ways = static_cast<std::size_t>(l2_.ways);
+    for (std::size_t set = 0; set < static_cast<std::size_t>(l2_.sets); ++set) {
+      for (std::size_t w = 0; w < ways; ++w) {
+        const std::uint64_t tag = l2_.tags[set * ways + w];
+        if (tag == kInvalidTag) {
+          continue;
+        }
+        const int va_shift = (tag & 1) != 0 ? kShift2M : kShift4K;
+        const Addr va = (tag >> 1) << va_shift;
+        const std::uint64_t span = 1ull << va_shift;
+        if (va < end && va + span > base) {
+          drop(l2_, set, w, tag);
+        }
+      }
     }
   }
 }

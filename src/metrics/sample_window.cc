@@ -47,9 +47,12 @@ void SampleWindow::Clear() {
   epochs_.clear();
   window_4k_.clear();
   core_counts_.clear();
+  ref_window_4k_.clear();
+  ref_4k_valid_ = false;
 }
 
 void SampleWindow::PushEpoch(std::vector<IbsSample> samples) {
+  ref_4k_valid_ = false;
   if (!reference_) {
     for (const IbsSample& sample : samples) {
       Apply(sample, +1);
@@ -111,6 +114,98 @@ PageAggMap SampleWindow::FoldToMapping(const AddressSpace& address_space) const 
     }
   }
   return folded;
+}
+
+const FlatMap<Addr, PageAgg>& SampleWindow::Map4K() const {
+  if (!reference_) {
+    return window_4k_;
+  }
+  if (!ref_4k_valid_) {
+    // Rebuild from the raw epochs: the same integer sums Apply maintains
+    // incrementally (a full rebuild ORs core bits directly — no retirement
+    // bookkeeping needed — and produces the identical mask).
+    ref_window_4k_.clear();
+    for (const auto& epoch_samples : epochs_) {
+      for (const IbsSample& sample : epoch_samples) {
+        PageAgg& agg = ref_window_4k_[AlignDown(sample.va, kBytes4K)];
+        agg.total += 1;
+        agg.dram += sample.dram ? 1u : 0u;
+        agg.req_node_counts[sample.req_node] += 1;
+        agg.core_mask |= 1ull << (sample.core % 64);
+      }
+    }
+    ref_4k_valid_ = true;
+  }
+  return ref_window_4k_;
+}
+
+namespace {
+
+// Invokes fn(agg) for every sampled 4KB piece in [base, base + bytes).
+// Narrow ranges (a 4KB or 2MB piece) probe per page; ranges wider than the
+// window's population (a 1GB candidate over a sparse window) iterate the
+// sampled pieces instead, so the cost is O(min(range pages, sampled
+// pieces)). Both consumers below compute commutative integer sums, so the
+// visit order difference cannot change their results.
+template <typename Fn>
+void ForEach4KIn(const FlatMap<Addr, PageAgg>& map, Addr base, std::uint64_t bytes, Fn&& fn) {
+  if (bytes / kBytes4K > map.size()) {
+    for (const auto& [page, agg] : map) {
+      if (page >= base && page - base < bytes) {
+        fn(agg);
+      }
+    }
+    return;
+  }
+  for (Addr p = base; p < base + bytes; p += kBytes4K) {
+    if (const PageAgg* agg = map.Find(p)) {
+      fn(*agg);
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<int> SampleWindow::MajorityReqNodeIn(Addr base, std::uint64_t bytes,
+                                                   std::uint64_t min_samples) const {
+  std::array<std::uint64_t, kMaxNodes> counts{};
+  std::uint64_t total = 0;
+  ForEach4KIn(Map4K(), base, bytes, [&](const PageAgg& agg) {
+    total += agg.total;
+    for (int n = 0; n < kMaxNodes; ++n) {
+      counts[static_cast<std::size_t>(n)] += agg.req_node_counts[static_cast<std::size_t>(n)];
+    }
+  });
+  if (total < min_samples || total == 0) {
+    return std::nullopt;
+  }
+  int best = 0;
+  for (int n = 1; n < kMaxNodes; ++n) {
+    if (counts[static_cast<std::size_t>(n)] > counts[static_cast<std::size_t>(best)]) {
+      best = n;
+    }
+  }
+  return best;
+}
+
+double SampleWindow::PieceLocalityPctIn(Addr base, std::uint64_t bytes) const {
+  std::uint64_t majority = 0;
+  std::uint64_t total = 0;
+  ForEach4KIn(Map4K(), base, bytes, [&](const PageAgg& agg) {
+    std::uint32_t piece_majority = 0;
+    std::uint64_t piece_total = 0;
+    for (int n = 0; n < kMaxNodes; ++n) {
+      const std::uint32_t count = agg.req_node_counts[static_cast<std::size_t>(n)];
+      piece_majority = std::max(piece_majority, count);
+      piece_total += count;
+    }
+    majority += piece_majority;
+    total += piece_total;
+  });
+  if (total == 0) {
+    return -1.0;
+  }
+  return 100.0 * static_cast<double>(majority) / static_cast<double>(total);
 }
 
 std::span<const IbsSample> SampleWindow::latest_samples() const {

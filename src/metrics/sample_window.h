@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -66,6 +67,29 @@ class SampleWindow {
   // input; valid until the next PushEpoch).
   std::span<const IbsSample> latest_samples() const;
 
+  // Majority requester node over the window's samples falling in
+  // [base, base + bytes), summed at 4KB granularity — the split-time piece
+  // placement query (DESIGN.md Section 8.4): pieces of a demoted shared page
+  // land on the node that issued most of their sampled accesses. Ties go to
+  // the lowest node (PageAgg::MajorityReqNode's convention); nullopt when the
+  // range carries fewer than `min_samples` samples — a one-sample "majority"
+  // is noise, and misplacing a piece costs a round trip. Identical in both
+  // engines: the fast engine reads the running 4KB aggregate, the reference
+  // engine folds its raw epochs to the same counts (lazily, cached until the
+  // window changes).
+  std::optional<int> MajorityReqNodeIn(Addr base, std::uint64_t bytes,
+                                       std::uint64_t min_samples = 1) const;
+
+  // Piece-level locality of [base, base + bytes): over the range's sampled
+  // 4KB pieces, the percentage of samples issued by each piece's own
+  // majority node (sum of per-piece majority counts / sum of totals). A
+  // false-sharing window scores high — every piece is dominated by one
+  // accessor — while a genuinely hot page (CG's reduction chunks, hammered
+  // from every node) scores near 100/num_nodes. This is the hot-page
+  // interleave-vs-localize discriminator (DESIGN.md Section 8.4). Returns
+  // -1 when the range has no samples. Identical in both engines.
+  double PieceLocalityPctIn(Addr base, std::uint64_t bytes) const;
+
   std::size_t epochs() const { return epochs_.size(); }
   // Distinct 4KB pages currently aggregated (0 in reference mode).
   std::size_t distinct_pages() const { return window_4k_.size(); }
@@ -74,6 +98,10 @@ class SampleWindow {
   // Running 4KB aggregate entry. home_node/size of PageAgg are not
   // maintained here (FoldToMapping re-derives both from the live mapping).
   void Apply(const IbsSample& sample, int direction);
+
+  // The window's 4KB aggregate map (reference mode rebuilds its cached copy
+  // from the raw epochs first).
+  const FlatMap<Addr, PageAgg>& Map4K() const;
 
   static std::uint64_t CoreCountKey(Addr page_4k, int core) {
     return (page_4k >> kShift4K) << 6 | static_cast<std::uint64_t>(core % 64);
@@ -85,6 +113,10 @@ class SampleWindow {
   FlatMap<Addr, PageAgg> window_4k_;
   // Samples per (4KB page, core bit) — makes the OR'd core_mask retirable.
   FlatMap<std::uint64_t, std::uint32_t> core_counts_;
+  // Reference mode's view of window_4k_, rebuilt from the raw epochs on
+  // demand (invalidated by PushEpoch/Clear).
+  mutable FlatMap<Addr, PageAgg> ref_window_4k_;
+  mutable bool ref_4k_valid_ = false;
 };
 
 }  // namespace numalp

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -351,6 +352,122 @@ void WriteSummaryJson(std::ostream& out, const std::vector<AggregateRow>& aggreg
     out << (i + 1 < aggregates.size() ? ",\n" : "\n");
   }
   out << "  ]\n}\n";
+}
+
+bool ParseSummaryJson(const std::string& contents, std::vector<AggregateRow>* out,
+                      std::string* error) {
+  out->clear();
+  if (contents.find("\"numalp-bench-summary-v1\"") == std::string::npos) {
+    *error = "not a numalp-bench-summary-v1 document";
+    return false;
+  }
+  // One group object per line (WriteSummaryJson's shape); the same flat
+  // scanner the JSONL loader uses, with a field map for AggregateRow.
+  const auto set_field = [](AggregateRow& row, const std::string& key,
+                            const std::string& value) {
+    const auto num = [&value]() { return std::strtod(value.c_str(), nullptr); };
+    if (key == "bench") {
+      row.bench = value;
+    } else if (key == "machine") {
+      row.machine = value;
+    } else if (key == "workload") {
+      row.workload = value;
+    } else if (key == "policy") {
+      row.policy = value;
+    } else if (key == "variant") {
+      row.variant = value;
+    } else if (key == "runs") {
+      row.runs = static_cast<int>(num());
+    } else if (key == "mean_improvement_pct") {
+      row.mean_improvement_pct = num();
+    } else if (key == "min_improvement_pct") {
+      row.min_improvement_pct = num();
+    } else if (key == "max_improvement_pct") {
+      row.max_improvement_pct = num();
+    } else if (key == "runtime_ms") {
+      row.runtime_ms = num();
+    } else if (key == "lar_pct") {
+      row.lar_pct = num();
+    } else if (key == "imbalance_pct") {
+      row.imbalance_pct = num();
+    } else if (key == "pamup_pct") {
+      row.pamup_pct = num();
+    } else if (key == "nhp") {
+      row.nhp = num();
+    } else if (key == "psp_pct") {
+      row.psp_pct = num();
+    } else if (key == "walk_l2_miss_pct") {
+      row.walk_l2_miss_pct = num();
+    } else if (key == "steady_fault_share_pct") {
+      row.steady_fault_share_pct = num();
+    } else if (key == "max_fault_ms") {
+      row.max_fault_ms = num();
+    } else if (key == "thp_coverage_pct") {
+      row.thp_coverage_pct = num();
+    } else if (key == "overhead_pct") {
+      row.overhead_pct = num();
+    } else if (key == "migrations") {
+      row.migrations = num();
+    } else if (key == "splits") {
+      row.splits = num();
+    } else if (key == "promotions") {
+      row.promotions = num();
+    }  // unknown keys are ignored (schema growth)
+  };
+
+  std::istringstream in(contents);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::size_t at = line.find_first_not_of(" \t\r");
+    if (at == std::string::npos || line[at] != '{' ||
+        line.find('}', at) == std::string::npos ||
+        line.find("\"schema\"", at) != std::string::npos) {
+      continue;  // document framing, not a group object
+    }
+    Cursor c{line.data() + at, line.data() + line.size()};
+    ++c.p;  // '{'
+    AggregateRow row;
+    while (true) {
+      SkipWs(c);
+      std::string key;
+      if (!ParseQuoted(c, &key)) {
+        *error = "line " + std::to_string(line_number) + ": expected a quoted key";
+        return false;
+      }
+      SkipWs(c);
+      if (c.p >= c.end || *c.p != ':') {
+        *error = "line " + std::to_string(line_number) + ": expected ':' after \"" + key + "\"";
+        return false;
+      }
+      ++c.p;
+      SkipWs(c);
+      std::string value;
+      const bool quoted = c.p < c.end && *c.p == '"';
+      if (quoted ? !ParseQuoted(c, &value) : !ParseBareToken(c, &value)) {
+        *error = "line " + std::to_string(line_number) + ": bad value for \"" + key + "\"";
+        return false;
+      }
+      set_field(row, key, value);
+      SkipWs(c);
+      if (c.p < c.end && *c.p == ',') {
+        ++c.p;
+        continue;
+      }
+      if (c.p < c.end && *c.p == '}') {
+        break;
+      }
+      *error = "line " + std::to_string(line_number) + ": expected ',' or '}'";
+      return false;
+    }
+    out->push_back(std::move(row));
+  }
+  if (out->empty()) {
+    *error = "no groups found";
+    return false;
+  }
+  return true;
 }
 
 void WriteAggregatesCsv(std::ostream& out, const std::vector<AggregateRow>& aggregates) {

@@ -74,6 +74,13 @@ std::vector<AggregateRow> Aggregate(const std::vector<ResultRow>& rows);
 // document with one object per aggregate, keys in a fixed order.
 void WriteSummaryJson(std::ostream& out, const std::vector<AggregateRow>& aggregates);
 
+// Parses a summary document WriteSummaryJson produced back into aggregate
+// groups (the fields the checks consume; unknown keys are ignored so the
+// schema can grow). Lets `numalp_report --from-summary` assert the paper
+// checks against a committed BENCH_*.json without re-running the grids.
+bool ParseSummaryJson(const std::string& contents, std::vector<AggregateRow>* out,
+                      std::string* error);
+
 // Renders the aggregates as the paper's figures/tables: per bench, an
 // improvement pivot (workload rows x policy columns, one block per machine)
 // followed by an aligned per-column metrics table.

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/report/aggregate.h"
 #include "src/report/result_row.h"
 
 namespace numalp::report {
@@ -29,6 +30,13 @@ struct CheckResult {
 // 1GB backing) are excluded — the expectations describe the default
 // configurations.
 std::vector<CheckResult> EvaluatePaperChecks(const std::vector<ResultRow>& rows);
+
+// Same expectations against pre-aggregated summary groups (a parsed
+// bench_summary.json): each group contributes its seed mean weighted by its
+// run count, pooling across benches exactly as the row-level path does. This
+// is what `numalp_report --from-summary BENCH_fig2_fig3.json --check` runs —
+// the committed baseline file itself stays an asserted artifact.
+std::vector<CheckResult> EvaluatePaperChecks(const std::vector<AggregateRow>& aggregates);
 
 // True when no check failed (skips don't count against).
 bool AllPassed(const std::vector<CheckResult>& results);

@@ -16,8 +16,8 @@ double WorkloadSpec::TotalShare() const {
 }
 
 Workload::Workload(const WorkloadSpec& spec, AddressSpace& address_space, int num_threads,
-                   std::uint64_t seed)
-    : spec_(spec), num_threads_(num_threads) {
+                   std::uint64_t seed, bool batched_generation)
+    : spec_(spec), num_threads_(num_threads), batched_(batched_generation) {
   assert(num_threads_ > 0);
   // Map every region plus an implicit per-thread scratch page (threads spin
   // there while waiting for the setup barrier).
@@ -185,20 +185,185 @@ void Workload::FillBatch(int thread, std::size_t n, std::vector<WorkloadAccess>&
   // finished threads spin on their scratch page instead of racing ahead and
   // first-touching pages that belong to another thread's init loop.
   const bool barrier = barrier_this_epoch_;
-  while (produced < n) {
-    if (barrier) {
+  if (barrier) {
+    const Addr spin_page = scratch_base_ + static_cast<std::uint64_t>(thread) * kBytes4K;
+    const std::uint8_t region = static_cast<std::uint8_t>(scratch_region_);
+    if (batched_ && produced < n) {
+      // The spin accesses consume one offset draw each and nothing else: a
+      // fixed-length run, drawn through the batch API in one sweep.
+      std::uint64_t offsets[64];
+      Rng rng = state.rng;
+      while (produced < n) {
+        const std::size_t run = std::min<std::size_t>(64, n - produced);
+        rng.UniformRun(kBytes4K / 64, offsets, run);
+        for (std::size_t i = 0; i < run; ++i) {
+          out.push_back(WorkloadAccess{spin_page + offsets[i] * 64, region, false});
+        }
+        produced += run;
+      }
+      state.rng = rng;
+      return;
+    }
+    while (produced < n) {
       WorkloadAccess access;
-      access.va = scratch_base_ + static_cast<std::uint64_t>(thread) * kBytes4K +
-                  state.rng.Uniform(kBytes4K / 64) * 64;
-      access.region = static_cast<std::uint8_t>(scratch_region_);
+      access.va = spin_page + state.rng.Uniform(kBytes4K / 64) * 64;
+      access.region = region;
       access.write = false;
       out.push_back(access);
-    } else {
-      out.push_back(SteadyAccess(thread));
-      ++state.steady_issued;
+      ++produced;
     }
-    ++produced;
+    return;
   }
+  if (produced < n) {
+    const std::size_t steady = n - produced;
+    if (batched_) {
+      SteadyRun(thread, steady, out);
+    } else {
+      for (std::size_t i = 0; i < steady; ++i) {
+        out.push_back(SteadyAccess(thread));
+      }
+    }
+    state.steady_issued += steady;
+  }
+}
+
+void Workload::SteadyRun(int thread, std::size_t count, std::vector<WorkloadAccess>& out) {
+  ThreadRt& state = threads_[static_cast<std::size_t>(thread)];
+  // The RNG state lives in registers for the whole batch; every variate is
+  // drawn in the exact order SteadyAccess draws it (region select, pattern
+  // draws, intra-page offset, write flag), so the stream is byte-identical.
+  Rng rng = state.rng;
+  const double* cdf = share_cdf_.data();
+  const std::size_t last_region = regions_.size() - 1;
+  const double write_fraction = spec_.write_fraction;
+  std::size_t remaining = count;
+
+  std::size_t region_index = 0;
+  {
+    const double u = rng.NextDouble();
+    while (region_index < last_region && cdf[region_index] <= u) {
+      ++region_index;
+    }
+  }
+  while (remaining > 0) {
+    RegionRt& region = regions_[region_index];
+    const RegionSpec& rspec = *region.spec;
+    const Addr base = region.base;
+    const std::uint8_t rid = static_cast<std::uint8_t>(region_index);
+    // One run: accesses keep landing in this region until the region draw
+    // moves. The pattern dispatch and region tables are paid per run, and
+    // the whole draw/emit chain stays in one tight loop.
+    const auto emit = [&](std::uint64_t page) {
+      WorkloadAccess access;
+      access.va = base + page * kBytes4K + rng.Uniform(kBytes4K / 64) * 64;
+      access.region = rid;
+      access.write = rng.Bernoulli(write_fraction);
+      out.push_back(access);
+    };
+    // Draws the next access's region; true while the run continues.
+    const auto advance = [&]() -> bool {
+      if (--remaining == 0) {
+        return false;
+      }
+      const double u = rng.NextDouble();
+      std::size_t next = 0;
+      while (next < last_region && cdf[next] <= u) {
+        ++next;
+      }
+      if (next == region_index) {
+        return true;
+      }
+      region_index = next;
+      return false;
+    };
+
+    if (rspec.incremental) {
+      std::uint64_t& cursor = state.alloc_cursor[region_index];
+      const std::uint64_t slice_lo =
+          static_cast<std::uint64_t>(thread) * region.slice_pages;
+      do {
+        const bool can_grow = cursor < region.slice_pages;
+        const bool fresh = can_grow && (cursor == 0 || rng.Bernoulli(rspec.fresh_fraction));
+        std::uint64_t page;
+        if (fresh) {
+          page = slice_lo + cursor;
+          ++cursor;
+        } else {
+          page = slice_lo + rng.Uniform(std::max<std::uint64_t>(1, cursor));
+        }
+        emit(page);
+      } while (advance());
+      continue;
+    }
+    switch (rspec.pattern) {
+      case PatternKind::kUniform:
+        do {
+          emit(rng.Uniform(region.pages));
+        } while (advance());
+        break;
+      case PatternKind::kZipf: {
+        const ZipfSampler& zipf = *region.zipf;
+        const std::uint64_t stride = region.zipf_stride;
+        const std::uint64_t blocks =
+            static_cast<std::uint64_t>(rspec.zipf_block_shuffle);
+        const std::uint64_t pages = region.pages;
+        do {
+          const std::uint64_t rank = zipf.Sample(rng);
+          std::uint64_t page;
+          if (stride != 0) {
+            page = (rank % blocks) * stride + rank / blocks;
+            if (page >= pages) {
+              page = rank;  // tail ranks past the blocked area map identically
+            }
+          } else {
+            page = rank;
+          }
+          emit(page);
+        } while (advance());
+        break;
+      }
+      case PatternKind::kHotChunks: {
+        const std::uint64_t chunks = static_cast<std::uint64_t>(region.chunks);
+        do {
+          const std::uint64_t chunk = rng.Uniform(chunks);
+          emit(chunk * region.stride_pages + rng.Uniform(region.chunk_pages));
+        } while (advance());
+        break;
+      }
+      case PatternKind::kPartitioned: {
+        const double local_fraction = rspec.local_fraction;
+        const std::uint64_t slice_pages = region.slice_pages;
+        const std::uint64_t bound = std::max<std::uint64_t>(1, slice_pages);
+        do {
+          std::uint64_t slice = static_cast<std::uint64_t>(thread);
+          if (!rng.Bernoulli(local_fraction)) {
+            const int neighbor =
+                rng.Bernoulli(0.5) ? thread + 1 : thread + num_threads_ - 1;
+            slice = static_cast<std::uint64_t>(neighbor % num_threads_);
+          }
+          emit(slice * slice_pages + rng.Uniform(bound));
+        } while (advance());
+        break;
+      }
+      case PatternKind::kSequential: {
+        std::uint64_t& cursor = state.seq_cursor[region_index];
+        const std::uint64_t slice_lo =
+            static_cast<std::uint64_t>(thread) * region.slice_pages;
+        const std::uint64_t slice_pages = std::max<std::uint64_t>(1, region.slice_pages);
+        do {
+          const std::uint64_t page = slice_lo + cursor;
+          // The cursor-advance draw precedes the offset/write draws, exactly
+          // as in SteadyAccess.
+          if (rng.Bernoulli(1.0 / 16)) {
+            cursor = (cursor + 1) % slice_pages;
+          }
+          emit(page);
+        } while (advance());
+        break;
+      }
+    }
+  }
+  state.rng = rng;
 }
 
 WorkloadAccess Workload::SteadyAccess(int thread) {

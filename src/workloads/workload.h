@@ -24,8 +24,14 @@ struct WorkloadAccess {
 
 class Workload {
  public:
+  // `batched_generation` selects the run-batched steady-state generator
+  // (default): accesses are produced in per-region runs with the RNG state,
+  // region tables and pattern dispatch hoisted out of the per-access path.
+  // `false` keeps the seed's one-call-per-access generator (the reference
+  // engine). Both draw the identical variate sequence and emit byte-identical
+  // access streams (tests/perf_structures_test.cc pins this).
   Workload(const WorkloadSpec& spec, AddressSpace& address_space, int num_threads,
-           std::uint64_t seed);
+           std::uint64_t seed, bool batched_generation = true);
 
   // Marks an epoch boundary: latches whether any thread still has setup
   // (first-touch) work. While latched, threads that finish their queue spin
@@ -90,10 +96,14 @@ class Workload {
   };
 
   WorkloadAccess SteadyAccess(int thread);
+  // Batched steady-state generator: appends `count` accesses for `thread`,
+  // consuming the exact variate sequence SteadyAccess would.
+  void SteadyRun(int thread, std::size_t count, std::vector<WorkloadAccess>& out);
   Addr PageVa(const RegionRt& region, std::uint64_t page, Rng& rng) const;
 
   WorkloadSpec spec_;
   int num_threads_;
+  bool batched_;
   std::vector<RegionRt> regions_;
   std::vector<ThreadRt> threads_;
   std::vector<double> share_cdf_;

@@ -13,6 +13,7 @@
 #include "src/common/flat_map.h"
 #include "src/common/rng.h"
 #include "src/core/config.h"
+#include "src/core/runner.h"
 #include "src/core/simulation.h"
 #include "src/hw/tlb.h"
 #include "src/metrics/numa_metrics.h"
@@ -236,6 +237,157 @@ TEST_F(SampleWindowTest, WindowBoundaryRetiresOldestEpoch) {
 }
 
 // ---------------------------------------------------------------------------
+// Vectorized TLB vs the scalar reference engine: lookups, O(1) victim
+// selection and live-entry bookkeeping must be bit-identical under churn.
+// ---------------------------------------------------------------------------
+
+// Drives both engines through an identical operation stream — lookups with
+// refill (the engine's miss->insert pattern), precise and ranged
+// invalidations, flushes — and pins every observable: hit levels, payloads,
+// and the live counters that drive probe-skip decisions. Eviction choices
+// are covered transitively: a divergent victim would surface as a divergent
+// hit/miss within a few operations on these small arrays.
+TEST(TlbEngineIdentityTest, FastMatchesReferenceUnderChurn) {
+  const TlbConfig config;
+  Tlb fast(config, /*reference=*/false);
+  Tlb reference(config, /*reference=*/true);
+  Rng rng(1234);
+  // A working set far larger than the arrays, mixing page sizes, so sets
+  // stay full and the LRU victim path runs constantly.
+  const auto random_va = [&](PageSize& size) {
+    const std::uint64_t kind = rng.Uniform(8);
+    if (kind < 5) {
+      size = PageSize::k4K;
+      return (0x40000000ull + rng.Uniform(4096) * kBytes4K) + rng.Uniform(64) * 64;
+    }
+    if (kind < 7) {
+      size = PageSize::k2M;
+      return (0x80000000ull + rng.Uniform(128) * kBytes2M) + rng.Uniform(512) * 4096;
+    }
+    size = PageSize::k1G;
+    return (0x100000000ull + rng.Uniform(16) * kBytes1G) + rng.Uniform(1024) * 4096;
+  };
+  for (int op = 0; op < 200000; ++op) {
+    const std::uint64_t action = rng.Uniform(100);
+    if (action < 90) {
+      PageSize size = PageSize::k4K;
+      const Addr va = random_va(size);
+      const TlbLookup a = fast.Lookup(va);
+      const TlbLookup b = reference.Lookup(va);
+      ASSERT_EQ(a.level, b.level) << "op " << op << " va " << std::hex << va;
+      if (a.level != TlbHitLevel::kMiss) {
+        ASSERT_EQ(a.pfn, b.pfn) << "op " << op;
+        ASSERT_EQ(a.node, b.node) << "op " << op;
+        ASSERT_EQ(a.size, b.size) << "op " << op;
+      } else {
+        // Miss -> walk -> insert, as the engine does.
+        const Addr page = AlignDown(va, BytesOf(size));
+        const Pfn pfn = page >> kShift4K;
+        const int node = static_cast<int>(rng.Uniform(4));
+        fast.Insert(page, size, pfn, node);
+        reference.Insert(page, size, pfn, node);
+      }
+    } else if (action < 95) {
+      PageSize size = PageSize::k4K;
+      const Addr va = random_va(size);
+      const Addr page = AlignDown(va, BytesOf(size));
+      fast.InvalidatePage(page, size);
+      reference.InvalidatePage(page, size);
+    } else if (action < 99) {
+      const Addr base = 0x40000000ull + rng.Uniform(8) * kBytes2M;
+      fast.InvalidateRange(base, kBytes2M);
+      reference.InvalidateRange(base, kBytes2M);
+    } else {
+      fast.FlushAll();
+      reference.FlushAll();
+    }
+    ASSERT_EQ(fast.DebugOccupancy(), reference.DebugOccupancy()) << "op " << op;
+  }
+  EXPECT_EQ(fast.lookups(), reference.lookups());
+}
+
+// The live-entry audit regression: invalidations (precise and ranged) must
+// retire exactly the entries they hit from the probe-skip counters, in both
+// engines — a stale count would make Lookup skip (or probe) an array the
+// other engine does not, which the churn test above would surface as a
+// divergent hit. This pins the counters directly on a hand-built sequence.
+TEST(TlbEngineIdentityTest, LiveCountersRetireAcrossInvalidatePaths) {
+  for (const bool reference : {false, true}) {
+    const TlbConfig config;
+    Tlb tlb(config, reference);
+    tlb.Insert(0x40000000, PageSize::k4K, 1, 0);
+    tlb.Insert(0x40001000, PageSize::k4K, 2, 1);
+    tlb.Insert(0x80000000, PageSize::k2M, 3, 0);
+    TlbOccupancy occ = tlb.DebugOccupancy();
+    EXPECT_EQ(occ.live_4k, 2u) << "reference=" << reference;
+    EXPECT_EQ(occ.live_2m, 1u);
+    EXPECT_EQ(occ.l2_parity_4k, 2u);
+    EXPECT_EQ(occ.l2_parity_2m, 1u);
+    tlb.InvalidatePage(0x40000000, PageSize::k4K);
+    occ = tlb.DebugOccupancy();
+    EXPECT_EQ(occ.live_4k, 1u);
+    EXPECT_EQ(occ.l2_parity_4k, 1u);
+    // Ranged shootdown across the remaining 4K entry and the 2M page.
+    tlb.InvalidateRange(0x40000000, kBytes2M);
+    tlb.InvalidateRange(0x80000000, kBytes2M);
+    occ = tlb.DebugOccupancy();
+    EXPECT_EQ(occ.live_4k, 0u);
+    EXPECT_EQ(occ.live_2m, 0u);
+    EXPECT_EQ(occ.l2_parity_4k, 0u);
+    EXPECT_EQ(occ.l2_parity_2m, 0u);
+    // Re-insert after total invalidation: counters must come back exact.
+    tlb.Insert(0x40000000, PageSize::k4K, 1, 0);
+    EXPECT_EQ(tlb.DebugOccupancy().live_4k, 1u);
+    tlb.FlushAll();
+    EXPECT_EQ(tlb.DebugOccupancy(), TlbOccupancy{});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched access generation vs the per-call reference generator.
+// ---------------------------------------------------------------------------
+
+// Every workload pattern (uniform, zipf with and without block shuffle, hot
+// chunks, partitioned, sequential, incremental) plus the setup and barrier
+// phases must emit byte-identical access streams from the run-batched
+// generator and the seed's one-call-per-access generator.
+TEST(BatchedGenerationTest, MatchesReferenceAcrossSuite) {
+  const Topology topo = Topology::MachineA();
+  for (const BenchmarkId id : {BenchmarkId::kCG_D, BenchmarkId::kUA_B, BenchmarkId::kSSCA,
+                               BenchmarkId::kWrmem, BenchmarkId::kSPECjbb,
+                               BenchmarkId::kLU_B}) {
+    const WorkloadSpec spec = MakeWorkloadSpec(id, topo);
+    PhysicalMemory phys_fast(topo);
+    ThpState thp_fast;
+    AddressSpace as_fast(phys_fast, topo, thp_fast);
+    Workload fast(spec, as_fast, topo.num_cores(), 99, /*batched_generation=*/true);
+    PhysicalMemory phys_ref(topo);
+    ThpState thp_ref;
+    AddressSpace as_ref(phys_ref, topo, thp_ref);
+    Workload reference(spec, as_ref, topo.num_cores(), 99, /*batched_generation=*/false);
+
+    std::vector<WorkloadAccess> batch_fast;
+    std::vector<WorkloadAccess> batch_ref;
+    for (int epoch = 0; epoch < 12; ++epoch) {
+      fast.BeginEpoch();
+      reference.BeginEpoch();
+      for (int t = 0; t < topo.num_cores(); ++t) {
+        fast.FillBatch(t, 512, batch_fast);
+        reference.FillBatch(t, 512, batch_ref);
+        ASSERT_EQ(batch_fast.size(), batch_ref.size());
+        for (std::size_t i = 0; i < batch_fast.size(); ++i) {
+          ASSERT_EQ(batch_fast[i].va, batch_ref[i].va)
+              << NameOf(id) << " epoch " << epoch << " thread " << t << " access " << i;
+          ASSERT_EQ(batch_fast[i].region, batch_ref[i].region);
+          ASSERT_EQ(batch_fast[i].write, batch_ref[i].write);
+        }
+      }
+      ASSERT_EQ(fast.SetupDone(), reference.SetupDone());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Ranged TLB shootdown vs the per-page loop it replaces.
 // ---------------------------------------------------------------------------
 
@@ -356,21 +508,68 @@ void ExpectIdenticalRuns(const RunResult& a, const RunResult& b) {
 
 TEST(EngineIdentityTest, FastAndReferencePipelinesAreBitIdentical) {
   const Topology topo = Topology::MachineA();
-  for (const PolicyKind kind :
-       {PolicyKind::kThp, PolicyKind::kCarrefour2M, PolicyKind::kCarrefourLp,
-        PolicyKind::kConservativeOnly}) {
-    SimConfig sim;
-    sim.accesses_per_thread_per_epoch = 1024;
-    sim.max_epochs = 25;
-    WorkloadSpec spec = MakeWorkloadSpec(BenchmarkId::kCG_D, topo);
-    spec.steady_accesses_per_thread = 16'000;
+  // CG.D drives the hot-page path (splits + interleave + promotions); UA.B
+  // drives the false-sharing path (shared demotions, split-time placement
+  // from the window's 4KB aggregates, hinting-fault migration, and the
+  // batched migration accounting).
+  for (const BenchmarkId bench : {BenchmarkId::kCG_D, BenchmarkId::kUA_B}) {
+    for (const PolicyKind kind :
+         {PolicyKind::kThp, PolicyKind::kCarrefour2M, PolicyKind::kCarrefourLp,
+          PolicyKind::kConservativeOnly}) {
+      SimConfig sim;
+      sim.accesses_per_thread_per_epoch = 1024;
+      sim.max_epochs = 25;
+      WorkloadSpec spec = MakeWorkloadSpec(bench, topo);
+      spec.steady_accesses_per_thread = 16'000;
 
-    Simulation fast(topo, spec, MakePolicyConfig(kind), sim);
-    const RunResult fast_result = fast.Run();
-    sim.reference_pipeline = true;
-    Simulation reference(topo, spec, MakePolicyConfig(kind), sim);
-    const RunResult reference_result = reference.Run();
-    ExpectIdenticalRuns(fast_result, reference_result);
+      Simulation fast(topo, spec, MakePolicyConfig(kind), sim);
+      const RunResult fast_result = fast.Run();
+      sim.reference_pipeline = true;
+      Simulation reference(topo, spec, MakePolicyConfig(kind), sim);
+      const RunResult reference_result = reference.Run();
+      ExpectIdenticalRuns(fast_result, reference_result);
+    }
+  }
+}
+
+// The full matrix the oracle CI job enforces, in miniature: a small grid at
+// jobs=1 and jobs=8 under both engines must produce one identical result
+// set — parallelism never changes results, and neither does the engine.
+TEST(EngineIdentityTest, JobsAndEngineAxesAreBitIdentical) {
+  ExperimentGrid grid;
+  grid.machines = {Topology::MachineA()};
+  grid.workloads = {BenchmarkId::kCG_D, BenchmarkId::kUA_B};
+  grid.policies = {PolicyKind::kCarrefourLp};
+  grid.num_seeds = 2;
+  grid.sim.accesses_per_thread_per_epoch = 512;
+  grid.sim.max_epochs = 8;
+
+  std::vector<GridResults> all;
+  for (const bool reference : {false, true}) {
+    for (const int jobs : {1, 8}) {
+      ExperimentGrid g = grid;
+      g.sim.reference_pipeline = reference;
+      const ExperimentRunner runner(jobs);
+      all.push_back(RunGrid(g, runner));
+    }
+  }
+  const GridResults& golden = all.front();
+  for (std::size_t v = 1; v < all.size(); ++v) {
+    for (int w = 0; w < golden.num_workloads(); ++w) {
+      for (int s = 0; s < golden.num_seeds(); ++s) {
+        const RunResult& want = golden.At(0, w, 0, s);
+        const RunResult& got = all[v].At(0, w, 0, s);
+        EXPECT_EQ(got.total_cycles, want.total_cycles)
+            << "variant " << v << " workload " << w << " seed " << s;
+        EXPECT_EQ(got.measured_cycles, want.measured_cycles);
+        EXPECT_EQ(got.total_migrations, want.total_migrations);
+        EXPECT_EQ(got.total_splits, want.total_splits);
+        EXPECT_EQ(got.totals.dram_local, want.totals.dram_local);
+        const RunResult& base_want = golden.Baseline(0, w, s);
+        const RunResult& base_got = all[v].Baseline(0, w, s);
+        EXPECT_EQ(base_got.total_cycles, base_want.total_cycles);
+      }
+    }
   }
 }
 

@@ -334,14 +334,62 @@ TEST(ChecksTest, LpGeqCarrefourAcrossAffectedSet) {
           Row("machineA", "LU.B", "Carrefour-LP", -8.0)};
   EXPECT_TRUE(AllPassed(EvaluatePaperChecks(rows)));
 
-  // UA carries the wider transient band: a gap that would fail LU passes on
-  // UA.B, but a catastrophic one still fails.
-  rows = {Row("machineB", "UA.B", "Carrefour-2M", -5.0),
-          Row("machineB", "UA.B", "Carrefour-LP", -40.0)};
-  EXPECT_TRUE(AllPassed(EvaluatePaperChecks(rows)));
-  rows = {Row("machineB", "UA.B", "Carrefour-2M", -5.0),
-          Row("machineB", "UA.B", "Carrefour-LP", -60.0)};
+  // UA holds the same 6-point band as every other affected column (the old
+  // 45-point mass-relocation carve-out is gone)...
+  rows = {Row("machineB", "UA.B", "Carrefour-2M", -5.0, 25.0),
+          Row("machineB", "UA.B", "Carrefour-LP", -40.0, 70.0)};
   EXPECT_FALSE(AllPassed(EvaluatePaperChecks(rows)));
+  // ...and additionally must show the false-sharing recovery: inside the
+  // band but with LAR below plain Carrefour's still fails.
+  rows = {Row("machineB", "UA.B", "Carrefour-2M", -5.0, 25.0),
+          Row("machineB", "UA.B", "Carrefour-LP", -8.0, 12.0)};
+  EXPECT_FALSE(AllPassed(EvaluatePaperChecks(rows)));
+  rows = {Row("machineB", "UA.B", "Carrefour-2M", -5.0, 25.0),
+          Row("machineB", "UA.B", "Carrefour-LP", -8.0, 70.0)};
+  EXPECT_TRUE(AllPassed(EvaluatePaperChecks(rows)));
+}
+
+TEST(ChecksTest, SummaryRoundTripEvaluatesIdentically) {
+  // A written bench_summary.json parses back into groups whose pooled
+  // checks agree with the row-level evaluation — the contract behind
+  // `numalp_report --from-summary BENCH_fig2_fig3.json --check`.
+  const std::vector<ResultRow> rows = {
+      Row("machineB", "CG.D", "Linux-4K", 0.0, 40.0),
+      Row("machineB", "CG.D", "THP", -43.0, 36.0),
+      Row("machineB", "CG.D", "Carrefour-2M", -38.0, 38.0),
+      Row("machineB", "CG.D", "Carrefour-LP", 2.0, 39.0),
+      Row("machineA", "UA.B", "Linux-4K", 0.0, 90.0),
+      Row("machineA", "UA.B", "THP", -25.0, 61.0),
+      Row("machineA", "UA.B", "Carrefour-2M", -15.0, 34.0),
+      Row("machineA", "UA.B", "Carrefour-LP", -18.0, 85.0),
+      Row("machineA", "LU.B", "Carrefour-2M", -5.0, 80.0, "sweep"),  // variant: ignored
+  };
+  const std::vector<AggregateRow> aggregates = Aggregate(rows);
+  std::ostringstream out;
+  WriteSummaryJson(out, aggregates);
+
+  std::vector<AggregateRow> parsed;
+  std::string error;
+  ASSERT_TRUE(ParseSummaryJson(out.str(), &parsed, &error)) << error;
+  ASSERT_EQ(parsed.size(), aggregates.size());
+  EXPECT_EQ(parsed[0].machine, aggregates[0].machine);
+  EXPECT_EQ(parsed[0].runs, aggregates[0].runs);
+  EXPECT_DOUBLE_EQ(parsed[0].mean_improvement_pct, aggregates[0].mean_improvement_pct);
+  EXPECT_DOUBLE_EQ(parsed[0].lar_pct, aggregates[0].lar_pct);
+
+  const auto from_rows = EvaluatePaperChecks(rows);
+  const auto from_summary = EvaluatePaperChecks(parsed);
+  ASSERT_EQ(from_rows.size(), from_summary.size());
+  for (std::size_t i = 0; i < from_rows.size(); ++i) {
+    EXPECT_EQ(from_rows[i].name, from_summary[i].name);
+    EXPECT_EQ(static_cast<int>(from_rows[i].status),
+              static_cast<int>(from_summary[i].status))
+        << from_rows[i].name;
+  }
+  EXPECT_TRUE(AllPassed(from_summary));
+
+  std::vector<AggregateRow> rejected;
+  EXPECT_FALSE(ParseSummaryJson("{\"schema\":\"something-else\"}", &rejected, &error));
 }
 
 TEST(ChecksTest, FailWhenDataContradictsPaper) {

@@ -6,6 +6,9 @@
 //   numalp_report [dir|file.jsonl ...]      (default: ./results)
 //                 [--format md|csv|jsonl]   aggregate output format
 //                 [--summary FILE]          write a bench_summary.json
+//                 [--from-summary FILE]     load a committed bench_summary.json
+//                                           instead of JSONL rows (checks run
+//                                           against the baseline artifact)
 //                 [--check]                 evaluate the paper expectations;
 //                                           exit 1 if any present-data check
 //                                           fails (missing columns SKIP)
@@ -16,6 +19,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -33,6 +37,9 @@ void Usage(std::FILE* out) {
                "  --format md|csv|jsonl  aggregate output format (default: md"
                " figures/tables)\n"
                "  --summary FILE         also write the aggregates as a bench_summary.json\n"
+               "  --from-summary FILE    load a committed bench_summary.json instead of\n"
+               "                         JSONL rows (e.g. --from-summary BENCH_fig2_fig3.json\n"
+               "                         --check asserts the committed baseline)\n"
                "  --check                evaluate the paper's qualitative expectations;\n"
                "                         exit 1 when present data contradicts the paper\n"
                "  --help                 this message\n");
@@ -44,6 +51,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> inputs;
   std::string format = "md";
   std::string summary_path;
+  std::string from_summary_path;
   bool check = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -66,6 +74,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--summary") {
       summary_path = next();
+    } else if (arg == "--from-summary") {
+      from_summary_path = next();
     } else if (arg == "--check") {
       check = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -74,6 +84,48 @@ int main(int argc, char** argv) {
     } else {
       inputs.push_back(arg);
     }
+  }
+  if (!from_summary_path.empty()) {
+    // Baseline mode: parse the committed summary and evaluate against it —
+    // no row loading, no re-aggregation. Flags that only make sense for the
+    // row path are rejected rather than silently ignored.
+    if (!inputs.empty() || !summary_path.empty()) {
+      std::fprintf(stderr,
+                   "numalp_report: --from-summary replaces row inputs; it cannot be "
+                   "combined with input paths or --summary\n");
+      return 2;
+    }
+    std::ifstream in(from_summary_path);
+    if (!in) {
+      std::fprintf(stderr, "numalp_report: cannot read %s\n", from_summary_path.c_str());
+      return 2;
+    }
+    const std::string contents((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+    std::vector<numalp::report::AggregateRow> aggregates;
+    std::string error;
+    if (!numalp::report::ParseSummaryJson(contents, &aggregates, &error)) {
+      std::fprintf(stderr, "numalp_report: %s: %s\n", from_summary_path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    if (format == "csv") {
+      numalp::report::WriteAggregatesCsv(std::cout, aggregates);
+    } else if (format == "jsonl") {
+      numalp::report::WriteAggregatesJsonl(std::cout, aggregates);
+    } else {
+      std::printf("# numalp committed baseline %s — %zu columns\n\n",
+                  from_summary_path.c_str(), aggregates.size());
+      numalp::report::PrintAggregates(std::cout, aggregates);
+    }
+    if (check) {
+      const auto results = numalp::report::EvaluatePaperChecks(aggregates);
+      numalp::report::PrintCheckResults(format == "md" ? std::cout : std::cerr, results);
+      if (!numalp::report::AllPassed(results)) {
+        return 1;
+      }
+    }
+    return 0;
   }
   if (inputs.empty()) {
     inputs.push_back("results");
