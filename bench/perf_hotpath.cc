@@ -88,9 +88,43 @@ Measurement TimeCell(numalp::PolicyKind kind, const numalp::Topology& topo,
   return m;
 }
 
+// One point of the intra-cell shard-scaling sweep: the flagship CG.D /
+// Carrefour-LP cell at a forced shard count (forced because the sweep's
+// whole point is to spawn real workers regardless of host load; results are
+// bit-identical at every point, only the wall clock moves).
+struct ShardPoint {
+  int shards = 1;
+  double seconds = 0.0;
+  std::uint64_t accesses = 0;
+  double speedup_vs_serial = 0.0;
+};
+
+std::vector<ShardPoint> RunShardSweep(const numalp::Topology& topo, numalp::SimConfig sim) {
+  std::vector<ShardPoint> points;
+  for (const int shards : {1, 2, 4, 8}) {
+    numalp::SimConfig sharded = sim;
+    sharded.shards = shards;
+    sharded.shards_force = true;
+    const auto start = Clock::now();
+    const numalp::RunResult result = numalp::RunBenchmark(
+        topo, numalp::BenchmarkId::kCG_D, numalp::PolicyKind::kCarrefourLp, sharded);
+    ShardPoint point;
+    point.shards = shards;
+    point.seconds = SecondsSince(start);
+    point.accesses = result.totals.accesses;
+    point.speedup_vs_serial =
+        points.empty() || point.seconds <= 0 ? 1.0 : points.front().seconds / point.seconds;
+    points.push_back(point);
+    std::fprintf(stderr, "perf_hotpath: shards=%d %8.3fs  (%.2fx vs serial)\n", shards,
+                 point.seconds, point.speedup_vs_serial);
+  }
+  return points;
+}
+
 void WriteJson(std::ostream& out, const numalp::SimConfig& sim, int jobs,
                const std::vector<Measurement>& cells,
-               const std::vector<Measurement>& grids) {
+               const std::vector<Measurement>& grids,
+               const std::vector<ShardPoint>& shard_scaling) {
   const auto emit = [&out](const Measurement& m, const char* kind) {
     out << "    {\"" << kind << "\":\"" << m.name << "\",\"seconds\":" << m.seconds
         << ",\"accesses\":" << m.accesses
@@ -118,7 +152,19 @@ void WriteJson(std::ostream& out, const numalp::SimConfig& sim, int jobs,
     emit(grids[i], "grid");
     out << (i + 1 < grids.size() ? ",\n" : "\n");
   }
-  out << "  ]\n}\n";
+  out << "  ]";
+  if (!shard_scaling.empty()) {
+    out << ",\n  \"shard_scaling\": [\n";
+    for (std::size_t i = 0; i < shard_scaling.size(); ++i) {
+      const ShardPoint& p = shard_scaling[i];
+      out << "    {\"shards\":" << p.shards << ",\"seconds\":" << p.seconds
+          << ",\"accesses\":" << p.accesses
+          << ",\"speedup_vs_serial\":" << p.speedup_vs_serial << "}"
+          << (i + 1 < shard_scaling.size() ? ",\n" : "\n");
+    }
+    out << "  ]";
+  }
+  out << "\n}\n";
 }
 
 // Pulls `"seconds":<x>` of the entry tagged `"grid":"<name>"` out of a
@@ -145,6 +191,8 @@ int main(int argc, char** argv) {
   std::string against_path;
   double tolerance = 2.0;
   bool compare = false;
+  bool shard_sweep = false;
+  double min_shard_scaling = 0.0;
   const numalp::report::ToolInfo info = {
       "perf_hotpath", "perf",
       "simulator wall-clock: accesses/sec per policy and fig2+fig3 grid seconds",
@@ -152,14 +200,24 @@ int main(int argc, char** argv) {
       "  --compare              also time the reference sampling pipeline (the seed's\n"
       "                         full-window re-aggregation on this binary's structures)\n"
       "  --against FILE         fail when a grid exceeds tolerance x FILE's seconds\n"
-      "  --tolerance X          gate factor for --against (default 2.0)\n"};
+      "  --tolerance X          gate factor for --against (default 2.0)\n"
+      "  --shard-sweep          time the CG.D/Carrefour-LP cell at 1/2/4/8 forced\n"
+      "                         shards (results are identical; only wall clock moves)\n"
+      "  --min-shard-scaling X  fail when shards=4 speeds up less than Xx over\n"
+      "                         shards=1 (skipped on hosts with < 4 cores)\n"};
   const numalp::report::Options options = numalp::report::ParseToolArgs(
       argc, argv, info,
       {{"--out", true, [&](const char* v) { out_path = v; return true; }},
        {"--compare", false, [&](const char*) { compare = true; return true; }},
        {"--against", true, [&](const char* v) { against_path = v; return true; }},
        {"--tolerance", true,
-        [&](const char* v) { tolerance = std::atof(v); return tolerance > 0; }}});
+        [&](const char* v) { tolerance = std::atof(v); return tolerance > 0; }},
+       {"--shard-sweep", false, [&](const char*) { shard_sweep = true; return true; }},
+       {"--min-shard-scaling", true, [&](const char* v) {
+          shard_sweep = true;
+          min_shard_scaling = std::atof(v);
+          return min_shard_scaling > 0;
+        }}});
 
   // Per-policy cells: CG.D on machine B — the paper's flagship hot-page case
   // exercises every engine path (THP faults, splits, migrations, promotions).
@@ -209,15 +267,49 @@ int main(int argc, char** argv) {
                      : "");
   }
 
+  std::vector<ShardPoint> shard_scaling;
+  if (shard_sweep) {
+    shard_scaling = RunShardSweep(machine_b, options.sim);
+  }
+
   if (!out_path.empty()) {
     std::ofstream out(out_path, std::ios::trunc);
     if (!out) {
       std::fprintf(stderr, "perf_hotpath: cannot open %s\n", out_path.c_str());
       return 2;
     }
-    WriteJson(out, options.sim, options.jobs, cells, grids);
+    WriteJson(out, options.sim, options.jobs, cells, grids, shard_scaling);
   } else {
-    WriteJson(std::cout, options.sim, options.jobs, cells, grids);
+    WriteJson(std::cout, options.sim, options.jobs, cells, grids, shard_scaling);
+  }
+
+  if (min_shard_scaling > 0) {
+    // Scaling needs real cores: on a narrow host the forced workers time-slice
+    // one CPU and the measurement says nothing about the engine, so the gate
+    // records and skips rather than failing (the committed JSON still carries
+    // host_concurrency for the reader).
+    const unsigned host = std::thread::hardware_concurrency();
+    if (host < 4) {
+      std::fprintf(stderr,
+                   "perf_hotpath: shard-scaling gate skipped (host_concurrency=%u < 4)\n",
+                   host);
+    } else {
+      double speedup4 = 0.0;
+      for (const ShardPoint& p : shard_scaling) {
+        if (p.shards == 4) {
+          speedup4 = p.speedup_vs_serial;
+        }
+      }
+      if (speedup4 < min_shard_scaling) {
+        std::fprintf(stderr,
+                     "perf_hotpath: SHARD SCALING REGRESSION: shards=4 is %.2fx vs serial, "
+                     "gate requires >= %.2fx\n",
+                     speedup4, min_shard_scaling);
+        return 1;
+      }
+      std::fprintf(stderr, "perf_hotpath: shard scaling ok: shards=4 is %.2fx (gate %.2fx)\n",
+                   speedup4, min_shard_scaling);
+    }
   }
 
   if (!against_path.empty()) {

@@ -84,6 +84,12 @@ SimConfig WithEnvOverrides(SimConfig sim) {
   if (PositiveEnvInt("NUMALP_REFERENCE_PIPELINE") > 0) {
     sim.reference_pipeline = true;
   }
+  if (const long long shards = PositiveEnvInt("NUMALP_SHARDS"); shards > 0) {
+    sim.shards = static_cast<int>(shards);
+  }
+  if (PositiveEnvInt("NUMALP_SHARDS_FORCE") > 0) {
+    sim.shards_force = true;
+  }
   return sim;
 }
 

@@ -76,6 +76,21 @@ struct SimConfig {
   // correctness oracle and the wall-clock baseline for BENCH_perf.json
   // (env: NUMALP_REFERENCE_PIPELINE=1).
   bool reference_pipeline = false;
+  // Intra-cell worker threads for the sharded epoch engine (DESIGN.md
+  // Section 10): the epoch's access rounds execute as speculative parallel
+  // windows over per-core shard contexts, committed only when provably
+  // equal to the serial interleaving. Results are bit-identical at any
+  // value; only host wall-clock changes. <= 1 runs the serial engine. The
+  // effective count is clamped to the host budget (hardware concurrency
+  // divided by active ExperimentRunner jobs) so grid parallelism and shard
+  // parallelism cannot multiply into oversubscription
+  // (env: NUMALP_SHARDS).
+  int shards = 1;
+  // Bypass the oversubscription clamp and spawn exactly `shards` workers —
+  // for scaling measurements and the determinism tests, which must exercise
+  // real cross-thread windows even on small or busy hosts
+  // (env: NUMALP_SHARDS_FORCE=1).
+  bool shards_force = false;
 
   TlbConfig tlb;
   WalkerConfig walker;
@@ -218,7 +233,9 @@ long long PositiveEnvInt(const char* name);
 // Applies environment overrides to `sim` and returns it: NUMALP_MAX_EPOCHS
 // and NUMALP_ACCESSES_PER_EPOCH bound run length (the ctest smoke tests use
 // them to keep the examples and CLI driver fast), NUMALP_SEED replaces the
-// base seed. Unset or non-positive variables leave the field untouched.
+// base seed, NUMALP_SHARDS sets the intra-cell shard count (and
+// NUMALP_SHARDS_FORCE=1 bypasses the oversubscription clamp). Unset or
+// non-positive variables leave the field untouched.
 SimConfig WithEnvOverrides(SimConfig sim);
 
 }  // namespace numalp

@@ -1,0 +1,91 @@
+#include "src/core/shard.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace numalp {
+
+namespace {
+std::atomic<int> g_active_runner_jobs{0};
+}  // namespace
+
+int ActiveRunnerJobs() { return g_active_runner_jobs.load(std::memory_order_relaxed); }
+
+ScopedActiveRunnerJobs::ScopedActiveRunnerJobs(int jobs) : jobs_(std::max(0, jobs)) {
+  g_active_runner_jobs.fetch_add(jobs_, std::memory_order_relaxed);
+}
+
+ScopedActiveRunnerJobs::~ScopedActiveRunnerJobs() {
+  g_active_runner_jobs.fetch_sub(jobs_, std::memory_order_relaxed);
+}
+
+int ResolveShardCount(int requested, bool force, int num_cores) {
+  int shards = std::min(std::max(1, requested), std::max(1, num_cores));
+  if (force || shards <= 1) {
+    return shards;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int host = hw > 0 ? static_cast<int>(hw) : 1;
+  const int jobs = std::max(1, ActiveRunnerJobs());
+  return std::min(shards, std::max(1, host / jobs));
+}
+
+ShardPool::ShardPool(int shards) : shards_(std::max(1, shards)) {
+  threads_.reserve(static_cast<std::size_t>(shards_ - 1));
+  for (int w = 1; w < shards_; ++w) {
+    threads_.emplace_back([this, w]() { WorkerLoop(w); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& thread : threads_) {
+    thread.join();
+  }
+}
+
+void ShardPool::Run(const std::function<void(int)>& fn) {
+  if (shards_ <= 1) {
+    fn(0);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    outstanding_ = shards_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  fn(0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this]() { return outstanding_ == 0; });
+  job_ = nullptr;
+}
+
+void ShardPool::WorkerLoop(int worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [this, seen]() { return stop_ || generation_ != seen; });
+      if (stop_) {
+        return;
+      }
+      seen = generation_;
+      job = job_;
+    }
+    (*job)(worker);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --outstanding_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace numalp

@@ -4,6 +4,7 @@
 #ifndef NUMALP_SRC_CORE_SIMULATION_H_
 #define NUMALP_SRC_CORE_SIMULATION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -13,6 +14,7 @@
 #include "src/common/rng.h"
 #include "src/core/carrefour_lp.h"
 #include "src/core/config.h"
+#include "src/core/shard.h"
 #include "src/hw/counters.h"
 #include "src/hw/ibs.h"
 #include "src/hw/interconnect.h"
@@ -110,19 +112,56 @@ class Simulation {
   AddressSpace& address_space() { return *address_space_; }
   ThpState& thp_state() { return thp_state_; }
   const Topology& topology() const { return topo_; }
+  // Effective intra-cell shard count after the oversubscription clamp
+  // (DESIGN.md Section 10); 1 = the serial engine.
+  int shard_count() const { return shard_count_; }
 
  private:
-  struct FaultCycleParts {
-    Cycles fixed = 0;
-    Cycles zero = 0;
-  };
+  // Accesses per round-robin slice. 32: coarser slices would let one thread
+  // first-touch tens of 2MB windows "before" its peers, which no concurrent
+  // machine does (see ExecuteEpochAccesses).
+  static constexpr std::size_t kSliceAccesses = 32;
+  // Speculative-window controller bounds, in rounds (one round = every
+  // thread running one kSliceAccesses slice).
+  static constexpr std::size_t kMinWindowRounds = 8;
+  static constexpr std::size_t kMaxWindowRounds = 256;
 
   int CoreOfThread(int thread) const;
-  // Executes one slice of a thread's access batch on `core`. Batching hoists
-  // the per-core state (counters, RNG, TLB, translate cache) and the
-  // per-region cost tables out of the per-access path; each access is
-  // processed exactly as the seed's per-call engine did.
-  void ProcessSlice(int core, int node, const WorkloadAccess* accesses, std::size_t count);
+  // Executes one slice of a thread's access batch on the context's core.
+  // Batching hoists the per-core state (counters, RNG, TLB, translate
+  // cache) and the per-region cost tables out of the per-access path; each
+  // access is processed exactly as the seed's per-call engine did.
+  //
+  // kSpeculative runs the identical access arithmetic against frozen shared
+  // state: mutations of shared counters are redirected to the context's
+  // delta scratch, IBS samples queue as pending (tagged with
+  // `base_index + i` for serial-order replay), and the slice aborts —
+  // returns false — at the first access that would mutate shared state (a
+  // demand fault or a migrate-on-touch hint hit). The serial instantiation
+  // always returns true.
+  template <bool kSpeculative>
+  bool ProcessSlice(ShardContext& ctx, const WorkloadAccess* accesses, std::size_t count,
+                    std::size_t base_index);
+  // Runs every thread's epoch batch in round-robin kSliceAccesses slices —
+  // serially when shard_count() == 1 or during the setup fault storm,
+  // otherwise as speculative parallel windows with serial fallback.
+  void ExecuteEpochAccesses(bool epoch_in_setup);
+  // The seed's serial interleaving of rounds [first, last) — the reference
+  // semantics every parallel window must (and, committed, provably does)
+  // reproduce, and the replay path for failed windows.
+  void RunRoundsSerial(std::size_t first_round, std::size_t last_round);
+  // One speculative window over rounds [first, last): snapshot per-core
+  // state, run each core's window slice in parallel against the frozen
+  // shared state, then either commit the per-shard logs serially (no slice
+  // aborted — the window provably equals the serial interleaving) or roll
+  // every core back and report false for serial replay.
+  bool TrySpeculativeWindow(std::size_t first_round, std::size_t last_round);
+  void SnapshotShard(ShardContext& ctx);
+  void RestoreShard(ShardContext& ctx);
+  // Serialized apply phase of a committed window: fold the contexts' shared-
+  // counter deltas in canonical core order and replay pending IBS samples
+  // in serial (round, thread) order.
+  void CommitWindow(std::size_t first_round, std::size_t last_round);
   // Runs the policy stack at the epoch boundary; returns overhead cycles and
   // fills the epoch record. `wall_so_far` is the app portion of the epoch.
   Cycles RunPolicies(Cycles wall_so_far, EpochRecord& record);
@@ -136,14 +175,11 @@ class Simulation {
   ThpState thp_state_;
   std::unique_ptr<AddressSpace> address_space_;
   std::unique_ptr<Workload> workload_;
-  std::vector<Tlb> tlbs_;
   PageWalker walker_;
   MemCtrlModel mem_ctrl_;
   InterconnectModel interconnect_;
   IbsEngine ibs_;
   EpochCounters counters_;
-  std::vector<FaultCycleParts> fault_parts_;
-  std::vector<Rng> core_rngs_;
   Rng policy_rng_;
 
   Carrefour carrefour_;
@@ -159,11 +195,25 @@ class Simulation {
   // kSampleWindowEpochs epochs of IBS samples (reference mode re-aggregates
   // from scratch instead; results are identical).
   SampleWindow window_;
-  std::vector<std::vector<WorkloadAccess>> batches_;  // one per thread
-  // Per-core last-mapping caches in front of AddressSpace::Translate: a TLB
-  // miss on a page whose mapping is unchanged no longer walks the radix
-  // table (host-side only; the modeled walk cost is still charged).
-  std::vector<AddressSpace::TranslationCache> translate_caches_;
+  // One execution context per core, owning every piece of slice-local state
+  // (TLB, RNG, translation cache, fault accounting, the core's thread's
+  // batch, and the speculative-window scratch/snapshot). Indexed by core;
+  // thread t's batch lives in the context of CoreOfThread(t) — the pinning
+  // is a bijection.
+  std::vector<ShardContext> shard_ctx_;
+  // The sharded engine (DESIGN.md Section 10). shard_count_ == 1 (the
+  // default, and the clamped result on saturated hosts) takes the pure
+  // serial path; the pool exists only when it is > 1.
+  int shard_count_ = 1;
+  std::unique_ptr<ShardPool> shard_pool_;
+  std::atomic<bool> spec_failed_{false};
+  // Adaptive window controller: grow on committed windows, shrink and fall
+  // back to serial for a penalty span after a failed one. Deterministic —
+  // window success depends only on simulation state, never on scheduling —
+  // so the window boundaries (and therefore everything) are identical at
+  // any shard count.
+  std::size_t window_rounds_ = kMinWindowRounds;
+  std::size_t serial_penalty_rounds_ = 0;
   // Per-region cost tables hoisted out of the access loop.
   std::vector<double> region_mlp_;
   std::vector<double> region_intensity_;

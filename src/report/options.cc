@@ -21,6 +21,10 @@ void PrintUsage(std::FILE* out, const ToolInfo& info) {
                "  --epochs N             cap epochs per run (NUMALP_MAX_EPOCHS)\n"
                "  --accesses N           accesses per thread per epoch"
                " (NUMALP_ACCESSES_PER_EPOCH)\n"
+               "  --shards N             intra-cell shard threads per simulation"
+               " (NUMALP_SHARDS);\n"
+               "                         clamped to the host budget unless forced,"
+               " never changes results\n"
                "  --help                 this message\n",
                info.name, info.bench_id, info.bench_id);
   if (info.extra_usage != nullptr && info.extra_usage[0] != '\0') {
@@ -66,6 +70,8 @@ Options ParseToolArgs(int argc, char** argv, const ToolInfo& info,
       options.sim.max_epochs = std::atoi(next());
     } else if (arg == "--accesses") {
       options.sim.accesses_per_thread_per_epoch = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--shards") {
+      options.sim.shards = std::atoi(next());
     } else {
       bool handled = false;
       for (const ExtraFlag& extra : extras) {

@@ -1,7 +1,7 @@
 // The one command-line parser shared by every bench, example and tool, so
 // --help output and the results-pipeline flags (--format, --out-dir, --jobs,
-// --seed, --epochs, --accesses) are uniform across all binaries (DESIGN.md
-// Section 6). Binaries add tool-specific flags as ExtraFlags; the workload/
+// --seed, --epochs, --accesses, --shards) are uniform across all binaries
+// (DESIGN.md Section 6). Binaries add tool-specific flags as ExtraFlags; the workload/
 // machine/policy name parsers that numalp_run and quickstart historically
 // each hand-rolled live here too.
 #ifndef NUMALP_SRC_REPORT_OPTIONS_H_
@@ -47,8 +47,8 @@ struct Options {
 };
 
 // Parses argv. Standard flags: --format, --out-dir, --jobs, --seed,
-// --epochs, --accesses, --help (prints uniform usage, exits 0). Unknown
-// flags or bad values print usage to stderr and exit 2.
+// --epochs, --accesses, --shards, --help (prints uniform usage, exits 0).
+// Unknown flags or bad values print usage to stderr and exit 2.
 Options ParseToolArgs(int argc, char** argv, const ToolInfo& info,
                       const std::vector<ExtraFlag>& extras = {});
 

@@ -532,9 +532,40 @@ TEST(EngineIdentityTest, FastAndReferencePipelinesAreBitIdentical) {
   }
 }
 
+// The acceptance-criteria regression for the sharded engine (DESIGN.md
+// Section 10): every shard count must reproduce the serial engine bit for
+// bit, on both the hot-page driver (CG.D) and the UA.B path whose
+// migrate-on-touch marks exercise the speculation abort. shards_force
+// bypasses the oversubscription clamp so real worker threads run even on a
+// saturated (or single-core) test host.
+TEST(EngineIdentityTest, ShardCountsAreBitIdentical) {
+  const Topology topo = Topology::MachineA();
+  for (const BenchmarkId bench : {BenchmarkId::kCG_D, BenchmarkId::kUA_B}) {
+    for (const PolicyKind kind : {PolicyKind::kThp, PolicyKind::kCarrefourLp}) {
+      SimConfig sim;
+      sim.accesses_per_thread_per_epoch = 1024;
+      sim.max_epochs = 25;
+      WorkloadSpec spec = MakeWorkloadSpec(bench, topo);
+      spec.steady_accesses_per_thread = 16'000;
+
+      Simulation serial(topo, spec, MakePolicyConfig(kind), sim);
+      const RunResult serial_result = serial.Run();
+      for (const int shards : {2, 4, 8}) {
+        SimConfig sharded_sim = sim;
+        sharded_sim.shards = shards;
+        sharded_sim.shards_force = true;
+        Simulation sharded(topo, spec, MakePolicyConfig(kind), sharded_sim);
+        EXPECT_EQ(sharded.shard_count(), shards);
+        ExpectIdenticalRuns(serial_result, sharded.Run());
+      }
+    }
+  }
+}
+
 // The full matrix the oracle CI job enforces, in miniature: a small grid at
-// jobs=1 and jobs=8 under both engines must produce one identical result
-// set — parallelism never changes results, and neither does the engine.
+// jobs={1,8} x shards={1,4} under both engines must produce one identical
+// result set — parallelism (between cells or inside one) never changes
+// results, and neither does the engine.
 TEST(EngineIdentityTest, JobsAndEngineAxesAreBitIdentical) {
   ExperimentGrid grid;
   grid.machines = {Topology::MachineA()};
@@ -547,10 +578,14 @@ TEST(EngineIdentityTest, JobsAndEngineAxesAreBitIdentical) {
   std::vector<GridResults> all;
   for (const bool reference : {false, true}) {
     for (const int jobs : {1, 8}) {
-      ExperimentGrid g = grid;
-      g.sim.reference_pipeline = reference;
-      const ExperimentRunner runner(jobs);
-      all.push_back(RunGrid(g, runner));
+      for (const int shards : {1, 4}) {
+        ExperimentGrid g = grid;
+        g.sim.reference_pipeline = reference;
+        g.sim.shards = shards;
+        g.sim.shards_force = true;
+        const ExperimentRunner runner(jobs);
+        all.push_back(RunGrid(g, runner));
+      }
     }
   }
   const GridResults& golden = all.front();

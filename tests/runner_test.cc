@@ -4,12 +4,17 @@
 // the historical serial ComparePolicies arithmetic.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "src/core/config.h"
 #include "src/core/experiment.h"
 #include "src/core/runner.h"
 #include "src/core/simulation.h"
+#include "src/report/collector.h"
+#include "src/report/sink.h"
 #include "src/topo/topology.h"
 #include "src/workloads/spec.h"
 
@@ -97,6 +102,34 @@ TEST(ExperimentRunnerTest, GridIsDeterministicAcrossJobCounts) {
           ExpectIdentical(serial.At(m, w, p, s), parallel.At(m, w, p, s));
         }
       }
+    }
+  }
+}
+
+// End-to-end determinism across the jobs x shards matrix, at the artifact
+// level: the streamed JSONL a bench would write must be byte-identical no
+// matter how many grid workers or intra-cell shards ran it (the oracle CI
+// job diffs exactly this, at full grid scale).
+TEST(ExperimentRunnerTest, GridJsonlIsByteIdenticalAcrossJobsAndShards) {
+  const auto render = [](int jobs, int shards) {
+    ExperimentGrid grid = TestGrid();
+    grid.sim.shards = shards;
+    grid.sim.shards_force = true;  // real worker threads even on a busy host
+    std::ostringstream out;
+    {
+      report::GridReport report(std::make_unique<report::JsonlSink>(out), "runner_test", jobs);
+      report.Run(grid);
+    }
+    return out.str();
+  };
+  const std::string golden = render(/*jobs=*/1, /*shards=*/1);
+  EXPECT_FALSE(golden.empty());
+  for (const int jobs : {1, 8}) {
+    for (const int shards : {1, 4}) {
+      if (jobs == 1 && shards == 1) {
+        continue;
+      }
+      EXPECT_EQ(render(jobs, shards), golden) << "jobs " << jobs << " shards " << shards;
     }
   }
 }

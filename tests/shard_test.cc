@@ -1,0 +1,117 @@
+// Unit tests for the intra-cell sharding plumbing (DESIGN.md Section 10):
+// the oversubscription guard that keeps runner jobs x shards bounded by the
+// host, the NUMALP_SHARDS / --shards configuration surface, and the worker
+// pool's dispatch protocol. Whole-engine bit-identity across shard counts
+// lives in perf_structures_test.cc and runner_test.cc.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/shard.h"
+#include "src/core/simulation.h"
+#include "src/topo/topology.h"
+#include "src/workloads/spec.h"
+
+namespace numalp {
+namespace {
+
+TEST(ResolveShardCountTest, ClampsToSimulatedCores) {
+  // Force bypasses the host-budget clamp, so the only bound left is the
+  // simulated core count (more shards than cores could never get work).
+  EXPECT_EQ(ResolveShardCount(8, /*force=*/true, /*num_cores=*/4), 4);
+  EXPECT_EQ(ResolveShardCount(3, /*force=*/true, /*num_cores=*/16), 3);
+  EXPECT_EQ(ResolveShardCount(0, /*force=*/true, /*num_cores=*/16), 1);
+  EXPECT_EQ(ResolveShardCount(-5, /*force=*/true, /*num_cores=*/16), 1);
+}
+
+TEST(ResolveShardCountTest, GuardDividesHostBudgetByActiveJobs) {
+  // With at least hardware_concurrency runner jobs registered, the per-cell
+  // budget is one thread: shards clamp to 1 no matter what was requested.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int saturating = static_cast<int>(hw > 0 ? hw : 1);
+  {
+    const ScopedActiveRunnerJobs guard(saturating);
+    EXPECT_EQ(ResolveShardCount(8, /*force=*/false, /*num_cores=*/16), 1);
+    // force still bypasses the clamp under the same saturation.
+    EXPECT_EQ(ResolveShardCount(8, /*force=*/true, /*num_cores=*/16), 8);
+  }
+  // Guard registration is scoped: after the destructor the budget is back.
+  EXPECT_EQ(ActiveRunnerJobs(), 0);
+}
+
+TEST(ResolveShardCountTest, ScopedJobsNest) {
+  EXPECT_EQ(ActiveRunnerJobs(), 0);
+  {
+    const ScopedActiveRunnerJobs outer(3);
+    EXPECT_EQ(ActiveRunnerJobs(), 3);
+    {
+      const ScopedActiveRunnerJobs inner(2);
+      EXPECT_EQ(ActiveRunnerJobs(), 5);
+    }
+    EXPECT_EQ(ActiveRunnerJobs(), 3);
+  }
+  EXPECT_EQ(ActiveRunnerJobs(), 0);
+}
+
+TEST(ShardConfigTest, EnvOverridesParseShardKnobs) {
+  ::setenv("NUMALP_SHARDS", "4", 1);
+  ::setenv("NUMALP_SHARDS_FORCE", "1", 1);
+  const SimConfig sim = WithEnvOverrides(SimConfig{});
+  EXPECT_EQ(sim.shards, 4);
+  EXPECT_TRUE(sim.shards_force);
+  ::unsetenv("NUMALP_SHARDS");
+  ::unsetenv("NUMALP_SHARDS_FORCE");
+  const SimConfig plain = WithEnvOverrides(SimConfig{});
+  EXPECT_EQ(plain.shards, 1);
+  EXPECT_FALSE(plain.shards_force);
+}
+
+TEST(ShardConfigTest, SimulationReportsEffectiveShardCount) {
+  const Topology topo = Topology::Tiny();
+  const WorkloadSpec spec = MakeWorkloadSpec(BenchmarkId::kWC, topo);
+  SimConfig sim;
+  sim.max_epochs = 1;
+  sim.accesses_per_thread_per_epoch = 64;
+
+  Simulation serial(topo, spec, MakePolicyConfig(PolicyKind::kLinux4K), sim);
+  EXPECT_EQ(serial.shard_count(), 1);
+
+  sim.shards = topo.num_cores() + 7;  // over-ask: clamps to the core count
+  sim.shards_force = true;
+  Simulation sharded(topo, spec, MakePolicyConfig(PolicyKind::kLinux4K), sim);
+  EXPECT_EQ(sharded.shard_count(), topo.num_cores());
+}
+
+TEST(ShardPoolTest, RunInvokesEveryWorkerExactlyOnce) {
+  ShardPool pool(4);
+  EXPECT_EQ(pool.shards(), 4);
+  // Repeated dispatches through the same pool: the generation protocol must
+  // not lose or double-run a worker on any round.
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::atomic<int>> hits(4);
+    for (auto& h : hits) {
+      h.store(0);
+    }
+    pool.Run([&](int worker) { hits[static_cast<std::size_t>(worker)].fetch_add(1); });
+    for (int w = 0; w < 4; ++w) {
+      EXPECT_EQ(hits[static_cast<std::size_t>(w)].load(), 1) << "worker " << w;
+    }
+  }
+}
+
+TEST(ShardPoolTest, SingleShardRunsInline) {
+  ShardPool pool(1);
+  int calls = 0;
+  pool.Run([&](int worker) {
+    EXPECT_EQ(worker, 0);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace numalp
