@@ -1,0 +1,90 @@
+// Count-min sketch with signed counters — the estimation half of the
+// sketch-backed profiling front end (DESIGN.md Section 11).
+//
+// d rows of w counters; a key hashes to one counter per row, Add() bumps all
+// d of them, Estimate() takes the minimum. Collisions only ever *inflate* an
+// estimate, which is the safe direction for the admission gate in front of
+// SampleWindow's exact aggregates: an overestimate admits a page early
+// (bringing sketch mode closer to exact mode), never late.
+//
+// The update is the plain count-min rule, deliberately NOT the
+// conservative-update variant: conservative update is not reversible, and
+// the sliding sample window retires old epochs by *decrementing* — with
+// plain updates every counter is an exact integer sum of the live keys
+// hashing to it, so Add(key, -1) on retirement undoes Add(key, +1) on
+// insertion and the sketch never accretes state over a long run. Counters
+// are signed so cross-key cancellation (an admission purge removing entries
+// an aliased key contributed) saturates at Estimate() == 0 instead of
+// wrapping.
+#ifndef NUMALP_SRC_COMMON_COUNT_SKETCH_H_
+#define NUMALP_SRC_COMMON_COUNT_SKETCH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/flat_map.h"
+
+namespace numalp {
+
+class CountSketch {
+ public:
+  // A default-constructed sketch is disabled: Add is a no-op and Estimate
+  // returns 0 (exact-profile-mode windows never touch theirs).
+  CountSketch() = default;
+
+  // `rows` hash functions over `min_width` counters each (width rounds up to
+  // a power of two so the row hash reduces with a mask).
+  CountSketch(int rows, std::uint32_t min_width) : rows_(rows) {
+    std::uint32_t width = 16;
+    while (width < min_width) {
+      width *= 2;
+    }
+    mask_ = width - 1;
+    cells_.assign(static_cast<std::size_t>(rows_) * width, 0);
+  }
+
+  bool enabled() const { return !cells_.empty(); }
+
+  void Add(std::uint64_t key, std::int32_t delta) {
+    const std::size_t width = static_cast<std::size_t>(mask_) + 1;
+    for (int r = 0; r < rows_; ++r) {
+      cells_[static_cast<std::size_t>(r) * width + (RowHash(key, r) & mask_)] += delta;
+    }
+  }
+
+  // min over rows, clamped at zero (counters can briefly go negative when a
+  // purge cancels entries an aliasing key contributed — see cuckoo_filter.h).
+  std::uint64_t Estimate(std::uint64_t key) const {
+    if (cells_.empty()) {
+      return 0;
+    }
+    const std::size_t width = static_cast<std::size_t>(mask_) + 1;
+    std::int32_t lowest = cells_[RowHash(key, 0) & mask_];
+    for (int r = 1; r < rows_; ++r) {
+      lowest = std::min(
+          lowest, cells_[static_cast<std::size_t>(r) * width + (RowHash(key, r) & mask_)]);
+    }
+    return lowest < 0 ? 0 : static_cast<std::uint64_t>(lowest);
+  }
+
+  void Reset() { std::fill(cells_.begin(), cells_.end(), 0); }
+
+  std::size_t bytes() const { return cells_.size() * sizeof(std::int32_t); }
+
+ private:
+  // Per-row keyed hash: the splitmix finalizer over the key xor a row salt.
+  // Rows must be pairwise-independent-ish so one hot colliding pair does not
+  // collide in every row (the min would then never escape the inflation).
+  static std::uint64_t RowHash(std::uint64_t key, int row) {
+    return FlatHashMix(key ^ (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(row + 1)));
+  }
+
+  int rows_ = 0;
+  std::uint32_t mask_ = 0;
+  std::vector<std::int32_t> cells_;
+};
+
+}  // namespace numalp
+
+#endif  // NUMALP_SRC_COMMON_COUNT_SKETCH_H_

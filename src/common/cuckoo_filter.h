@@ -1,0 +1,188 @@
+// Cuckoo fingerprint filter (DFF-style) — the membership half of the
+// sketch-backed profiling front end (DESIGN.md Section 11).
+//
+// Stores 16-bit fingerprints in 4-slot buckets; each key has two candidate
+// buckets related by the partial-key rule i2 = i1 ^ hash(fp), so an entry
+// can be relocated knowing only its fingerprint. Insert, Contains, and
+// Erase are constant-time (bounded kick chain), and Erase genuinely frees
+// a slot — the property the sliding sample window needs so retired samples
+// hand their capacity back and a long run does not accrete state.
+//
+// Multiset semantics: the same key may be inserted k times and occupies k
+// slots; each Erase removes one occurrence. SampleWindow keys the filter by
+// 4KB page base and keeps one occurrence per live unadmitted sample, so the
+// occupancy count doubles as that page's (approximate) live sample count.
+//
+// Failure behavior is explicit, not silent: a full filter makes Insert
+// return false after rolling back its displacement chain (the filter is
+// unchanged), and Erase on an absent key returns false. Fingerprint
+// aliasing can make Erase remove a different key's occurrence — callers get
+// bounded staleness, never a crash (the count-sketch alongside absorbs this
+// with signed counters; see count_sketch.h).
+//
+// Displacement choices come from an internal splitmix64 stream with a fixed
+// seed: the filter is only mutated on the serial epoch boundary, so the
+// sequence — and therefore every admission decision downstream — is
+// deterministic and independent of host thread count.
+#ifndef NUMALP_SRC_COMMON_CUCKOO_FILTER_H_
+#define NUMALP_SRC_COMMON_CUCKOO_FILTER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/flat_map.h"
+
+namespace numalp {
+
+class CuckooFilter {
+ public:
+  // A default-constructed filter is disabled (zero capacity, every Insert
+  // fails); exact-profile-mode windows never touch theirs.
+  CuckooFilter() = default;
+
+  // Capacity is a slot count; bucket count rounds it up to a power of two
+  // (so the bucket hash reduces with a mask) divided into 4-way buckets.
+  explicit CuckooFilter(std::size_t capacity) {
+    std::size_t buckets = 1;
+    while (buckets * kSlotsPerBucket < capacity) {
+      buckets *= 2;
+    }
+    bucket_mask_ = buckets - 1;
+    slots_.assign(buckets * kSlotsPerBucket, kEmpty);
+  }
+
+  // False when both candidate buckets are full and the bounded kick chain
+  // failed to free a slot; the chain is rolled back so the filter holds
+  // exactly what it held before the call.
+  bool Insert(std::uint64_t key) {
+    if (slots_.empty()) {
+      return false;
+    }
+    const std::uint16_t fp = Fingerprint(key);
+    const std::size_t i1 = IndexHash(key);
+    const std::size_t i2 = AltIndex(i1, fp);
+    if (PlaceInBucket(i1, fp) || PlaceInBucket(i2, fp)) {
+      ++size_;
+      return true;
+    }
+    // Both buckets full: displace a random victim and push it toward its
+    // alternate bucket, recording each overwrite so failure can undo them.
+    std::vector<std::pair<std::size_t, std::uint16_t>> trail;
+    std::size_t bucket = (NextRandom() & 1) ? i2 : i1;
+    std::uint16_t carried = fp;
+    for (int kick = 0; kick < kMaxKicks; ++kick) {
+      const std::size_t slot =
+          bucket * kSlotsPerBucket + (NextRandom() % kSlotsPerBucket);
+      trail.emplace_back(slot, slots_[slot]);
+      std::swap(carried, slots_[slot]);
+      bucket = AltIndex(bucket, carried);
+      if (PlaceInBucket(bucket, carried)) {
+        ++size_;
+        return true;
+      }
+    }
+    for (auto it = trail.rbegin(); it != trail.rend(); ++it) {
+      slots_[it->first] = it->second;
+    }
+    return false;
+  }
+
+  bool Contains(std::uint64_t key) const {
+    if (slots_.empty()) {
+      return false;
+    }
+    const std::uint16_t fp = Fingerprint(key);
+    const std::size_t i1 = IndexHash(key);
+    return FindInBucket(i1, fp) >= 0 || FindInBucket(AltIndex(i1, fp), fp) >= 0;
+  }
+
+  // Removes one occurrence; false if neither candidate bucket holds the
+  // fingerprint (the key was never tracked, or its slot was lost to
+  // aliasing — both read as "not present").
+  bool Erase(std::uint64_t key) {
+    if (slots_.empty()) {
+      return false;
+    }
+    const std::uint16_t fp = Fingerprint(key);
+    const std::size_t i1 = IndexHash(key);
+    int slot = FindInBucket(i1, fp);
+    std::size_t bucket = i1;
+    if (slot < 0) {
+      bucket = AltIndex(i1, fp);
+      slot = FindInBucket(bucket, fp);
+    }
+    if (slot < 0) {
+      return false;
+    }
+    slots_[bucket * kSlotsPerBucket + static_cast<std::size_t>(slot)] = kEmpty;
+    --size_;
+    return true;
+  }
+
+  void Clear() {
+    std::fill(slots_.begin(), slots_.end(), kEmpty);
+    size_ = 0;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t slot_count() const { return slots_.size(); }
+  std::size_t bytes() const { return slots_.size() * sizeof(std::uint16_t); }
+
+ private:
+  static constexpr std::size_t kSlotsPerBucket = 4;
+  static constexpr int kMaxKicks = 256;
+  static constexpr std::uint16_t kEmpty = 0;
+
+  // Low 16 mix bits, biased off the empty sentinel.
+  static std::uint16_t Fingerprint(std::uint64_t key) {
+    const std::uint16_t fp = static_cast<std::uint16_t>(FlatHashMix(key));
+    return fp == kEmpty ? 1 : fp;
+  }
+
+  // Bucket hash draws on distinct mix bits from the fingerprint, otherwise
+  // every aliasing pair would also share buckets and alias in both probes.
+  std::size_t IndexHash(std::uint64_t key) const {
+    return static_cast<std::size_t>(FlatHashMix(key) >> 16) & bucket_mask_;
+  }
+
+  std::size_t AltIndex(std::size_t bucket, std::uint16_t fp) const {
+    return (bucket ^ static_cast<std::size_t>(FlatHashMix(fp))) & bucket_mask_;
+  }
+
+  int FindInBucket(std::size_t bucket, std::uint16_t fp) const {
+    const std::size_t base = bucket * kSlotsPerBucket;
+    for (std::size_t s = 0; s < kSlotsPerBucket; ++s) {
+      if (slots_[base + s] == fp) {
+        return static_cast<int>(s);
+      }
+    }
+    return -1;
+  }
+
+  bool PlaceInBucket(std::size_t bucket, std::uint16_t fp) {
+    const std::size_t base = bucket * kSlotsPerBucket;
+    for (std::size_t s = 0; s < kSlotsPerBucket; ++s) {
+      if (slots_[base + s] == kEmpty) {
+        slots_[base + s] = fp;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::uint64_t NextRandom() {
+    rng_state_ += 0x9e3779b97f4a7c15ull;
+    return FlatHashMix(rng_state_);
+  }
+
+  std::size_t bucket_mask_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t rng_state_ = 0x1905feb14d00full;
+  std::vector<std::uint16_t> slots_;
+};
+
+}  // namespace numalp
+
+#endif  // NUMALP_SRC_COMMON_CUCKOO_FILTER_H_

@@ -22,6 +22,28 @@ std::string_view NameOf(PolicyKind kind) {
   return "?";
 }
 
+std::string_view NameOf(ProfileMode mode) {
+  switch (mode) {
+    case ProfileMode::kExact:
+      return "exact";
+    case ProfileMode::kSketch:
+      return "sketch";
+  }
+  return "?";
+}
+
+bool ParseProfileMode(std::string_view text, ProfileMode* out) {
+  if (text == "exact") {
+    *out = ProfileMode::kExact;
+    return true;
+  }
+  if (text == "sketch") {
+    *out = ProfileMode::kSketch;
+    return true;
+  }
+  return false;
+}
+
 PolicyConfig MakePolicyConfig(PolicyKind kind) {
   PolicyConfig config;
   config.kind = kind;
@@ -89,6 +111,19 @@ SimConfig WithEnvOverrides(SimConfig sim) {
   }
   if (PositiveEnvInt("NUMALP_SHARDS_FORCE") > 0) {
     sim.shards_force = true;
+  }
+  if (const char* mode = std::getenv("NUMALP_PROFILE_MODE"); mode != nullptr) {
+    ParseProfileMode(mode, &sim.profile_mode);
+  }
+  if (const long long threshold = PositiveEnvInt("NUMALP_PROFILE_THRESHOLD"); threshold > 0) {
+    sim.profile_sketch.admit_threshold = static_cast<std::uint64_t>(threshold);
+  }
+  if (const long long capacity = PositiveEnvInt("NUMALP_PROFILE_FILTER_CAPACITY");
+      capacity > 0) {
+    sim.profile_sketch.filter_capacity = static_cast<std::uint64_t>(capacity);
+  }
+  if (const long long width = PositiveEnvInt("NUMALP_PROFILE_SKETCH_WIDTH"); width > 0) {
+    sim.profile_sketch.sketch_width = static_cast<std::uint32_t>(width);
   }
   return sim;
 }

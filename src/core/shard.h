@@ -71,6 +71,14 @@ struct ShardContext {
   };
   std::vector<PendingSample> pending_samples;
   std::size_t pending_cursor = 0;
+  // Sketch-profile-mode presketch delta: the 4KB page bases this core's
+  // speculative samples would have added to the engine's epoch presketch
+  // (simulation.h). Kept sparse — a window carries only a handful of samples
+  // per core, so folding a list of bases at commit is far cheaper than
+  // merging per-shard sketch arrays — and folded in canonical core order
+  // like the counter deltas (commutative integer sums: any order is the
+  // serial order). Cleared on commit and on rollback.
+  std::vector<Addr> spec_sketch_pages;
 
   // --- Window snapshot (rollback target when speculation fails) -----------
   Tlb tlb_backup;

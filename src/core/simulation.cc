@@ -113,7 +113,20 @@ Simulation::Simulation(const Topology& topo, const WorkloadSpec& workload,
       policy_rng_(sim_.seed ^ 0x9e37u),
       carrefour_(policy_.carrefour, topo_.num_nodes(), sim_.seed ^ 0xc4fu),
       khugepaged_(*address_space_),
-      window_(kSampleWindowEpochs, sim_.reference_pipeline) {
+      window_(kSampleWindowEpochs, sim_.reference_pipeline, sim_.profile_mode,
+              sim_.profile_sketch) {
+  // The epoch presketch exists only where it is consumed: sketch profile
+  // mode, fast engine, and a policy stack that actually pushes the window.
+  // All of these are fixed at construction, so every shard count and every
+  // epoch take the same branch — the determinism argument needs that.
+  const bool window_consumed =
+      policy_.use_carrefour || policy_.use_reactive || policy_.use_conservative;
+  presketch_enabled_ = !sim_.reference_pipeline &&
+                       sim_.profile_mode == ProfileMode::kSketch && window_consumed;
+  if (presketch_enabled_) {
+    epoch_presketch_ =
+        CountSketch(sim_.profile_sketch.sketch_rows, sim_.profile_sketch.sketch_width);
+  }
   thp_state_.alloc_enabled = policy_.initial_thp_alloc;
   thp_state_.promote_enabled = policy_.initial_thp_promote;
   // The reference engine keeps the seed's per-call access generator and the
@@ -291,8 +304,14 @@ bool Simulation::ProcessSlice(ShardContext& ctx, const WorkloadAccess* accesses,
         // in serial (round, thread) order.
         ctx.pending_samples.push_back(
             ShardContext::PendingSample{access.va, base_index + i, home, dram});
+        if (presketch_enabled_) {
+          ctx.spec_sketch_pages.push_back(AlignDown(access.va, kBytes4K));
+        }
       } else {
         ibs_.Sample(access.va, core, node, home, dram);
+        if (presketch_enabled_) {
+          epoch_presketch_.Add(AlignDown(access.va, kBytes4K), +1);
+        }
       }
     }
     exec_cycles += cost;
@@ -420,6 +439,7 @@ void Simulation::RestoreShard(ShardContext& ctx) {
   std::fill(ctx.spec_node_incoming_remote.begin(), ctx.spec_node_incoming_remote.end(), 0);
   ctx.pending_samples.clear();
   ctx.pending_cursor = 0;
+  ctx.spec_sketch_pages.clear();
 }
 
 void Simulation::CommitWindow(std::size_t first_round, std::size_t last_round) {
@@ -434,6 +454,12 @@ void Simulation::CommitWindow(std::size_t first_round, std::size_t last_round) {
       ctx.spec_node_requests[idx] = 0;
       ctx.spec_node_incoming_remote[idx] = 0;
     }
+    // Presketch deltas fold here too (sketch profile mode): counted sums,
+    // so the canonical core order reproduces the serial additions exactly.
+    for (const Addr page : ctx.spec_sketch_pages) {
+      epoch_presketch_.Add(page, +1);
+    }
+    ctx.spec_sketch_pages.clear();
   }
   // Replay pending IBS samples into the engine in exact serial order: the
   // serial loop runs (round, thread) and a thread's samples within a round
@@ -484,7 +510,33 @@ Cycles Simulation::RunPolicies(Cycles wall_so_far, EpochRecord& record) {
   const bool window_consumed = policy_.use_carrefour || lp_ != nullptr;
   PageAggMap pages;
   if (window_consumed || sim_.reference_pipeline) {
-    window_.PushEpoch(std::move(fresh));
+    if (presketch_enabled_) {
+      window_.PushEpoch(std::move(fresh), &epoch_presketch_);
+      epoch_presketch_.Reset();
+    } else {
+      window_.PushEpoch(std::move(fresh));
+    }
+    // Sketch mode prunes the mirrored Carrefour state along with the window
+    // (DESIGN.md Section 11): a 2MB window whose last live sample just
+    // retired carries per-page placement statistics nothing will read again
+    // until it is re-sampled — and re-sampling rebuilds them. Inert on the
+    // paper grids (their runs never outlive the 512-epoch window, so nothing
+    // retires), it is what bounds Carrefour's state on long sparse runs.
+    if (policy_.use_carrefour && !window_.retired_pages().empty()) {
+      std::vector<Addr> retired_windows;
+      retired_windows.reserve(window_.retired_pages().size());
+      for (const Addr base : window_.retired_pages()) {
+        retired_windows.push_back(AlignDown(base, kBytes2M));
+      }
+      std::sort(retired_windows.begin(), retired_windows.end());
+      retired_windows.erase(std::unique(retired_windows.begin(), retired_windows.end()),
+                            retired_windows.end());
+      for (const Addr w : retired_windows) {
+        if (!window_.HasSamplesIn(w, kBytes2M)) {
+          carrefour_.ForgetRange(w, kBytes2M);
+        }
+      }
+    }
     pages = window_.FoldToMapping(*address_space_);
   }
 
@@ -940,6 +992,9 @@ RunResult Simulation::Run() {
     result.totals.Accumulate(core);
   }
   result.final_thp_coverage = address_space_->LargePageCoverage();
+  result.profile_peak_entries = window_.peak_entries();
+  result.profile_state_bytes = window_.peak_state_bytes();
+  result.profile_admission_misses = window_.admission_misses();
   result.cumulative_pages = std::move(cumulative_pages_);
   cumulative_pages_ = PageAggMap{};
   return result;

@@ -75,6 +75,15 @@ struct RunResult {
   PageAggMap cumulative_pages;
   double final_thp_coverage = 0.0;
 
+  // Profiler state accounting (DESIGN.md Section 11). Deliberately NOT part
+  // of ResultRow/JSONL output: profile modes must stay byte-identical on the
+  // report surface whenever their decisions are identical, and these fields
+  // differ by construction (sketch mode carries a fixed filter+sketch
+  // budget). The profile-sweep bench reads them directly.
+  std::uint64_t profile_peak_entries = 0;     // exact-aggregate entry high-water
+  std::uint64_t profile_state_bytes = 0;      // peak entries + filter/sketch bytes
+  std::uint64_t profile_admission_misses = 0; // samples the full filter dropped
+
   // --- Paper-metric helpers ----------------------------------------------
   double LarPct() const;
   double ImbalancePct() const;
@@ -195,6 +204,15 @@ class Simulation {
   // kSampleWindowEpochs epochs of IBS samples (reference mode re-aggregates
   // from scratch instead; results are identical).
   SampleWindow window_;
+  // Sketch profile mode's epoch presketch (DESIGN.md Section 11): the
+  // current epoch's sampled 4KB page bases, counted as they are sampled so
+  // PushEpoch's admission test sees the whole epoch without an extra pass.
+  // Speculative slices stage their additions in ShardContext::
+  // spec_sketch_pages and CommitWindow folds them (commutative sums — the
+  // shard-count identity argument of Section 10 covers them unchanged).
+  // Maintained only when the window is actually consumed in sketch mode.
+  CountSketch epoch_presketch_;
+  bool presketch_enabled_ = false;
   // One execution context per core, owning every piece of slice-local state
   // (TLB, RNG, translation cache, fault accounting, the core's thread's
   // batch, and the speculative-window scratch/snapshot). Indexed by core;

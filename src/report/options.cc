@@ -25,6 +25,16 @@ void PrintUsage(std::FILE* out, const ToolInfo& info) {
                " (NUMALP_SHARDS);\n"
                "                         clamped to the host budget unless forced,"
                " never changes results\n"
+               "  --profile-mode M       profiling metadata: exact | sketch"
+               " (NUMALP_PROFILE_MODE;\n"
+               "                         default exact; sketch at the default"
+               " threshold of 1 is\n"
+               "                         bit-identical, >= 2 bounds state on sparse"
+               " footprints)\n"
+               "  --profile-threshold N  sketch admission threshold"
+               " (NUMALP_PROFILE_THRESHOLD)\n"
+               "  --profile-capacity N   sketch filter slots"
+               " (NUMALP_PROFILE_FILTER_CAPACITY)\n"
                "  --help                 this message\n",
                info.name, info.bench_id, info.bench_id);
   if (info.extra_usage != nullptr && info.extra_usage[0] != '\0') {
@@ -72,6 +82,14 @@ Options ParseToolArgs(int argc, char** argv, const ToolInfo& info,
       options.sim.accesses_per_thread_per_epoch = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--shards") {
       options.sim.shards = std::atoi(next());
+    } else if (arg == "--profile-mode") {
+      if (!ParseProfileMode(next(), &options.sim.profile_mode)) {
+        fail();
+      }
+    } else if (arg == "--profile-threshold") {
+      options.sim.profile_sketch.admit_threshold = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--profile-capacity") {
+      options.sim.profile_sketch.filter_capacity = std::strtoull(next(), nullptr, 10);
     } else {
       bool handled = false;
       for (const ExtraFlag& extra : extras) {
@@ -100,6 +118,9 @@ std::optional<BenchmarkId> ParseWorkloadName(const std::string& name) {
   }
   if (name == "streamcluster" || name == NameOf(BenchmarkId::kStreamcluster)) {
     return BenchmarkId::kStreamcluster;
+  }
+  if (name == NameOf(BenchmarkId::kSparseFootprint)) {
+    return BenchmarkId::kSparseFootprint;
   }
   return std::nullopt;
 }

@@ -1,6 +1,7 @@
 // The one command-line parser shared by every bench, example and tool, so
 // --help output and the results-pipeline flags (--format, --out-dir, --jobs,
-// --seed, --epochs, --accesses, --shards) are uniform across all binaries
+// --seed, --epochs, --accesses, --shards, --profile-mode,
+// --profile-threshold, --profile-capacity) are uniform across all binaries
 // (DESIGN.md Section 6). Binaries add tool-specific flags as ExtraFlags; the workload/
 // machine/policy name parsers that numalp_run and quickstart historically
 // each hand-rolled live here too.
@@ -47,7 +48,8 @@ struct Options {
 };
 
 // Parses argv. Standard flags: --format, --out-dir, --jobs, --seed,
-// --epochs, --accesses, --shards, --help (prints uniform usage, exits 0).
+// --epochs, --accesses, --shards, --profile-mode, --profile-threshold,
+// --profile-capacity, --help (prints uniform usage, exits 0).
 // Unknown flags or bad values print usage to stderr and exit 2.
 Options ParseToolArgs(int argc, char** argv, const ToolInfo& info,
                       const std::vector<ExtraFlag>& extras = {});

@@ -532,6 +532,43 @@ TEST(EngineIdentityTest, FastAndReferencePipelinesAreBitIdentical) {
   }
 }
 
+// Sketch profile mode at the default admission threshold must reproduce
+// exact mode bit for bit on every decision-bearing surface (DESIGN.md
+// Section 11's identity argument: the epoch presketch admits every page on
+// its first sample, so the exact aggregate sees the identical sample stream
+// and the filter/sketch are never consulted). Same cells as the engine
+// identity matrix — CG.D's hot-page churn and UA.B's demotion/hinting path —
+// plus absurdly small sketch knobs on a second pass, which must not matter
+// at threshold 1.
+TEST(EngineIdentityTest, SketchProfileModeIsBitIdentical) {
+  const Topology topo = Topology::MachineA();
+  for (const BenchmarkId bench : {BenchmarkId::kCG_D, BenchmarkId::kUA_B}) {
+    for (const PolicyKind kind :
+         {PolicyKind::kThp, PolicyKind::kCarrefour2M, PolicyKind::kCarrefourLp,
+          PolicyKind::kConservativeOnly}) {
+      SimConfig sim;
+      sim.accesses_per_thread_per_epoch = 1024;
+      sim.max_epochs = 25;
+      WorkloadSpec spec = MakeWorkloadSpec(bench, topo);
+      spec.steady_accesses_per_thread = 16'000;
+
+      Simulation exact(topo, spec, MakePolicyConfig(kind), sim);
+      const RunResult exact_result = exact.Run();
+
+      SimConfig sketch_sim = sim;
+      sketch_sim.profile_mode = ProfileMode::kSketch;
+      Simulation sketch(topo, spec, MakePolicyConfig(kind), sketch_sim);
+      ExpectIdenticalRuns(exact_result, sketch.Run());
+
+      SimConfig tiny_sim = sketch_sim;
+      tiny_sim.profile_sketch.filter_capacity = 16;
+      tiny_sim.profile_sketch.sketch_width = 16;
+      Simulation tiny(topo, spec, MakePolicyConfig(kind), tiny_sim);
+      ExpectIdenticalRuns(exact_result, tiny.Run());
+    }
+  }
+}
+
 // The acceptance-criteria regression for the sharded engine (DESIGN.md
 // Section 10): every shard count must reproduce the serial engine bit for
 // bit, on both the hot-page driver (CG.D) and the UA.B path whose
@@ -563,9 +600,12 @@ TEST(EngineIdentityTest, ShardCountsAreBitIdentical) {
 }
 
 // The full matrix the oracle CI job enforces, in miniature: a small grid at
-// jobs={1,8} x shards={1,4} under both engines must produce one identical
-// result set — parallelism (between cells or inside one) never changes
-// results, and neither does the engine.
+// jobs={1,8} x shards={1,4} x profile={exact,sketch} under both engines must
+// produce one identical result set — parallelism (between cells or inside
+// one) never changes results, and neither does the engine or the profiling
+// metadata representation. (Reference x sketch degenerates to reference x
+// exact by construction — SampleWindow forces exact under the reference
+// pipeline — and the axis keeps that pin honest.)
 TEST(EngineIdentityTest, JobsAndEngineAxesAreBitIdentical) {
   ExperimentGrid grid;
   grid.machines = {Topology::MachineA()};
@@ -577,14 +617,17 @@ TEST(EngineIdentityTest, JobsAndEngineAxesAreBitIdentical) {
 
   std::vector<GridResults> all;
   for (const bool reference : {false, true}) {
-    for (const int jobs : {1, 8}) {
-      for (const int shards : {1, 4}) {
-        ExperimentGrid g = grid;
-        g.sim.reference_pipeline = reference;
-        g.sim.shards = shards;
-        g.sim.shards_force = true;
-        const ExperimentRunner runner(jobs);
-        all.push_back(RunGrid(g, runner));
+    for (const ProfileMode mode : {ProfileMode::kExact, ProfileMode::kSketch}) {
+      for (const int jobs : {1, 8}) {
+        for (const int shards : {1, 4}) {
+          ExperimentGrid g = grid;
+          g.sim.reference_pipeline = reference;
+          g.sim.profile_mode = mode;
+          g.sim.shards = shards;
+          g.sim.shards_force = true;
+          const ExperimentRunner runner(jobs);
+          all.push_back(RunGrid(g, runner));
+        }
       }
     }
   }

@@ -106,15 +106,21 @@ TEST(ExperimentRunnerTest, GridIsDeterministicAcrossJobCounts) {
   }
 }
 
-// End-to-end determinism across the jobs x shards matrix, at the artifact
-// level: the streamed JSONL a bench would write must be byte-identical no
-// matter how many grid workers or intra-cell shards ran it (the oracle CI
-// job diffs exactly this, at full grid scale).
-TEST(ExperimentRunnerTest, GridJsonlIsByteIdenticalAcrossJobsAndShards) {
-  const auto render = [](int jobs, int shards) {
+// End-to-end determinism across the jobs x shards x profile-mode matrix, at
+// the artifact level: the streamed JSONL a bench would write must be
+// byte-identical no matter how many grid workers or intra-cell shards ran
+// it, and no matter whether the profiler kept exact aggregates or ran the
+// sketch admission front end at its bit-identical default threshold (the
+// oracle CI job diffs exactly this, at full grid scale). The grid adds UA.B
+// — the false-sharing cell whose demotion/hinting path is the historically
+// fragile one — on top of TestGrid's CG.D and WC.
+TEST(ExperimentRunnerTest, GridJsonlIsByteIdenticalAcrossJobsShardsAndProfileModes) {
+  const auto render = [](int jobs, int shards, ProfileMode mode) {
     ExperimentGrid grid = TestGrid();
+    grid.workloads.push_back(BenchmarkId::kUA_B);
     grid.sim.shards = shards;
     grid.sim.shards_force = true;  // real worker threads even on a busy host
+    grid.sim.profile_mode = mode;
     std::ostringstream out;
     {
       report::GridReport report(std::make_unique<report::JsonlSink>(out), "runner_test", jobs);
@@ -122,14 +128,18 @@ TEST(ExperimentRunnerTest, GridJsonlIsByteIdenticalAcrossJobsAndShards) {
     }
     return out.str();
   };
-  const std::string golden = render(/*jobs=*/1, /*shards=*/1);
+  const std::string golden = render(/*jobs=*/1, /*shards=*/1, ProfileMode::kExact);
   EXPECT_FALSE(golden.empty());
   for (const int jobs : {1, 8}) {
     for (const int shards : {1, 4}) {
-      if (jobs == 1 && shards == 1) {
-        continue;
+      for (const ProfileMode mode : {ProfileMode::kExact, ProfileMode::kSketch}) {
+        if (jobs == 1 && shards == 1 && mode == ProfileMode::kExact) {
+          continue;
+        }
+        EXPECT_EQ(render(jobs, shards, mode), golden)
+            << "jobs " << jobs << " shards " << shards << " profile "
+            << NameOf(mode);
       }
-      EXPECT_EQ(render(jobs, shards), golden) << "jobs " << jobs << " shards " << shards;
     }
   }
 }
@@ -250,6 +260,24 @@ TEST(ExperimentRunnerTest, EnvOverridesParsePositiveValues) {
   ASSERT_EQ(setenv("NUMALP_MAX_EPOCHS", "-3", 1), 0);
   EXPECT_EQ(WithEnvOverrides(sim).max_epochs, default_epochs);
   ASSERT_EQ(unsetenv("NUMALP_MAX_EPOCHS"), 0);
+}
+
+TEST(ExperimentRunnerTest, ProfileModeEnvOverrides) {
+  SimConfig sim;
+  ASSERT_EQ(unsetenv("NUMALP_PROFILE_MODE"), 0);
+  EXPECT_EQ(WithEnvOverrides(sim).profile_mode, ProfileMode::kExact);
+  ASSERT_EQ(setenv("NUMALP_PROFILE_MODE", "sketch", 1), 0);
+  EXPECT_EQ(WithEnvOverrides(sim).profile_mode, ProfileMode::kSketch);
+  ASSERT_EQ(setenv("NUMALP_PROFILE_MODE", "bogus", 1), 0);
+  EXPECT_EQ(WithEnvOverrides(sim).profile_mode, ProfileMode::kExact);
+  ASSERT_EQ(setenv("NUMALP_PROFILE_THRESHOLD", "3", 1), 0);
+  ASSERT_EQ(setenv("NUMALP_PROFILE_FILTER_CAPACITY", "4096", 1), 0);
+  const SimConfig overridden = WithEnvOverrides(sim);
+  EXPECT_EQ(overridden.profile_sketch.admit_threshold, 3u);
+  EXPECT_EQ(overridden.profile_sketch.filter_capacity, 4096u);
+  ASSERT_EQ(unsetenv("NUMALP_PROFILE_MODE"), 0);
+  ASSERT_EQ(unsetenv("NUMALP_PROFILE_THRESHOLD"), 0);
+  ASSERT_EQ(unsetenv("NUMALP_PROFILE_FILTER_CAPACITY"), 0);
 }
 
 }  // namespace

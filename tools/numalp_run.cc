@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   const numalp::report::ToolInfo info = {
       "numalp_run", "run", "one experiment against its Linux-4K baseline",
       "  --workload NAME        paper suite (BT.B CG.D ... SPECjbb) + streamcluster"
-      " (default CG.D)\n"
+      " sparse-footprint (default CG.D)\n"
       "  --machine A|B          machine preset (default B)\n"
       "  --policy P             linux-4k thp carrefour-2m reactive conservative"
       " carrefour-lp (default carrefour-lp)\n"
