@@ -25,6 +25,17 @@ std::vector<CarrefourAction> Carrefour::Plan(const PageAggMap& pages, int epoch)
     if (agg.dram == 0 || agg.total < config_.min_samples_per_page) {
       return;
     }
+    // Failed-migration state machine: abandoned pages are never re-planned;
+    // pages in retry backoff wait for their retry epoch (the backoff, not
+    // the generic cooldown, owns a failed page's schedule).
+    if (abandoned_.Contains(page_base)) {
+      return;
+    }
+    if (const int* retry = retry_epoch_.Find(page_base)) {
+      if (epoch < *retry) {
+        return;
+      }
+    }
     const int* last = last_action_epoch_.Find(page_base);
     if (last != nullptr && epoch - *last < config_.per_page_cooldown_epochs) {
       return;
@@ -43,6 +54,7 @@ std::vector<CarrefourAction> Carrefour::Plan(const PageAggMap& pages, int epoch)
         action.target_node = target;
         actions.push_back(action);
         last_action_epoch_[page_base] = epoch;
+        retry_epoch_.Erase(page_base);
         ++total_migrations_;
       }
     } else {
@@ -67,6 +79,25 @@ std::vector<CarrefourAction> Carrefour::Plan(const PageAggMap& pages, int epoch)
     }
   });
   return actions;
+}
+
+void Carrefour::NoteMigrationFailure(Addr page_base, int epoch) {
+  int& streak = failure_streak_[page_base];
+  ++streak;
+  if (streak >= config_.migrate_abandon_after_failures) {
+    if (abandoned_.Insert(page_base)) {
+      ++abandoned_count_;
+    }
+    retry_epoch_.Erase(page_base);
+    return;
+  }
+  // Doubling backoff: 2, 4, 8... epochs from the failed attempt. The stamp
+  // Plan() wrote for the attempt is cleared so the backoff — not the generic
+  // per-page cooldown — schedules the retry.
+  const int backoff = config_.migrate_retry_backoff_epochs << (streak - 1);
+  retry_epoch_[page_base] = epoch + backoff;
+  last_action_epoch_.Erase(page_base);
+  ++retried_migrations_;
 }
 
 void Carrefour::ForgetRange(Addr base, std::uint64_t bytes) {

@@ -51,6 +51,13 @@ struct CarrefourConfig {
   // damps ping-pong of pages whose sampled accessor alternates between
   // epochs (e.g. slice-boundary windows under 2MB pages).
   int per_page_cooldown_epochs = 8;
+  // Failed-migration handling (fault injection, DESIGN.md Section 12): a
+  // page whose move failed is re-queued after a doubling backoff, and after
+  // this many consecutive failures it is abandoned — Carrefour stops
+  // planning moves for it (its undelivered locality gain then expires
+  // through the LP realized-gain accounting).
+  int migrate_retry_backoff_epochs = 2;
+  int migrate_abandon_after_failures = 3;
 };
 
 struct CarrefourAction {
@@ -77,10 +84,27 @@ class Carrefour {
   // every epoch, and enforces the per-page migration cooldown.
   std::vector<CarrefourAction> Plan(const PageAggMap& pages, int epoch);
 
+  // Records that a planned move of `page_base` failed to execute (injected
+  // fault or full target node). The page is re-queued with a doubling
+  // backoff — charged attempts, no delivered locality — and abandoned after
+  // migrate_abandon_after_failures consecutive failures. A later successful
+  // action (or Forget) clears the failure streak.
+  void NoteMigrationFailure(Addr page_base, int epoch);
+
+  // A planned move of `page_base` executed: reset its failure streak so
+  // earlier transient failures don't push a now-healthy page toward abandon.
+  void NoteMigrationSuccess(Addr page_base) {
+    failure_streak_.Erase(page_base);
+    retry_epoch_.Erase(page_base);
+  }
+
   // A page's state is forgotten when it is split or unmapped.
   void Forget(Addr page_base) {
     interleaved_.Erase(page_base);
     last_action_epoch_.Erase(page_base);
+    failure_streak_.Erase(page_base);
+    retry_epoch_.Erase(page_base);
+    abandoned_.Erase(page_base);
   }
   // Range form for consolidation: when a 2MB window is promoted back to one
   // huge page, the per-4KB-piece state underneath it (interleave marks,
@@ -89,10 +113,16 @@ class Carrefour {
   void ForgetAll() {
     interleaved_.clear();
     last_action_epoch_.clear();
+    failure_streak_.clear();
+    retry_epoch_.clear();
+    abandoned_.clear();
   }
 
   std::uint64_t total_migrations() const { return total_migrations_; }
   std::uint64_t total_interleaves() const { return total_interleaves_; }
+  // Fault-mode telemetry: re-queued (retried) moves and pages given up on.
+  std::uint64_t retried_migrations() const { return retried_migrations_; }
+  std::uint64_t abandoned_pages() const { return abandoned_count_; }
 
   const CarrefourConfig& config() const { return config_; }
 
@@ -102,8 +132,13 @@ class Carrefour {
   Rng rng_;
   FlatSet<Addr> interleaved_;
   FlatMap<Addr, int> last_action_epoch_;
+  FlatMap<Addr, int> failure_streak_;  // consecutive failed moves per page
+  FlatMap<Addr, int> retry_epoch_;     // earliest epoch a retry may run
+  FlatSet<Addr> abandoned_;
   std::uint64_t total_migrations_ = 0;
   std::uint64_t total_interleaves_ = 0;
+  std::uint64_t retried_migrations_ = 0;
+  std::uint64_t abandoned_count_ = 0;
 };
 
 }  // namespace numalp

@@ -14,7 +14,17 @@ CarrefourLp::SplitDesire CarrefourLp::EvaluateDesire(
   const LarEstimates& lar = observation.lar;
   const LpModelConfig& model = config_.lp_model;
   bool carrefour_trusted = true;
-  if (lar.carrefour_pct - lar.current_pct > config_.lar_gain_carrefour_pct) {
+  // Fault-mode realized-gain discount: the what-if Carrefour estimate
+  // assumes every planned move executes; when the machine is failing
+  // migrations, only the delivered fraction of the gain is credible. The
+  // branch is taken only when the rate actually dropped, so a fault-free
+  // run (rate exactly 1.0) evaluates the untouched estimate bit-for-bit.
+  double carrefour_pct = lar.carrefour_pct;
+  if (observation.migration_success_rate < 1.0) {
+    carrefour_pct = lar.current_pct + (lar.carrefour_pct - lar.current_pct) *
+                                          observation.migration_success_rate;
+  }
+  if (carrefour_pct - lar.current_pct > config_.lar_gain_carrefour_pct) {
     // Line 10: migration alone promises enough — but the promise must be
     // credible. Under sparse sampling the what-if estimate over-predicts
     // persistently (one sample per page reads as "single-node, migratable"),
@@ -59,7 +69,7 @@ CarrefourLp::SplitDesire CarrefourLp::EvaluateDesire(
   // set. Once engaged, the per-epoch budget takes over as the limiter.
   if (model.cost_budget && observation.costs.epoch_accesses > 0 && !split_pages_) {
     const double anchor = carrefour_trusted
-                              ? std::max(lar.current_pct, lar.carrefour_pct)
+                              ? std::max(lar.current_pct, carrefour_pct)
                               : lar.current_pct;
     const double incremental =
         lar.carrefour_split_pct - anchor - model.split_estimate_margin_pct;

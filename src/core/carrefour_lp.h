@@ -51,6 +51,13 @@ struct LpObservation {
   // the epoch's measured counters. All-zero (the default) bypasses the cost
   // model: threshold-only decisions, flat demotion cap.
   LpCostInputs costs;
+  // Realized-gain discount under fault injection: the measured fraction of
+  // recently planned Carrefour moves that actually executed. The
+  // migration-gain exit (Algorithm 1 line 10) scales its predicted gain by
+  // this — when moves mostly fail, "Carrefour alone will fix it" stops
+  // suppressing the split path. Exactly 1.0 (the default, and always the
+  // value with faults off) leaves every estimate bit-identical.
+  double migration_success_rate = 1.0;
 };
 
 struct LpDecision {

@@ -125,6 +125,25 @@ SimConfig WithEnvOverrides(SimConfig sim) {
   if (const long long width = PositiveEnvInt("NUMALP_PROFILE_SKETCH_WIDTH"); width > 0) {
     sim.profile_sketch.sketch_width = static_cast<std::uint32_t>(width);
   }
+  if (const char* profile = std::getenv("NUMALP_FAULT_PROFILE"); profile != nullptr) {
+    if (const auto parsed = ParseFaultProfile(profile)) {
+      sim.faults.profile = *parsed;
+    }
+  }
+  // Rate overrides are percentages and may legitimately be 0, so presence is
+  // checked directly instead of through PositiveEnvInt.
+  if (const char* pct = std::getenv("NUMALP_FAULT_ALLOC_PCT"); pct != nullptr) {
+    sim.faults.alloc_fail_pct = std::strtod(pct, nullptr);
+  }
+  if (const char* pct = std::getenv("NUMALP_FAULT_MIGRATE_PCT"); pct != nullptr) {
+    sim.faults.migrate_fail_pct = std::strtod(pct, nullptr);
+  }
+  if (const char* pct = std::getenv("NUMALP_FAULT_LARGE_MIGRATE_PCT"); pct != nullptr) {
+    sim.faults.large_migrate_fail_pct = std::strtod(pct, nullptr);
+  }
+  if (const char* pct = std::getenv("NUMALP_FAULT_PRESSURE_PCT"); pct != nullptr) {
+    sim.faults.pressure_pct = std::strtod(pct, nullptr);
+  }
   return sim;
 }
 

@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "src/carrefour/carrefour.h"
+#include "src/core/faults.h"
 #include "src/hw/interconnect.h"
 #include "src/hw/mem_ctrl.h"
 #include "src/hw/tlb.h"
@@ -135,6 +136,12 @@ struct SimConfig {
   // state to bound.
   ProfileMode profile_mode = ProfileMode::kExact;
   ProfileSketchConfig profile_sketch;
+  // Deterministic fault injection (DESIGN.md Section 12; env:
+  // NUMALP_FAULT_PROFILE={off,frag,pressure,churn} with NUMALP_FAULT_ALLOC_PCT,
+  // NUMALP_FAULT_MIGRATE_PCT, NUMALP_FAULT_PRESSURE_PCT rate overrides). Off
+  // by default: no FaultPlan is constructed and runs are byte-identical to
+  // fault-free builds.
+  FaultConfig faults;
 
   TlbConfig tlb;
   WalkerConfig walker;

@@ -129,6 +129,17 @@ Simulation::Simulation(const Topology& topo, const WorkloadSpec& workload,
   }
   thp_state_.alloc_enabled = policy_.initial_thp_alloc;
   thp_state_.promote_enabled = policy_.initial_thp_promote;
+  // Fault injection (DESIGN.md Section 12): the plan pins its fragmentation
+  // into the buddy allocators *before* the workload exists, so even the
+  // setup phase's first-touch storm contends with it — exactly like a
+  // machine that fragmented before the application launched. With faults
+  // off, fault_plan_ stays null and no fault branch below ever draws from
+  // an RNG or touches allocator state.
+  if (sim_.faults.enabled()) {
+    fault_plan_ = std::make_unique<FaultPlan>(sim_.faults, sim_.seed);
+    fault_plan_->Prepare(phys_);
+    address_space_->set_fault_plan(fault_plan_.get());
+  }
   // The reference engine keeps the seed's per-call access generator and the
   // scalar TLB probe/install algorithms (the fast engine's run-batched
   // generator and vectorized TLB are value-identical; perf_hotpath --compare
@@ -595,6 +606,13 @@ Cycles Simulation::RunPolicies(Cycles wall_so_far, EpochRecord& record) {
     observation.costs.tlb_4k_reach_pages = static_cast<std::uint64_t>(sim_.tlb.l2_sets) *
                                            static_cast<std::uint64_t>(sim_.tlb.l2_ways) *
                                            static_cast<std::uint64_t>(topo_.num_cores());
+    // Realized-gain discount (fault injection only): how much of what
+    // Carrefour planned recently actually executed. 1.0 with faults off.
+    if (fault_plan_ != nullptr && fault_mig_attempted_ > 0) {
+      observation.migration_success_rate =
+          static_cast<double>(fault_mig_executed_) /
+          static_cast<double>(fault_mig_attempted_);
+    }
     record.est_current_lar = observation.lar.current_pct;
     record.est_carrefour_lar = observation.lar.carrefour_pct;
     record.est_split_lar = observation.lar.carrefour_split_pct;
@@ -607,6 +625,12 @@ Cycles Simulation::RunPolicies(Cycles wall_so_far, EpochRecord& record) {
     for (const auto& entry : decision.split_hot) {
       const Addr base = entry.first;
       const PageSize size = entry.second;
+      if (fault_plan_ != nullptr && fault_plan_->FailSplit()) {
+        // Injected demotion failure: the 2MB mapping stays intact, and the
+        // decision engine re-requests the still-hot page next epoch — the
+        // retry re-arms itself through the unchanged estimates.
+        continue;
+      }
       if (!address_space_->SplitLargePage(base)) {
         continue;
       }
@@ -642,6 +666,9 @@ Cycles Simulation::RunPolicies(Cycles wall_so_far, EpochRecord& record) {
     // Shared large pages (lines 15-18).
     for (const auto& entry : decision.split_shared) {
       const Addr base = entry.first;
+      if (fault_plan_ != nullptr && fault_plan_->FailSplit()) {
+        continue;  // as above: mapping intact, re-requested next epoch
+      }
       if (address_space_->SplitLargePage(base)) {
         kernel_cycles += sim_.costs.split_fixed + sim_.costs.shootdown_per_op;
         ++record.splits;
@@ -704,18 +731,49 @@ Cycles Simulation::RunPolicies(Cycles wall_so_far, EpochRecord& record) {
         reaggregated = window_.FoldToMapping(*address_space_);
         plan_pages = &reaggregated;
       }
-      const auto plan = carrefour_.Plan(*plan_pages, record.epoch);
+      auto plan = carrefour_.Plan(*plan_pages, record.epoch);
+      if (fault_plan_ != nullptr) {
+        fault_mig_attempted_ += plan.size();
+        // Partial completion: the per-node workers ran out of epoch budget
+        // mid-list. The truncated tail is re-queued through the failure
+        // backoff — charged attempts, no delivered locality.
+        const std::size_t budget = fault_plan_->PlanBudget(plan.size());
+        if (budget < plan.size()) {
+          for (std::size_t i = budget; i < plan.size(); ++i) {
+            carrefour_.NoteMigrationFailure(plan[i].page_base, record.epoch);
+          }
+          plan.resize(budget);
+        }
+      }
       std::uint64_t plan_pages_moved = 0;
       std::uint64_t plan_bytes_moved = 0;
+      std::uint64_t plan_failed_attempts = 0;
       for (const CarrefourAction& action : plan) {
         if (auto moved = address_space_->MigratePage(action.page_base, action.target_node)) {
           ++plan_pages_moved;
           plan_bytes_moved += moved->bytes;
           ++record.migrations;
           shootdowns.emplace_back(moved->page_base, moved->size);
+          if (fault_plan_ != nullptr) {
+            ++fault_mig_executed_;
+            carrefour_.NoteMigrationSuccess(action.page_base);
+          }
+        } else if (fault_plan_ != nullptr) {
+          // Actionable failure (injected fault or full target node) versus
+          // benign no-op: the retry machinery owns the page only if it still
+          // exists at this exact base and still sits off-target.
+          const auto mapping = address_space_->Translate(action.page_base);
+          if (mapping.has_value() && mapping->page_base == action.page_base &&
+              mapping->node != action.target_node) {
+            carrefour_.NoteMigrationFailure(action.page_base, record.epoch);
+            ++plan_failed_attempts;
+          }
         }
       }
       kernel_cycles += batched_migrate_cycles(plan_pages_moved, plan_bytes_moved);
+      // Failed attempts still paid their list setup and shootdown broadcast;
+      // only the copy was skipped.
+      kernel_cycles += batched_migrate_cycles(plan_failed_attempts, 0);
     }
   }
 
@@ -724,6 +782,9 @@ Cycles Simulation::RunPolicies(Cycles wall_so_far, EpochRecord& record) {
   // anti-oscillation guard). Like khugepaged promotions, these land after
   // this epoch's placement pass — next epoch's fold sees the new granularity.
   for (const Addr base : repromote_windows) {
+    if (fault_plan_ != nullptr && fault_plan_->InPromoteBackoff(base)) {
+      continue;  // a recent 2MB allocation failure put this window in backoff
+    }
     const auto target = WindowPromotionTarget(*address_space_, base);
     if (!target.has_value()) {
       continue;  // under-populated or interleaved window: khugepaged may
@@ -764,6 +825,11 @@ Cycles Simulation::RunPolicies(Cycles wall_so_far, EpochRecord& record) {
   // migrate the consolidated page).
   if (thp_state_.promote_enabled && thp_state_.alloc_enabled) {
     const auto skip_in_flux = [this](Addr base) {
+      // Windows whose 2MB allocation recently failed sit out their backoff
+      // before khugepaged retries them (fault injection only).
+      if (fault_plan_ != nullptr && fault_plan_->InPromoteBackoff(base)) {
+        return true;
+      }
       if (migrate_on_touch_.empty()) {
         return false;
       }
@@ -819,6 +885,16 @@ RunResult Simulation::Run() {
   result.node_request_totals.assign(static_cast<std::size_t>(topo_.num_nodes()), 0);
 
   for (int epoch = 0; epoch < sim_.max_epochs; ++epoch) {
+    // Cooperative watchdog cancellation, checked only at epoch boundaries:
+    // a cancelled run is a deterministic prefix of the uncancelled one, so
+    // everything recorded up to here is still exact.
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      result.status = "deadline";
+      break;
+    }
+    if (fault_plan_ != nullptr) {
+      fault_plan_->BeginEpoch(epoch, phys_);
+    }
     counters_.Reset();
     for (ShardContext& ctx : shard_ctx_) {
       ctx.fault_parts = FaultCycleParts{};
@@ -992,6 +1068,34 @@ RunResult Simulation::Run() {
     result.totals.Accumulate(core);
   }
   result.final_thp_coverage = address_space_->LargePageCoverage();
+  if (fault_plan_ != nullptr) {
+    const FaultCounters& fc = fault_plan_->counters();
+    result.fault_alloc_failures = fc.alloc_failures;
+    result.fault_migration_failures = fc.migration_failures;
+    result.fault_split_failures = fc.split_failures;
+    result.fault_truncated_plans = fc.truncated_plans;
+    result.fault_pressure_epochs = fc.pressure_epochs;
+    result.fault_promote_backoffs = fc.promote_backoffs;
+    result.fault_retried_migrations = carrefour_.retried_migrations();
+    result.fault_abandoned_pages = carrefour_.abandoned_pages();
+    result.thp_fallback_faults = address_space_->thp_fallback_faults();
+  }
+  // Buddy fragmentation telemetry (filled on every run, faults or not):
+  // worst per-node fragmentation, the largest order any node can still
+  // serve, and the machine's residual 2MB allocation capacity.
+  constexpr int kOrder2M = 9;  // 2^9 frames * 4KB = 2MB
+  for (int n = 0; n < phys_.num_nodes(); ++n) {
+    const BuddyAllocator& alloc = phys_.node_allocator(n);
+    result.frag_index_pct =
+        std::max(result.frag_index_pct, 100.0 * alloc.FragmentationIndex());
+    result.buddy_largest_free_order =
+        std::max(result.buddy_largest_free_order, alloc.LargestFreeOrder());
+    for (int o = kOrder2M; o <= kMaxOrder; ++o) {
+      result.buddy_free_2m_blocks += alloc.FreeBlocksOfOrder(o)
+                                     << (o - kOrder2M);
+    }
+    result.buddy_alloc_failures += alloc.alloc_failures();
+  }
   result.profile_peak_entries = window_.peak_entries();
   result.profile_state_bytes = window_.peak_state_bytes();
   result.profile_admission_misses = window_.admission_misses();

@@ -75,6 +75,30 @@ struct RunResult {
   PageAggMap cumulative_pages;
   double final_thp_coverage = 0.0;
 
+  // Cell health (DESIGN.md Section 12): "ok", "deadline" (the watchdog
+  // cancelled the run at an epoch boundary), or "failed: <reason>" (the
+  // runner caught an exception and recorded this stub row instead of
+  // killing the grid).
+  std::string status = "ok";
+  // Fault-injection telemetry (all zero with faults off).
+  std::uint64_t fault_alloc_failures = 0;
+  std::uint64_t fault_migration_failures = 0;
+  std::uint64_t fault_split_failures = 0;
+  std::uint64_t fault_truncated_plans = 0;
+  std::uint64_t fault_pressure_epochs = 0;
+  std::uint64_t fault_promote_backoffs = 0;
+  std::uint64_t fault_retried_migrations = 0;
+  std::uint64_t fault_abandoned_pages = 0;
+  std::uint64_t thp_fallback_faults = 0;
+  // Buddy-allocator fragmentation telemetry at run end (filled on every
+  // run): worst per-node fragmentation index, largest free order across
+  // nodes, how many 2MB blocks the free lists could still serve, and how
+  // many Alloc calls failed over the run.
+  double frag_index_pct = 0.0;
+  int buddy_largest_free_order = -1;
+  std::uint64_t buddy_free_2m_blocks = 0;
+  std::uint64_t buddy_alloc_failures = 0;
+
   // Profiler state accounting (DESIGN.md Section 11). Deliberately NOT part
   // of ResultRow/JSONL output: profile modes must stay byte-identical on the
   // report surface whenever their decisions are identical, and these fields
@@ -124,6 +148,14 @@ class Simulation {
   // Effective intra-cell shard count after the oversubscription clamp
   // (DESIGN.md Section 10); 1 = the serial engine.
   int shard_count() const { return shard_count_; }
+  // The cell's fault schedule, or nullptr with faults off.
+  const FaultPlan* fault_plan() const { return fault_plan_.get(); }
+
+  // Cooperative cancellation for the runner's watchdog: when the flag goes
+  // true, Run() stops at the next epoch boundary and records status
+  // "deadline". Checked only between epochs, so a cancelled run is still a
+  // deterministic prefix of the uncancelled one.
+  void set_cancel_flag(const std::atomic<bool>* cancel) { cancel_ = cancel; }
 
  private:
   // Accesses per round-robin slice. 32: coarser slices would let one thread
@@ -194,6 +226,15 @@ class Simulation {
   Carrefour carrefour_;
   std::unique_ptr<CarrefourLp> lp_;
   KhugepagedScanner khugepaged_;
+  // Fault injection (DESIGN.md Section 12); null with faults off — every
+  // fault branch in the epoch loop is gated on this, so the default
+  // configuration executes the exact pre-fault instruction stream.
+  std::unique_ptr<FaultPlan> fault_plan_;
+  const std::atomic<bool>* cancel_ = nullptr;
+  // Carrefour-plan execution stats for the LP realized-gain discount
+  // (maintained only under fault injection).
+  std::uint64_t fault_mig_attempted_ = 0;
+  std::uint64_t fault_mig_executed_ = 0;
 
   // Carrefour keeps per-page statistics for the lifetime of the run (the
   // kernel module never resets them); bound the window only as a safety cap.

@@ -36,6 +36,7 @@ std::optional<Pfn> BuddyAllocator::Alloc(int order) {
     }
   }
   if (found < 0) {
+    ++alloc_failures_;
     return std::nullopt;
   }
   auto& list = free_lists_[static_cast<std::size_t>(found)];
@@ -49,6 +50,37 @@ std::optional<Pfn> BuddyAllocator::Alloc(int order) {
   allocated_[block] = order;
   free_frames_ -= 1ull << order;
   return block;
+}
+
+bool BuddyAllocator::AllocSpecific(Pfn pfn, int order) {
+  assert(order >= 0 && order <= kMaxOrder);
+  assert(((pfn - base_pfn_) & ((1ull << order) - 1)) == 0);
+  // Find the free ancestor block containing the target, smallest first.
+  for (int o = order; o <= kMaxOrder; ++o) {
+    const Pfn ancestor = ((pfn - base_pfn_) & ~((1ull << o) - 1)) + base_pfn_;
+    auto& list = free_lists_[static_cast<std::size_t>(o)];
+    const auto it = list.find(ancestor);
+    if (it == list.end()) {
+      continue;
+    }
+    list.erase(it);
+    // Split down toward the target, freeing the half that doesn't contain it.
+    Pfn block = ancestor;
+    for (int oo = o; oo > order; --oo) {
+      const Pfn upper_half = block + (1ull << (oo - 1));
+      if (pfn >= upper_half) {
+        free_lists_[static_cast<std::size_t>(oo - 1)].insert(block);
+        block = upper_half;
+      } else {
+        free_lists_[static_cast<std::size_t>(oo - 1)].insert(upper_half);
+      }
+    }
+    allocated_[block] = order;
+    free_frames_ -= 1ull << order;
+    return true;
+  }
+  ++alloc_failures_;
+  return false;
 }
 
 void BuddyAllocator::Free(Pfn pfn, int order) {

@@ -38,6 +38,12 @@ class BuddyAllocator {
   // deterministically.
   std::optional<Pfn> Alloc(int order);
 
+  // Allocates the specific block [pfn, pfn + 2^order), splitting whatever
+  // free ancestor block contains it. Returns false when any part of it is
+  // already allocated. Used by fault injection to pin frames at chosen
+  // addresses so fragmentation is real buddy state, not a coin flip.
+  bool AllocSpecific(Pfn pfn, int order);
+
   // Frees a block previously returned by Alloc (or produced by
   // SplitAllocated). Coalesces with free buddies.
   void Free(Pfn pfn, int order);
@@ -61,6 +67,13 @@ class BuddyAllocator {
   // -1 when nothing is free.
   int LargestFreeOrder() const;
 
+  // Fragmentation telemetry for fault-run explainability: free blocks of one
+  // order, and how many Alloc calls have failed over the allocator's life.
+  std::uint64_t FreeBlocksOfOrder(int order) const {
+    return free_lists_[static_cast<std::size_t>(order)].size();
+  }
+  std::uint64_t alloc_failures() const { return alloc_failures_; }
+
   // 0 = one maximal free block; ->1 as free memory shatters into small
   // blocks. Defined as 1 - largest_free_block_frames / free_frames.
   double FragmentationIndex() const;
@@ -75,6 +88,7 @@ class BuddyAllocator {
   Pfn base_pfn_;
   std::uint64_t total_frames_;
   std::uint64_t free_frames_ = 0;
+  std::uint64_t alloc_failures_ = 0;
   // Free blocks per order, keyed by first PFN (ordered: deterministic,
   // lowest-address-first allocation like Linux's free lists).
   std::vector<std::set<Pfn>> free_lists_;

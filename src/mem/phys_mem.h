@@ -47,6 +47,10 @@ class PhysicalMemory {
     return allocators_[static_cast<std::size_t>(node)];
   }
 
+  // Mutable access for fault injection (FaultPlan pins frames and hoards
+  // blocks directly on a node's allocator, bypassing the fallback order).
+  BuddyAllocator& mutable_node_allocator(int node) { return allocator(node); }
+
   std::uint64_t FreeBytesOnNode(int node) const;
   std::uint64_t TotalFreeBytes() const;
   bool CanAllocOnNode(int order, int node) const;

@@ -1,10 +1,13 @@
 #include "src/report/collector.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <iostream>
 
+#include "src/report/aggregate.h"
 #include "src/report/result_row.h"
 
 namespace numalp::report {
@@ -24,6 +27,12 @@ RunResult CyclesOnly(std::uint64_t total, std::uint64_t measured) {
 GridReport::GridReport(const Options& options, const ToolInfo& info)
     : bench_id_(info.bench_id), sinks_(std::make_unique<MultiSink>()),
       runner_(options.jobs) {
+  if (options.cell_deadline_ms >= 0) {
+    runner_.set_cell_deadline_ms(options.cell_deadline_ms);
+  }
+  if (options.cell_retries >= 0) {
+    runner_.set_max_cell_retries(options.cell_retries);
+  }
   sinks_->Add(MakeSink(options.format, std::cout));
   if (!options.out_dir.empty()) {
     std::error_code ec;
@@ -33,17 +42,24 @@ GridReport::GridReport(const Options& options, const ToolInfo& info)
                    ec.message().c_str());
       std::exit(2);
     }
-    for (const char* format : {"csv", "jsonl"}) {
-      const std::string path =
-          options.out_dir + "/" + std::string(info.bench_id) + "." + format;
-      std::string error;
-      auto sink = OpenFileSink(format, path, &error);
-      if (sink == nullptr) {
-        std::fprintf(stderr, "%s: %s\n", info.name, error.c_str());
-        std::exit(2);
-      }
-      sinks_->Add(std::move(sink));
+    const std::string stem = options.out_dir + "/" + std::string(info.bench_id);
+    csv_path_ = stem + ".csv";
+    jsonl_path_ = stem + ".jsonl";
+    manifest_path_ = stem + ".manifest.json";
+    if (options.resume) {
+      LoadResumeState();
     }
+    const auto csv_size = std::filesystem::file_size(csv_path_, ec);
+    const bool csv_has_content = !ec && csv_size > 0;
+    csv_stream_ = std::make_unique<std::ofstream>(csv_path_, std::ios::app);
+    jsonl_stream_ = std::make_unique<std::ofstream>(jsonl_path_, std::ios::app);
+    if (!*csv_stream_ || !*jsonl_stream_) {
+      std::fprintf(stderr, "%s: cannot open %s.{csv,jsonl}\n", info.name, stem.c_str());
+      std::exit(2);
+    }
+    sinks_->Add(std::make_unique<CsvSink>(*csv_stream_, /*write_header=*/!csv_has_content));
+    sinks_->Add(std::make_unique<JsonlSink>(*jsonl_stream_));
+    checkpointing_ = true;
   }
 }
 
@@ -53,6 +69,115 @@ GridReport::GridReport(std::unique_ptr<ResultSink> sink, std::string bench_id, i
 }
 
 GridReport::~GridReport() { Finish(); }
+
+void GridReport::Checkpoint() {
+  if (!checkpointing_) {
+    return;
+  }
+  csv_stream_->flush();
+  jsonl_stream_->flush();
+  ++cells_done_;
+  const std::string tmp = manifest_path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << "{\"version\":1,\"bench\":\"" << JsonEscape(bench_id_)
+        << "\",\"cells_done\":" << cells_done_
+        << ",\"csv_bytes\":" << static_cast<std::uint64_t>(csv_stream_->tellp())
+        << ",\"jsonl_bytes\":" << static_cast<std::uint64_t>(jsonl_stream_->tellp())
+        << "}\n";
+  }
+  // The rename is what makes a row durable: a kill at any point leaves
+  // either the old manifest (the new row's bytes become a torn tail that
+  // resume truncates away) or the new one (the row is fully flushed first).
+  std::error_code ec;
+  std::filesystem::rename(tmp, manifest_path_, ec);
+}
+
+void GridReport::LoadResumeState() {
+  std::ifstream manifest(manifest_path_);
+  if (!manifest) {
+    return;  // no manifest: nothing recorded, run from scratch
+  }
+  std::string line;
+  std::getline(manifest, line);
+  const auto field = [&line](const char* key) -> std::uint64_t {
+    const std::size_t pos = line.find(key);
+    if (pos == std::string::npos) {
+      return 0;
+    }
+    return std::strtoull(line.c_str() + pos + std::strlen(key), nullptr, 10);
+  };
+  const std::uint64_t cells_done = field("\"cells_done\":");
+  const std::uint64_t csv_bytes = field("\"csv_bytes\":");
+  const std::uint64_t jsonl_bytes = field("\"jsonl_bytes\":");
+  if (cells_done == 0) {
+    return;
+  }
+  // Drop any torn tail past the durable offsets. A file shorter than its
+  // recorded offset means the manifest and data are inconsistent (manual
+  // tampering); start over rather than resize-extend with zeros.
+  std::error_code ec;
+  const auto csv_size = std::filesystem::file_size(csv_path_, ec);
+  if (ec || csv_size < csv_bytes) {
+    return;
+  }
+  const auto jsonl_size = std::filesystem::file_size(jsonl_path_, ec);
+  if (ec || jsonl_size < jsonl_bytes) {
+    return;
+  }
+  std::filesystem::resize_file(csv_path_, csv_bytes, ec);
+  if (ec) {
+    return;
+  }
+  std::filesystem::resize_file(jsonl_path_, jsonl_bytes, ec);
+  if (ec) {
+    return;
+  }
+  resume_rows_ = LoadJsonlFile(jsonl_path_, nullptr);
+  if (resume_rows_.size() > cells_done) {
+    resume_rows_.resize(cells_done);
+  }
+  cells_done_ = resume_rows_.size();
+  resume_remaining_ = resume_rows_.size();
+  // Rebuild the streaming state EmitGridCell accumulated over the recovered
+  // grid rows (RunCells rows carry a variant tag and keep their own
+  // positional state, rebuilt per call from resume_rows_).
+  for (const ResultRow& row : resume_rows_) {
+    if (!row.variant.empty()) {
+      continue;
+    }
+    const std::string base_key =
+        row.machine + "|" + row.workload + "|" + std::to_string(row.seed);
+    if (row.policy == "Linux-4K") {
+      baselines_[base_key] = BaselineCycles{row.total_cycles, row.measured_cycles};
+    }
+    seen_[row.machine + "|" + row.workload + "|" + row.policy]++;
+  }
+}
+
+std::size_t GridReport::TakeResumeSkip(std::size_t cells_in_run) {
+  const std::size_t skip = std::min(resume_remaining_, cells_in_run);
+  resume_remaining_ -= skip;
+  runner_.set_skip_prefix(skip);
+  return skip;
+}
+
+namespace {
+
+// Cells a declarative grid expands to (runner.cc ExpandGrid): one baseline
+// per (machine, workload, seed) plus one cell per non-Linux-4K policy.
+std::size_t GridCellCount(const ExperimentGrid& grid) {
+  std::size_t extra = 0;
+  for (const PolicyKind kind : grid.policies) {
+    if (kind != PolicyKind::kLinux4K) {
+      ++extra;
+    }
+  }
+  return grid.machines.size() * grid.workloads.size() *
+         static_cast<std::size_t>(grid.num_seeds) * (1 + extra);
+}
+
+}  // namespace
 
 void GridReport::Finish() {
   if (finished_) {
@@ -86,9 +211,11 @@ void GridReport::EmitGridCell(const RunSpec& spec, const RunResult& result) {
       result.machine + "|" + result.workload + "|" + row.policy;
   row.seed_index = seen_[column_key]++;
   sinks_->Write(row);
+  Checkpoint();
 }
 
 GridResults GridReport::Run(const ExperimentGrid& grid) {
+  resume_consumed_ += TakeResumeSkip(GridCellCount(grid));
   runner_.set_observer([this](std::size_t, const RunSpec& spec, const RunResult& result) {
     EmitGridCell(spec, result);
   });
@@ -98,6 +225,11 @@ GridResults GridReport::Run(const ExperimentGrid& grid) {
 }
 
 std::vector<GridResults> GridReport::Run(const std::vector<ExperimentGrid>& grids) {
+  std::size_t total = 0;
+  for (const ExperimentGrid& grid : grids) {
+    total += GridCellCount(grid);
+  }
+  resume_consumed_ += TakeResumeSkip(total);
   runner_.set_observer([this](std::size_t, const RunSpec& spec, const RunResult& result) {
     EmitGridCell(spec, result);
   });
@@ -109,8 +241,17 @@ std::vector<GridResults> GridReport::Run(const std::vector<ExperimentGrid>& grid
 std::vector<RunResult> GridReport::RunCells(const std::vector<RunSpec>& cells,
                                             const std::vector<CellMeta>& meta) {
   // Cells stream in index order, so each cell's baseline (a lower index) has
-  // already been recorded here when the cell's row is built.
+  // already been recorded here when the cell's row is built. On resume the
+  // skipped prefix's cycle counts come from the recovered rows (one row per
+  // cell, positionally), so a surviving cell whose baseline was recovered
+  // still reports the exact improvement.
+  const std::size_t skip = TakeResumeSkip(cells.size());
   std::vector<BaselineCycles> emitted(cells.size());
+  for (std::size_t i = 0; i < skip; ++i) {
+    const ResultRow& row = resume_rows_[resume_consumed_ + i];
+    emitted[i] = BaselineCycles{row.total_cycles, row.measured_cycles};
+  }
+  resume_consumed_ += skip;
   runner_.set_observer(
       [this, &meta, &emitted](std::size_t i, const RunSpec& spec, const RunResult& result) {
         emitted[i] = BaselineCycles{result.total_cycles, result.measured_cycles};
@@ -125,6 +266,7 @@ std::vector<RunResult> GridReport::RunCells(const std::vector<RunSpec>& cells,
         sinks_->Write(MakeResultRow(bench_id_, spec, result,
                                     has_baseline ? &baseline : nullptr, cell_meta.seed_index,
                                     spec.sim.clock_ghz, cell_meta.variant));
+        Checkpoint();
       });
   std::vector<RunResult> results = runner_.Run(cells);
   runner_.set_observer(nullptr);

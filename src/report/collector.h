@@ -10,6 +10,7 @@
 #define NUMALP_SRC_REPORT_COLLECTOR_H_
 
 #include <cstdint>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -26,6 +27,18 @@ class GridReport {
   // CLI constructor: builds the stdout sink from --format plus, when
   // --out-dir was given, <out_dir>/<bench_id>.csv and .jsonl file sinks
   // (creating the directory). Prints to stderr and exits 2 on I/O errors.
+  //
+  // With --out-dir the grid is checkpointed (DESIGN.md Section 12): after
+  // every row both files are flushed and <bench_id>.manifest.json is
+  // rewritten atomically (tmp + rename) with the done-cell count and the
+  // durable byte offsets. With --resume, a manifest left by a killed run is
+  // read back: the files are truncated to their recorded offsets (dropping
+  // any torn tail), the completed prefix of cells is skipped, and streaming
+  // state (baselines, seed counters) is rebuilt from the recovered rows —
+  // the finished files are byte-identical to an uninterrupted run. The
+  // GridResults/RunResult values returned for skipped cells are
+  // default-constructed; resume mode regenerates the row files, not
+  // in-process summaries.
   GridReport(const Options& options, const ToolInfo& info);
 
   // Test/embedding constructor: writes rows to `sink` only.
@@ -62,6 +75,15 @@ class GridReport {
 
  private:
   void EmitGridCell(const RunSpec& spec, const RunResult& result);
+  // Flushes the file sinks and rewrites the manifest (tmp + rename); no-op
+  // without --out-dir.
+  void Checkpoint();
+  // Reads the manifest, truncates the files to their durable offsets, loads
+  // the recovered rows and rebuilds the grid streaming state.
+  void LoadResumeState();
+  // Arms the runner's skip prefix for a run over `cells_in_run` cells and
+  // returns how many of them are already recovered.
+  std::size_t TakeResumeSkip(std::size_t cells_in_run);
 
   std::string bench_id_;
   std::unique_ptr<MultiSink> sinks_;
@@ -75,6 +97,18 @@ class GridReport {
   };
   std::map<std::string, BaselineCycles> baselines_;  // (machine|workload|seed)
   std::map<std::string, int> seen_;                  // row count per column key
+
+  // Checkpoint/resume state (--out-dir only).
+  bool checkpointing_ = false;
+  std::string csv_path_;
+  std::string jsonl_path_;
+  std::string manifest_path_;
+  std::unique_ptr<std::ofstream> csv_stream_;
+  std::unique_ptr<std::ofstream> jsonl_stream_;
+  std::size_t cells_done_ = 0;  // rows durably recorded (cumulative)
+  std::vector<ResultRow> resume_rows_;  // rows recovered by --resume
+  std::size_t resume_remaining_ = 0;    // recovered rows not yet skipped
+  std::size_t resume_consumed_ = 0;     // cursor into resume_rows_
 };
 
 }  // namespace numalp::report

@@ -35,6 +35,36 @@ void PrintUsage(std::FILE* out, const ToolInfo& info) {
                " (NUMALP_PROFILE_THRESHOLD)\n"
                "  --profile-capacity N   sketch filter slots"
                " (NUMALP_PROFILE_FILTER_CAPACITY)\n"
+               "  --fault-profile P      deterministic fault injection: off |"
+               " frag | pressure |\n"
+               "                         churn (NUMALP_FAULT_PROFILE; default"
+               " off — byte-identical\n"
+               "                         to a build without fault support)\n"
+               "  --fault-alloc-pct X    override the profile's large-page"
+               " allocation failure %%\n"
+               "                         (NUMALP_FAULT_ALLOC_PCT)\n"
+               "  --fault-migrate-pct X  override the profile's 4KB migration"
+               " failure %% (NUMALP_FAULT_MIGRATE_PCT)\n"
+               "  --fault-large-migrate-pct X  override the profile's 2MB"
+               " migration failure %%\n"
+               "                         (NUMALP_FAULT_LARGE_MIGRATE_PCT; needs"
+               " target-node contiguity,\n"
+               "                         so profiles default it well above the"
+               " 4KB rate)\n"
+               "  --fault-pressure-pct X override the profile's node-pressure"
+               " entry %% (NUMALP_FAULT_PRESSURE_PCT)\n"
+               "  --resume               continue a crashed --out-dir grid"
+               " from its manifest;\n"
+               "                         completed cells are skipped and the"
+               " final files are\n"
+               "                         byte-identical to an uninterrupted"
+               " run\n"
+               "  --cell-deadline-ms N   watchdog soft deadline per grid cell"
+               " (NUMALP_CELL_DEADLINE_MS;\n"
+               "                         0 disables, the default)\n"
+               "  --cell-retries N       retry budget for failed or overrun"
+               " cells\n"
+               "                         (NUMALP_CELL_RETRIES; default 1)\n"
                "  --help                 this message\n",
                info.name, info.bench_id, info.bench_id);
   if (info.extra_usage != nullptr && info.extra_usage[0] != '\0') {
@@ -90,6 +120,26 @@ Options ParseToolArgs(int argc, char** argv, const ToolInfo& info,
       options.sim.profile_sketch.admit_threshold = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--profile-capacity") {
       options.sim.profile_sketch.filter_capacity = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--fault-profile") {
+      const auto profile = ParseFaultProfile(next());
+      if (!profile) {
+        fail();
+      }
+      options.sim.faults.profile = *profile;
+    } else if (arg == "--fault-alloc-pct") {
+      options.sim.faults.alloc_fail_pct = std::strtod(next(), nullptr);
+    } else if (arg == "--fault-migrate-pct") {
+      options.sim.faults.migrate_fail_pct = std::strtod(next(), nullptr);
+    } else if (arg == "--fault-large-migrate-pct") {
+      options.sim.faults.large_migrate_fail_pct = std::strtod(next(), nullptr);
+    } else if (arg == "--fault-pressure-pct") {
+      options.sim.faults.pressure_pct = std::strtod(next(), nullptr);
+    } else if (arg == "--resume") {
+      options.resume = true;
+    } else if (arg == "--cell-deadline-ms") {
+      options.cell_deadline_ms = std::strtoll(next(), nullptr, 10);
+    } else if (arg == "--cell-retries") {
+      options.cell_retries = std::atoi(next());
     } else {
       bool handled = false;
       for (const ExtraFlag& extra : extras) {

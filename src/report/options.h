@@ -42,6 +42,13 @@ struct Options {
   int jobs = 0;               // 0 = NUMALP_JOBS, then hardware concurrency
   SimConfig sim;              // env overrides applied, then flags
 
+  // Runner resilience (DESIGN.md Section 12). resume continues a crashed
+  // --out-dir grid from its manifest; -1 keeps the runner's env-derived
+  // defaults for the watchdog deadline and the retry budget.
+  bool resume = false;
+  long long cell_deadline_ms = -1;
+  int cell_retries = -1;
+
   // Prose and explanatory text belong on stdout only in markdown mode;
   // csv/jsonl stdout must stay machine-parseable.
   bool human() const { return format == "md"; }

@@ -84,6 +84,20 @@ const std::vector<ResultField>& ResultSchema() {
       Dbl("overhead_pct", "%", &ResultRow::overhead_pct),
       Dbl("est_carrefour_lar_pct", "%", &ResultRow::est_carrefour_lar_pct),
       Dbl("est_split_lar_pct", "%", &ResultRow::est_split_lar_pct),
+      Str("status", &ResultRow::status),
+      Uint("fault_alloc_failures", "", &ResultRow::fault_alloc_failures),
+      Uint("fault_migration_failures", "", &ResultRow::fault_migration_failures),
+      Uint("fault_split_failures", "", &ResultRow::fault_split_failures),
+      Uint("fault_truncated_plans", "", &ResultRow::fault_truncated_plans),
+      Uint("fault_pressure_epochs", "epochs", &ResultRow::fault_pressure_epochs),
+      Uint("fault_promote_backoffs", "", &ResultRow::fault_promote_backoffs),
+      Uint("fault_retried_migrations", "pages", &ResultRow::fault_retried_migrations),
+      Uint("fault_abandoned_pages", "pages", &ResultRow::fault_abandoned_pages),
+      Uint("thp_fallback_faults", "", &ResultRow::thp_fallback_faults),
+      Dbl("frag_index_pct", "%", &ResultRow::frag_index_pct),
+      Int("buddy_largest_free_order", "", &ResultRow::buddy_largest_free_order),
+      Uint("buddy_free_2m_blocks", "blocks", &ResultRow::buddy_free_2m_blocks),
+      Uint("buddy_alloc_failures", "", &ResultRow::buddy_alloc_failures),
   };
   return schema;
 }
@@ -234,6 +248,21 @@ ResultRow MakeResultRow(const std::string& bench, const RunSpec& spec, const Run
     row.est_carrefour_lar_pct = est_carrefour / counted;
     row.est_split_lar_pct = est_split / counted;
   }
+
+  row.status = run.status;
+  row.fault_alloc_failures = run.fault_alloc_failures;
+  row.fault_migration_failures = run.fault_migration_failures;
+  row.fault_split_failures = run.fault_split_failures;
+  row.fault_truncated_plans = run.fault_truncated_plans;
+  row.fault_pressure_epochs = run.fault_pressure_epochs;
+  row.fault_promote_backoffs = run.fault_promote_backoffs;
+  row.fault_retried_migrations = run.fault_retried_migrations;
+  row.fault_abandoned_pages = run.fault_abandoned_pages;
+  row.thp_fallback_faults = run.thp_fallback_faults;
+  row.frag_index_pct = run.frag_index_pct;
+  row.buddy_largest_free_order = run.buddy_largest_free_order;
+  row.buddy_free_2m_blocks = run.buddy_free_2m_blocks;
+  row.buddy_alloc_failures = run.buddy_alloc_failures;
   return row;
 }
 

@@ -56,6 +56,26 @@ struct ResultRow {
   // estimator ran (0 when the reactive component was inactive).
   double est_carrefour_lar_pct = 0.0;
   double est_split_lar_pct = 0.0;
+
+  // Cell health and fault-injection telemetry (DESIGN.md Section 12).
+  // status: "ok", "deadline" (watchdog cancelled), or "failed: <reason>".
+  // The fault_* counters are zero with faults off; the buddy_* fields are
+  // filled on every run and explain fault-mode behavior (why 2MB
+  // allocations failed) in numalp_report output.
+  std::string status = "ok";
+  std::uint64_t fault_alloc_failures = 0;
+  std::uint64_t fault_migration_failures = 0;
+  std::uint64_t fault_split_failures = 0;
+  std::uint64_t fault_truncated_plans = 0;
+  std::uint64_t fault_pressure_epochs = 0;
+  std::uint64_t fault_promote_backoffs = 0;
+  std::uint64_t fault_retried_migrations = 0;
+  std::uint64_t fault_abandoned_pages = 0;
+  std::uint64_t thp_fallback_faults = 0;
+  double frag_index_pct = 0.0;
+  int buddy_largest_free_order = -1;
+  std::uint64_t buddy_free_2m_blocks = 0;
+  std::uint64_t buddy_alloc_failures = 0;
 };
 
 enum class FieldType { kString, kBool, kInt, kUint, kDouble };

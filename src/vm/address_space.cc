@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdlib>
+#include <stdexcept>
 
 #include "src/common/log.h"
+#include "src/core/faults.h"
 
 namespace numalp {
 
@@ -108,19 +110,22 @@ TouchResult AddressSpace::Touch(Addr va, int core_node) {
   Vma* vma = FindVma(va);
   if (vma == nullptr) {
     NUMALP_LOG(LogLevel::kError) << "segfault: touch of unmapped VA " << va;
-    std::abort();
+    throw std::runtime_error("segfault: touch of unmapped VA");
   }
   const int target = PlacementNode(*vma, core_node);
   FaultInfo fault;
 
   // Explicit huge pages (libhugetlbfs-style, Section 4.4) bypass THP state.
-  if (vma->opts.explicit_page.has_value()) {
+  // An injected allocation failure degrades to the 4KB path below — the
+  // hugetlbfs reservation ran dry, the mapping survives at base pages.
+  if (vma->opts.explicit_page.has_value() &&
+      !(fault_plan_ != nullptr && fault_plan_->FailLargeAlloc(target))) {
     const PageSize size = *vma->opts.explicit_page;
     const Addr base = AlignDown(va, BytesOf(size));
     const auto alloc = phys_.Alloc(OrderOf(size), target);
     if (!alloc.has_value()) {
       NUMALP_LOG(LogLevel::kError) << "out of memory for explicit " << NameOf(size) << " page";
-      std::abort();
+      throw std::runtime_error("out of memory for explicit huge page");
     }
     page_table_.Map(base, alloc->pfn, size);
     NoteMapped(base, size);
@@ -133,19 +138,26 @@ TouchResult AddressSpace::Touch(Addr va, int core_node) {
 
   // THP path: back the fault with a 2MB page when the whole aligned window
   // lies inside the VMA, nothing in it is mapped yet, and the target node has
-  // a free 2MB block.
+  // a free 2MB block. Injected or genuine huge-allocation failure falls
+  // through to the 4KB path (Linux's THP fault fallback).
   if (thp_.alloc_enabled && vma->opts.thp_eligible) {
     const Addr window = AlignDown(va, kBytes2M);
     const bool window_in_vma = window >= vma->base && window + kBytes2M <= vma->base + vma->bytes;
     if (window_in_vma && WindowPopulation(window) == 0) {
-      if (auto pfn = phys_.AllocOnNode(OrderOf(PageSize::k2M), target)) {
-        page_table_.Map(window, *pfn, PageSize::k2M);
-        NoteMapped(window, PageSize::k2M);
-        fault.size = PageSize::k2M;
-        fault.bytes = kBytes2M;
-        fault.node = target;
-        fault.fallback = false;
-        return TouchResult{*Translate(va), fault};
+      const bool injected = fault_plan_ != nullptr && fault_plan_->FailLargeAlloc(target);
+      if (!injected) {
+        if (auto pfn = phys_.AllocOnNode(OrderOf(PageSize::k2M), target)) {
+          page_table_.Map(window, *pfn, PageSize::k2M);
+          NoteMapped(window, PageSize::k2M);
+          fault.size = PageSize::k2M;
+          fault.bytes = kBytes2M;
+          fault.node = target;
+          fault.fallback = false;
+          return TouchResult{*Translate(va), fault};
+        }
+      }
+      if (fault_plan_ != nullptr) {
+        ++thp_fallback_faults_;
       }
     }
   }
@@ -155,7 +167,7 @@ TouchResult AddressSpace::Touch(Addr va, int core_node) {
   const auto alloc = phys_.Alloc(/*order=*/0, target);
   if (!alloc.has_value()) {
     NUMALP_LOG(LogLevel::kError) << "out of physical memory on 4K fault";
-    std::abort();
+    throw std::runtime_error("out of physical memory on 4K fault");
   }
   page_table_.Map(base, alloc->pfn, PageSize::k4K);
   NoteMapped(base, PageSize::k4K);
@@ -176,6 +188,9 @@ std::optional<MigrationRecord> AddressSpace::MigratePage(Addr page_base, int tar
     return std::nullopt;
   }
   const int order = OrderOf(mapping->size);
+  if (fault_plan_ != nullptr && fault_plan_->FailMigration(target_node, order)) {
+    return std::nullopt;  // injected failure: page stays where it is
+  }
   const auto new_pfn = phys_.AllocOnNode(order, target_node);
   if (!new_pfn.has_value()) {
     return std::nullopt;  // target node full: skip, like Linux migrate_pages
@@ -240,8 +255,18 @@ std::optional<PromotionRecord> AddressSpace::PromoteWindow(Addr window_base, int
   if (!all_4k || old_frames.size() != kFramesPer2M) {
     return std::nullopt;
   }
+  // Huge-page allocation for the consolidated window: an injected or genuine
+  // failure arms a doubling retry backoff so khugepaged stops burning scan
+  // budget on a window the allocator cannot serve yet.
+  if (fault_plan_ != nullptr && fault_plan_->FailLargeAlloc(target_node)) {
+    fault_plan_->ArmPromoteBackoff(window_base);
+    return std::nullopt;
+  }
   const auto new_pfn = phys_.AllocOnNode(OrderOf(PageSize::k2M), target_node);
   if (!new_pfn.has_value()) {
+    if (fault_plan_ != nullptr) {
+      fault_plan_->ArmPromoteBackoff(window_base);
+    }
     return std::nullopt;
   }
   if (!page_table_.Promote2M(window_base, *new_pfn)) {

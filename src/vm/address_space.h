@@ -22,6 +22,8 @@
 
 namespace numalp {
 
+class FaultPlan;
+
 enum class NumaPlacement : std::uint8_t {
   kFirstTouch,  // Linux default: allocate on the faulting core's node
   kInterleave,  // round-robin pages across nodes
@@ -155,6 +157,17 @@ class AddressSpace {
   // Fraction of mapped bytes backed by 2MB or 1GB pages.
   double LargePageCoverage() const;
 
+  // Installs the cell's fault schedule (nullptr = no faults, the default).
+  // With a plan installed, huge-page allocations at fault/promote time and
+  // page migrations consult it and degrade gracefully: THP faults fall back
+  // to 4KB, failed promotions arm a retry backoff, failed migrations return
+  // nullopt like a full target node would.
+  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+
+  // 2MB THP faults that fell back to 4KB because of an injected or genuine
+  // huge-page allocation failure.
+  std::uint64_t thp_fallback_faults() const { return thp_fallback_faults_; }
+
  private:
   Vma* FindVma(Addr va);
   const Vma* FindVma(Addr va) const;
@@ -173,6 +186,8 @@ class AddressSpace {
   std::set<Addr> pages_1g_;
   std::uint64_t mapped_bytes_ = 0;
   std::uint64_t mutation_gen_ = 0;
+  FaultPlan* fault_plan_ = nullptr;
+  std::uint64_t thp_fallback_faults_ = 0;
 };
 
 }  // namespace numalp

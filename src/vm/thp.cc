@@ -86,6 +86,12 @@ std::vector<PromotionRecord> KhugepagedScanner::Scan(
       }
       if (auto record = address_space_.PromoteWindow(base, *target)) {
         promoted.push_back(*record);
+      } else {
+        // Allocation failed on a window the promotion rule accepted: leave
+        // it at 4KB and keep scanning. PromoteWindow armed a retry backoff
+        // when a fault plan is active, so the next passes skip it until the
+        // backoff expires instead of re-failing every epoch.
+        ++promotion_failures_;
       }
     }
     if (window >= num_windows || !eligible) {

@@ -54,10 +54,17 @@ class KhugepagedScanner {
   std::vector<PromotionRecord> Scan(int max_windows, int max_promotions,
                                     const std::function<bool(Addr)>& skip_window = {});
 
+  // Promotable windows whose PromoteWindow still failed — under fault
+  // injection, the huge-page allocation failing. The window stays 4KB-mapped
+  // and (when a FaultPlan armed a backoff) is skipped until its retry epoch;
+  // the cursor moves on so the scan budget isn't burned re-trying it.
+  std::uint64_t promotion_failures() const { return promotion_failures_; }
+
  private:
   AddressSpace& address_space_;
   std::size_t vma_cursor_ = 0;
   std::uint64_t window_cursor_ = 0;
+  std::uint64_t promotion_failures_ = 0;
 };
 
 }  // namespace numalp

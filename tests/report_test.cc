@@ -55,6 +55,20 @@ ResultRow GoldenRow() {
   row.overhead_pct = 0.79;
   row.est_carrefour_lar_pct = 96.9;
   row.est_split_lar_pct = 100.0;
+  row.status = "ok";
+  row.fault_alloc_failures = 7;
+  row.fault_migration_failures = 5;
+  row.fault_split_failures = 1;
+  row.fault_truncated_plans = 2;
+  row.fault_pressure_epochs = 3;
+  row.fault_promote_backoffs = 4;
+  row.fault_retried_migrations = 6;
+  row.fault_abandoned_pages = 1;
+  row.thp_fallback_faults = 9;
+  row.frag_index_pct = 37.5;
+  row.buddy_largest_free_order = 18;
+  row.buddy_free_2m_blocks = 12;
+  row.buddy_alloc_failures = 11;
   return row;
 }
 
@@ -69,7 +83,7 @@ std::string Serialize(const ResultRow& row) {
 
 TEST(ResultSchemaTest, NamesAreUniqueAndTyped) {
   const auto& schema = ResultSchema();
-  EXPECT_EQ(schema.size(), 28u);
+  EXPECT_EQ(schema.size(), 42u);
   for (std::size_t a = 0; a < schema.size(); ++a) {
     for (std::size_t b = a + 1; b < schema.size(); ++b) {
       EXPECT_STRNE(schema[a].name, schema[b].name);
@@ -93,9 +107,16 @@ TEST(ResultSchemaTest, FieldStringsRoundTrip) {
 
 TEST(ResultSchemaTest, DoubleSerializationIsShortestRoundTrip) {
   // Canonical doubles must parse back to the exact same bits.
+  const ResultField* dbl_field = nullptr;
+  for (const ResultField& candidate : ResultSchema()) {
+    if (std::string(candidate.name) == "est_split_lar_pct") {
+      dbl_field = &candidate;
+    }
+  }
+  ASSERT_NE(dbl_field, nullptr);
   for (double value : {-43.25, 61.728394500000001, 0.1, 1e-12, 1.0 / 3.0}) {
     ResultRow row;
-    const ResultField& field = ResultSchema().back();  // est_split_lar_pct
+    const ResultField& field = *dbl_field;
     row.*(field.d) = value;
     ResultRow parsed;
     ASSERT_TRUE(FieldFromString(parsed, field, FieldToString(row, field)));
@@ -114,9 +135,14 @@ TEST(CsvSinkTest, GoldenOutput) {
       "total_cycles,measured_cycles,runtime_ms,improvement_pct,lar_pct,imbalance_pct,"
       "pamup_pct,nhp,psp_pct,walk_l2_miss_pct,steady_fault_share_pct,max_fault_ms,"
       "thp_coverage_pct,migrations,splits,promotions,overhead_pct,"
-      "est_carrefour_lar_pct,est_split_lar_pct\n"
+      "est_carrefour_lar_pct,est_split_lar_pct,status,fault_alloc_failures,"
+      "fault_migration_failures,fault_split_failures,fault_truncated_plans,"
+      "fault_pressure_epochs,fault_promote_backoffs,fault_retried_migrations,"
+      "fault_abandoned_pages,thp_fallback_faults,frag_index_pct,"
+      "buddy_largest_free_order,buddy_free_2m_blocks,buddy_alloc_failures\n"
       "fig1,machineB,CG.D,THP,\"a,b\",2,15880,true,17,123456789,100000000,"
-      "61.7283945,-43.25,36.5,59,8.125,3,34,0.1,1.5,2.75,99.5,1048,4,1,0.79,96.9,100\n");
+      "61.7283945,-43.25,36.5,59,8.125,3,34,0.1,1.5,2.75,99.5,1048,4,1,0.79,96.9,100,"
+      "ok,7,5,1,2,3,4,6,1,9,37.5,18,12,11\n");
 }
 
 TEST(JsonlSinkTest, GoldenOutputAndRoundTrip) {
