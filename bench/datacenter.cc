@@ -1,0 +1,33 @@
+// Datacenter-scale figure (DESIGN.md Section 13): does the paper's
+// split-then-place conclusion — Carrefour-LP demotes contested large pages
+// and places the pieces, beating always-2M Carrefour — survive machines the
+// paper never measured?
+//
+//   epyc8: 2-socket EPYC, 8 NUMA nodes (NPS4), non-uniform 1/2-hop matrix.
+//   snc16: 4-socket sub-NUMA-clustered Xeon, 16 nodes, up to 3 hops.
+//   cxl:   epyc8 compute complex with tight local DRAM plus two CPU-less
+//          CXL expanders (extra service latency, interleave-excluded).
+//
+// Three workload archetypes carry the question: CG.D (few hot pages —
+// migration cannot balance them, the split-then-place flagship), UA.B
+// (page-level false sharing — split-and-localize), SSCA.20 (migration/
+// interleave suffices — the case always-2M handles well). The committed
+// summary (BENCH_datacenter.json) feeds the datacenter checks in
+// src/report/checks.cc, which encode the measured answer: splitting still
+// wins on the hot-page column at 8 and 16 nodes and with the far tier.
+#include "bench/bench_util.h"
+#include "src/topo/topology.h"
+
+int main(int argc, char** argv) {
+  const numalp::report::ToolInfo info = {
+      "datacenter", "datacenter",
+      "Split-then-place vs always-2M at datacenter scale: 8/16-node and "
+      "CXL-tiered machines"};
+  return numalp_bench::RunFigureBench(
+      argc, argv, info,
+      {numalp::Topology::Epyc8(), numalp::Topology::Snc16(), numalp::Topology::Cxl()},
+      {numalp::BenchmarkId::kCG_D, numalp::BenchmarkId::kUA_B, numalp::BenchmarkId::kSSCA},
+      {numalp::PolicyKind::kThp, numalp::PolicyKind::kCarrefour2M,
+       numalp::PolicyKind::kCarrefourLp},
+      /*seeds=*/3);
+}

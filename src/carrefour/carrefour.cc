@@ -1,9 +1,12 @@
 #include "src/carrefour/carrefour.h"
 
+#include <utility>
+
 namespace numalp {
 
-Carrefour::Carrefour(const CarrefourConfig& config, int num_nodes, std::uint64_t seed)
-    : config_(config), num_nodes_(num_nodes), rng_(seed) {}
+Carrefour::Carrefour(const CarrefourConfig& config, std::vector<int> interleave_nodes,
+                     std::uint64_t seed)
+    : config_(config), interleave_nodes_(std::move(interleave_nodes)), rng_(seed) {}
 
 bool Carrefour::ShouldRun(double lar_pct, double imbalance_pct,
                           double dram_access_rate) const {
@@ -64,7 +67,8 @@ std::vector<CarrefourAction> Carrefour::Plan(const PageAggMap& pages, int epoch)
         return;
       }
       if (interleaved_.Insert(page_base)) {
-        const int target = static_cast<int>(rng_.Uniform(static_cast<std::uint64_t>(num_nodes_)));
+        const int target = interleave_nodes_[static_cast<std::size_t>(
+            rng_.Uniform(static_cast<std::uint64_t>(interleave_nodes_.size())))];
         if (target != agg.home_node) {
           CarrefourAction action;
           action.kind = CarrefourAction::Kind::kInterleave;

@@ -70,7 +70,15 @@ struct CarrefourAction {
 
 class Carrefour {
  public:
-  Carrefour(const CarrefourConfig& config, int num_nodes, std::uint64_t seed);
+  // `interleave_nodes` is the set of valid interleave targets, in id order —
+  // the machine's CPU-bearing nodes. Far-memory nodes are excluded:
+  // interleaving a contested page onto a CPU-less node buys no controller
+  // balance the CPU nodes need and taxes every access with the far tier's
+  // extra latency (DESIGN.md Section 13). On all-CPU machines the vector is
+  // 0..N-1, and both the RNG draw count and the draw->node mapping are
+  // exactly the historical Uniform(num_nodes).
+  Carrefour(const CarrefourConfig& config, std::vector<int> interleave_nodes,
+            std::uint64_t seed);
 
   // Counter-based gating decision for this epoch.
   bool ShouldRun(double lar_pct, double imbalance_pct, double dram_access_rate) const;
@@ -128,7 +136,7 @@ class Carrefour {
 
  private:
   CarrefourConfig config_;
-  int num_nodes_;
+  std::vector<int> interleave_nodes_;
   Rng rng_;
   FlatSet<Addr> interleaved_;
   FlatMap<Addr, int> last_action_epoch_;

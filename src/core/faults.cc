@@ -19,6 +19,7 @@ constexpr int kBackoffCapEpochs = 32;
 // Pressure episodes hoard order-9 blocks; bounded so an episode stresses a
 // node without starving the workload outright.
 constexpr int kHoardOrder = 9;  // 2MB blocks
+constexpr int kOrder1G = 18;    // order of a 1GB page
 constexpr std::size_t kHoardMaxBlocks = 128;
 constexpr int kPressureMinEpochs = 3;
 constexpr std::uint64_t kPressureExtraEpochs = 8;
@@ -222,10 +223,17 @@ bool FaultPlan::NodeUnderPressure(int node) const {
   return n < pressure_until_.size() && pressure_until_[n] >= 0;
 }
 
-bool FaultPlan::FailLargeAlloc(int node) {
+bool FaultPlan::FailLargeAlloc(int node, int order) {
   double p = alloc_fail_p_;
+  if (order >= kOrder1G) {
+    // Order-18 contiguity is categorically scarcer than order-9: scale the
+    // background rate (plain multiply — no libm, identical on every
+    // toolchain) and cap it. The order-9 path is bit-for-bit the
+    // pre-1GB-awareness code.
+    p = std::min(1.0, p * 8.0);
+  }
   if (NodeUnderPressure(node)) {
-    p += 0.50;
+    p += order >= kOrder1G ? 0.85 : 0.50;
   }
   if (rng_.Bernoulli(p)) {
     ++counters_.alloc_failures;
@@ -236,6 +244,11 @@ bool FaultPlan::FailLargeAlloc(int node) {
 
 bool FaultPlan::FailMigration(int to_node, int order) {
   double p = order >= kHoardOrder ? large_migrate_fail_p_ : migrate_fail_p_;
+  if (order >= kOrder1G) {
+    // A 1GB move needs an order-18 run on the target node on top of the
+    // 2MB-class failure modes.
+    p = std::min(1.0, p + 0.25);
+  }
   if (NodeUnderPressure(to_node)) {
     p += 0.35;
   }

@@ -96,9 +96,17 @@ class FaultPlan {
   // Injection points, each consulted at exactly one serial site. A true
   // return means "this operation fails now"; counters are bumped here so
   // callers only handle the degradation path.
-  bool FailLargeAlloc(int node);  // before AllocOnNode(order >= 9)
+  //
+  // Before AllocOnNode(order >= 9). `order` is the requested buddy order:
+  // 9 (2MB, the default — every pre-1GB call site) keeps the historical
+  // rate; 18 (1GB) multiplies it — an order-18 reservation needs 512
+  // contiguous 2MB runs, so any fragmentation pressure that occasionally
+  // denies a 2MB block almost always denies a 1GB one. One Bernoulli draw
+  // either way, so the schedule stays aligned across page sizes.
+  bool FailLargeAlloc(int node, int order = 9);
   // Before each page move; `order` is the page's buddy order (0 = 4KB,
-  // 9 = 2MB), which selects the 4KB vs large-page failure rate.
+  // 9 = 2MB, 18 = 1GB), which selects the 4KB vs large-page failure rate;
+  // 1GB moves fail more often still (target-node order-18 contiguity).
   bool FailMigration(int to_node, int order);
   bool FailSplit();  // before each 2MB demotion
 

@@ -111,7 +111,7 @@ Simulation::Simulation(const Topology& topo, const WorkloadSpec& workload,
       ibs_(topo_.num_nodes(), topo_.num_cores(), sim_.ibs_interval, sim_.seed ^ 0x1b5u),
       counters_(topo_.num_cores(), topo_.num_nodes()),
       policy_rng_(sim_.seed ^ 0x9e37u),
-      carrefour_(policy_.carrefour, topo_.num_nodes(), sim_.seed ^ 0xc4fu),
+      carrefour_(policy_.carrefour, topo_.cpu_nodes(), sim_.seed ^ 0xc4fu),
       khugepaged_(*address_space_),
       window_(kSampleWindowEpochs, sim_.reference_pipeline, sim_.profile_mode,
               sim_.profile_sketch) {
@@ -171,11 +171,16 @@ Simulation::Simulation(const Topology& topo, const WorkloadSpec& workload,
 Simulation::~Simulation() = default;
 
 int Simulation::CoreOfThread(int thread) const {
-  // Round-robin thread pinning across nodes (the natural Linux scatter the
-  // paper's workloads run under): thread t -> node t % N.
-  const int nodes = topo_.num_nodes();
-  const int cores_per_node = topo_.node(0).num_cores;
-  return (thread % nodes) * cores_per_node + thread / nodes;
+  // Round-robin thread pinning across CPU-bearing nodes (the natural Linux
+  // scatter the paper's workloads run under): thread t -> node t % N. On
+  // all-CPU machines cpu_nodes() is 0..N-1 with first_core = node *
+  // cores_per_node, so this is exactly the seed's
+  // (t % nodes) * cores_per_node + t / nodes; far-memory nodes have no
+  // cores and simply never appear in the rotation.
+  const std::vector<int>& cpu = topo_.cpu_nodes();
+  const int n = static_cast<int>(cpu.size());
+  const NodeInfo& node = topo_.node(cpu[static_cast<std::size_t>(thread % n)]);
+  return node.first_core + thread / n;
 }
 
 template <bool kSpeculative>
@@ -587,10 +592,15 @@ Cycles Simulation::RunPolicies(Cycles wall_so_far, EpochRecord& record) {
     // Estimates use the iteration's own samples (the paper estimates each
     // second from that second's IBS data); placement uses the accumulated
     // per-page statistics. The window owns the fresh samples now — no copy.
-    observation.lar =
-        EstimateLar(window_.latest_samples(), *address_space_, fresh_pages, topo_.num_nodes());
+    // The LAR calculus sees only nodes that can be interleave targets or
+    // sample sources: CPU nodes. On all-CPU machines this is num_nodes()
+    // exactly; with a far tier, counting CPU-less nodes would overstate the
+    // interleave spread (1/N locality over nodes no interleave ever lands
+    // on) and make the hot-page "accessed from every node" test unreachable.
+    observation.lar = EstimateLar(window_.latest_samples(), *address_space_, fresh_pages,
+                                  topo_.num_cpu_nodes());
     observation.mapping_pages = &pages;
-    observation.num_nodes = topo_.num_nodes();
+    observation.num_nodes = topo_.num_cpu_nodes();
     observation.window = &window_;
     // Cost-model inputs (DESIGN.md Section 8): the decision engine predicts
     // with the same constants the engine charges — the walker's expected 4KB
@@ -649,9 +659,14 @@ Cycles Simulation::RunPolicies(Cycles wall_so_far, EpochRecord& record) {
       const std::uint64_t step = BytesOf(piece);
       std::uint64_t interleaved_pages = 0;
       std::uint64_t interleaved_bytes = 0;
+      // Interleave targets are CPU nodes only: spreading a hot page's pieces
+      // onto a CXL expander trades controller balance it doesn't need for a
+      // flat latency tax on every access (DESIGN.md Section 13). The draw
+      // count and the draw->node mapping are unchanged on all-CPU machines.
+      const std::vector<int>& cpu = topo_.cpu_nodes();
       for (Addr p = base; p < base + BytesOf(size); p += step) {
-        const int target =
-            static_cast<int>(policy_rng_.Uniform(static_cast<std::uint64_t>(topo_.num_nodes())));
+        const int target = cpu[static_cast<std::size_t>(
+            policy_rng_.Uniform(static_cast<std::uint64_t>(cpu.size())))];
         if (auto moved = address_space_->MigratePage(p, target)) {
           ++interleaved_pages;
           interleaved_bytes += moved->bytes;
@@ -870,8 +885,10 @@ Cycles Simulation::RunPolicies(Cycles wall_so_far, EpochRecord& record) {
       ctx.tlb.InvalidateRange(base, bytes);
     }
   }
+  // Kernel work parallelizes across the nodes that have CPUs to run it
+  // (identical to num_nodes() on every all-CPU machine).
   overhead += static_cast<Cycles>(static_cast<double>(kernel_cycles) /
-                                  (static_cast<double>(topo_.num_nodes()) *
+                                  (static_cast<double>(topo_.num_cpu_nodes()) *
                                    sim_.costs.kernel_time_scale));
   return overhead;
 }
@@ -949,7 +966,14 @@ RunResult Simulation::Run() {
         static_cast<double>(topo_.num_cores()) *
         static_cast<double>(sim_.accesses_per_thread_per_epoch) /
         static_cast<double>(topo_.num_nodes()));
-    const auto latencies = mem_ctrl_.Latencies(counters_.node_requests, ctrl_capacity);
+    auto latencies = mem_ctrl_.Latencies(counters_.node_requests, ctrl_capacity);
+    // Far-memory service premium (DESIGN.md Section 13): a CXL expander
+    // serves every request — local traffic does not exist, it has no cores —
+    // at a flat extra latency on top of its queueing model. Zero on every
+    // all-CPU preset, so the addition is a no-op there.
+    for (int n = 0; n < topo_.num_nodes(); ++n) {
+      latencies[static_cast<std::size_t>(n)] += topo_.node(n).extra_latency;
+    }
     const auto remote =
         interconnect_.RemoteLatencies(counters_.node_incoming_remote);
     for (int c = 0; c < topo_.num_cores(); ++c) {
@@ -1027,7 +1051,7 @@ RunResult Simulation::Run() {
                              ((hint_migrations_ + batch - 1) / batch);
     }
     overhead += static_cast<Cycles>(static_cast<double>(hint_kernel_cycles_) /
-                                    (static_cast<double>(topo_.num_nodes()) *
+                                    (static_cast<double>(topo_.num_cpu_nodes()) *
                                      sim_.costs.kernel_time_scale));
     record.migrations += hint_migrations_;
     hint_kernel_cycles_ = 0;

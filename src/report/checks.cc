@@ -52,6 +52,10 @@ CheckResult Verdict(const char* name, bool passed, const std::string& detail) {
 // Paper names used by the expectations.
 constexpr const char* kMachineA = "machineA";
 constexpr const char* kMachineB = "machineB";
+// Datacenter presets (DESIGN.md Section 13), measured by bench_datacenter.
+constexpr const char* kEpyc8 = "epyc8";
+constexpr const char* kSnc16 = "snc16";
+constexpr const char* kCxl = "cxl";
 constexpr const char* kLinux = "Linux-4K";
 constexpr const char* kThpName = "THP";
 constexpr const char* kCarrefour2M = "Carrefour-2M";
@@ -344,6 +348,88 @@ std::vector<CheckResult> EvaluateColumns(const ColumnMap& columns,
                              "need (machineA, SSCA.20) under Carrefour-LP and "
                              "Carrefour-2M at faults=off and faults=frag "
                              "(run fault_grace)"));
+    }
+  }
+
+  // Datacenter scale (DESIGN.md Section 13, bench_datacenter): the paper's
+  // split-then-place conclusion was measured on 4- and 8-node boxes; these
+  // checks pin the committed answer for the machines where the decision
+  // matters today. Measured shape (BENCH_datacenter.json): the hot-page gap
+  // *widens* with node count — always-2M Carrefour's whole rescue is
+  // migration, and migration balances a handful of hot pages across 16
+  // targets even worse than across 4 — so Carrefour-LP's split path wins by
+  // tens of points on CG.D at every scale. The 10-point floor asserts the
+  // qualitative conclusion, not the exact gap.
+  {
+    constexpr double kHotPageGapFloorPct = 10.0;
+    const auto lp = Find(columns, kSnc16, "CG.D", kCarrefourLp);
+    const auto c2m = Find(columns, kSnc16, "CG.D", kCarrefour2M);
+    if (lp && c2m) {
+      results.push_back(
+          Verdict("split-then-place-holds-at-16-nodes",
+                  lp->improvement() >= c2m->improvement() + kHotPageGapFloorPct,
+                  Fmt("Carrefour-LP %.1f%% vs Carrefour-2M %.1f%% (floor: +10 points)",
+                      lp->improvement(), c2m->improvement())));
+    } else {
+      results.push_back(Skip("split-then-place-holds-at-16-nodes",
+                             "need (snc16, CG.D) under both Carrefour-LP and "
+                             "Carrefour-2M (run datacenter)"));
+    }
+  }
+  {
+    constexpr double kHotPageGapFloorPct = 10.0;
+    const auto lp = Find(columns, kCxl, "CG.D", kCarrefourLp);
+    const auto c2m = Find(columns, kCxl, "CG.D", kCarrefour2M);
+    if (lp && c2m) {
+      results.push_back(
+          Verdict("split-then-place-holds-with-cxl-tier",
+                  lp->improvement() >= c2m->improvement() + kHotPageGapFloorPct,
+                  Fmt("Carrefour-LP %.1f%% vs Carrefour-2M %.1f%% (floor: +10 points)",
+                      lp->improvement(), c2m->improvement())));
+    } else {
+      results.push_back(Skip("split-then-place-holds-with-cxl-tier",
+                             "need (cxl, CG.D) under both Carrefour-LP and "
+                             "Carrefour-2M (run datacenter)"));
+    }
+  }
+  // The broader datacenter band, mirroring carrefour-lp-geq-carrefour: on
+  // every measured (datacenter machine, workload) column, large-page
+  // management stays within a few points of plain Carrefour (the one
+  // near-tie in the committed data is UA.B on epyc8, where the two policies
+  // land within a point of each other).
+  {
+    constexpr double kTolerancePct = 6.0;
+    bool any = false;
+    bool all_pass = true;
+    std::string detail;
+    for (const char* machine : {kEpyc8, kSnc16, kCxl}) {
+      for (const char* workload : {"CG.D", "UA.B", "SSCA.20"}) {
+        const auto lp = Find(columns, machine, workload, kCarrefourLp);
+        const auto c2m = Find(columns, machine, workload, kCarrefour2M);
+        if (!lp || !c2m) {
+          continue;
+        }
+        any = true;
+        if (lp->improvement() < c2m->improvement() - kTolerancePct) {
+          all_pass = false;
+          if (!detail.empty()) {
+            detail += "; ";
+          }
+          detail += std::string(machine) + "/" + workload +
+                    Fmt(": LP %.1f%% vs C2M %.1f%%", lp->improvement(), c2m->improvement());
+        }
+      }
+    }
+    if (!any) {
+      results.push_back(Skip("carrefour-lp-geq-carrefour-at-datacenter",
+                             "need Carrefour-LP and Carrefour-2M columns on a "
+                             "datacenter machine (run datacenter)"));
+    } else {
+      results.push_back(Verdict("carrefour-lp-geq-carrefour-at-datacenter", all_pass,
+                                all_pass ? "Carrefour-LP within tolerance of "
+                                           "Carrefour-2M on every measured "
+                                           "datacenter column"
+                                         : detail));
     }
   }
 

@@ -204,6 +204,15 @@ std::optional<Topology> ParseMachineName(const std::string& name) {
   if (name == "B" || name == "machineB") {
     return Topology::MachineB();
   }
+  if (name == "epyc8") {
+    return Topology::Epyc8();
+  }
+  if (name == "snc16") {
+    return Topology::Snc16();
+  }
+  if (name == "cxl") {
+    return Topology::Cxl();
+  }
   return std::nullopt;
 }
 

@@ -65,7 +65,8 @@ Options ParseToolArgs(int argc, char** argv, const ToolInfo& info,
 // numalp_run and quickstart, with divergent aliases).
 std::optional<BenchmarkId> ParseWorkloadName(const std::string& name);
 std::optional<PolicyKind> ParsePolicyName(const std::string& name);
-// Accepts "A"/"machineA" and "B"/"machineB".
+// Accepts "A"/"machineA", "B"/"machineB", and the datacenter presets
+// "epyc8", "snc16", "cxl".
 std::optional<Topology> ParseMachineName(const std::string& name);
 
 // Ready-made ExtraFlags for the common tool-specific selectors: parse the

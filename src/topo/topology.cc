@@ -51,7 +51,77 @@ std::vector<std::vector<int>> InterlagosLadder() {
   return hops;
 }
 
+// Two-socket EPYC in NPS4 mode: four NUMA domains (CCD quadrants) per
+// socket. Domains of one socket share the on-package fabric (one hop); any
+// cross-socket access crosses the inter-socket link (two hops).
+std::vector<std::vector<int>> EpycTwoSocket() {
+  constexpr int kNodes = 8;
+  constexpr int kPerSocket = 4;
+  auto hops = std::vector<std::vector<int>>(kNodes, std::vector<int>(kNodes, 0));
+  for (int a = 0; a < kNodes; ++a) {
+    for (int b = 0; b < kNodes; ++b) {
+      if (a == b) {
+        continue;
+      }
+      hops[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+          (a / kPerSocket == b / kPerSocket) ? 1 : 2;
+    }
+  }
+  return hops;
+}
+
+// Four-socket Xeon with sub-NUMA clustering: four clusters per socket (one
+// hop apart on the mesh), sockets on a UPI ring — adjacent sockets add one
+// ring step (two hops total), opposite sockets add two (three hops).
+std::vector<std::vector<int>> SncRing16() {
+  constexpr int kNodes = 16;
+  constexpr int kPerSocket = 4;
+  constexpr int kSockets = kNodes / kPerSocket;
+  auto hops = std::vector<std::vector<int>>(kNodes, std::vector<int>(kNodes, 0));
+  for (int a = 0; a < kNodes; ++a) {
+    for (int b = 0; b < kNodes; ++b) {
+      if (a == b) {
+        continue;
+      }
+      const int sa = a / kPerSocket;
+      const int sb = b / kPerSocket;
+      if (sa == sb) {
+        hops[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = 1;
+        continue;
+      }
+      const int ring = std::min((sa - sb + kSockets) % kSockets,
+                                (sb - sa + kSockets) % kSockets);
+      hops[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = 1 + ring;
+    }
+  }
+  return hops;
+}
+
 }  // namespace
+
+void Topology::FinishInit() {
+  num_cores_ = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    NodeInfo& info = nodes_[i];
+    info.id = static_cast<int>(i);
+    info.first_core = num_cores_;
+    num_cores_ += info.num_cores;
+    if (info.num_cores > 0) {
+      cpu_nodes_.push_back(info.id);
+    }
+  }
+  core_to_node_.resize(static_cast<std::size_t>(num_cores_));
+  for (const NodeInfo& info : nodes_) {
+    for (int c = 0; c < info.num_cores; ++c) {
+      core_to_node_[static_cast<std::size_t>(info.first_core + c)] = info.id;
+    }
+  }
+  for (const auto& row : hops_) {
+    for (int h : row) {
+      max_hops_ = std::max(max_hops_, h);
+    }
+  }
+}
 
 Topology::Topology(std::string name, int nodes, int cores_per_node,
                    std::uint64_t dram_bytes_per_node, std::vector<std::vector<int>> hops)
@@ -59,22 +129,17 @@ Topology::Topology(std::string name, int nodes, int cores_per_node,
   nodes_.reserve(static_cast<std::size_t>(nodes));
   for (int i = 0; i < nodes; ++i) {
     NodeInfo info;
-    info.id = i;
-    info.first_core = i * cores_per_node;
     info.num_cores = cores_per_node;
     info.dram_bytes = dram_bytes_per_node;
     nodes_.push_back(info);
   }
-  num_cores_ = nodes * cores_per_node;
-  core_to_node_.resize(static_cast<std::size_t>(num_cores_));
-  for (int c = 0; c < num_cores_; ++c) {
-    core_to_node_[static_cast<std::size_t>(c)] = c / cores_per_node;
-  }
-  for (const auto& row : hops_) {
-    for (int h : row) {
-      max_hops_ = std::max(max_hops_, h);
-    }
-  }
+  FinishInit();
+}
+
+Topology::Topology(std::string name, std::vector<NodeInfo> nodes,
+                   std::vector<std::vector<int>> hops)
+    : name_(std::move(name)), nodes_(std::move(nodes)), hops_(std::move(hops)) {
+  FinishInit();
 }
 
 Topology Topology::MachineA(std::uint64_t memory_scale) {
@@ -85,6 +150,59 @@ Topology Topology::MachineA(std::uint64_t memory_scale) {
 Topology Topology::MachineB(std::uint64_t memory_scale) {
   const std::uint64_t dram = 64 * kGiB / std::max<std::uint64_t>(1, memory_scale);
   return Topology("machineB", /*nodes=*/8, /*cores_per_node=*/8, dram, InterlagosLadder());
+}
+
+Topology Topology::Epyc8(std::uint64_t memory_scale) {
+  const std::uint64_t dram = 32 * kGiB / std::max<std::uint64_t>(1, memory_scale);
+  return Topology("epyc8", /*nodes=*/8, /*cores_per_node=*/8, dram, EpycTwoSocket());
+}
+
+Topology Topology::Snc16(std::uint64_t memory_scale) {
+  const std::uint64_t dram = 16 * kGiB / std::max<std::uint64_t>(1, memory_scale);
+  return Topology("snc16", /*nodes=*/16, /*cores_per_node=*/4, dram, SncRing16());
+}
+
+Topology Topology::Cxl(std::uint64_t memory_scale) {
+  const std::uint64_t scale = std::max<std::uint64_t>(1, memory_scale);
+  // epyc8 compute complex with tighter local DRAM (half of epyc8 per node),
+  // so realistic footprints actually spill into the expanders...
+  std::vector<NodeInfo> nodes(8);
+  for (NodeInfo& info : nodes) {
+    info.num_cores = 8;
+    info.dram_bytes = 16 * kGiB / scale;
+  }
+  // ...plus two CXL Type-3 expanders: no cores, generous capacity, and a
+  // flat extra service latency in the ~150ns class (measured CXL memory
+  // adds 2-3x local DRAM latency; 400 cycles on top of the 200-cycle base
+  // lands in that band).
+  for (int i = 0; i < 2; ++i) {
+    NodeInfo far;
+    far.num_cores = 0;
+    far.dram_bytes = 64 * kGiB / scale;
+    far.far_memory = true;
+    far.extra_latency = 400;
+    nodes.push_back(far);
+  }
+  // CPU nodes keep the EPYC shape; every CPU node reaches either expander
+  // through the host bridge + switch (two hops). The expanders never talk to
+  // each other (no cores), but the matrix still needs a finite entry.
+  auto hops = std::vector<std::vector<int>>(10, std::vector<int>(10, 0));
+  for (int a = 0; a < 10; ++a) {
+    for (int b = 0; b < 10; ++b) {
+      if (a == b) {
+        continue;
+      }
+      const bool far_a = a >= 8;
+      const bool far_b = b >= 8;
+      if (!far_a && !far_b) {
+        hops[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+            (a / 4 == b / 4) ? 1 : 2;
+      } else {
+        hops[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = 2;
+      }
+    }
+  }
+  return Topology("cxl", std::move(nodes), std::move(hops));
 }
 
 Topology Topology::Tiny(std::uint64_t dram_bytes_per_node) {

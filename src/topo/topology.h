@@ -6,6 +6,17 @@
 // Both use HyperTransport 3.0 links; A is fully connected, B needs up to two
 // hops between sockets (the Opteron 6200 "Interlagos" ladder layout).
 //
+// Datacenter presets (DESIGN.md Section 13) extend the evaluation beyond the
+// paper's hardware:
+//   epyc8:  2-socket EPYC in NPS4 mode -> 8 NUMA nodes, 8 cores + 32GB each;
+//           intra-socket dies one hop, cross-socket two.
+//   snc16:  4-socket Xeon with sub-NUMA clustering -> 16 nodes, 4 cores +
+//           16GB each; clusters of a socket one hop, UPI ring between
+//           sockets adds one hop per ring step (up to three total).
+//   cxl:    epyc8 plus two CPU-less CXL far-memory expanders: allocatable
+//           capacity, no cores, and a flat extra DRAM latency on every
+//           access they serve (NodeInfo::extra_latency).
+//
 // DRAM capacities are divided by MachineConfig::memory_scale (default 48) so
 // experiments keep the paper's footprint-to-DRAM ratios while the simulator's
 // bookkeeping stays small; workload footprints are scaled identically.
@@ -25,6 +36,14 @@ struct NodeInfo {
   int first_core = 0;
   int num_cores = 0;
   std::uint64_t dram_bytes = 0;
+  // Far-memory (CXL-style) node: zero cores, allocatable capacity, and a
+  // flat extra service latency added to every DRAM access it serves. Far
+  // nodes never originate traffic and are excluded from interleave target
+  // sets (interleaving onto a CPU-less node is pure latency tax — DESIGN.md
+  // Section 13); they still absorb capacity spill through the buddy
+  // allocator's hop-ordered fallback.
+  bool far_memory = false;
+  Cycles extra_latency = 0;
 };
 
 class Topology {
@@ -34,9 +53,19 @@ class Topology {
   Topology(std::string name, int nodes, int cores_per_node, std::uint64_t dram_bytes_per_node,
            std::vector<std::vector<int>> hops);
 
+  // Non-uniform topology: explicit per-node shapes (far-memory nodes, mixed
+  // capacities). Node ids and first_core fields are recomputed from the
+  // vector order; CPU nodes must carry equal core counts (thread pinning
+  // round-robins across them).
+  Topology(std::string name, std::vector<NodeInfo> nodes, std::vector<std::vector<int>> hops);
+
   // Paper presets. `memory_scale` divides the per-node DRAM (>= 1).
   static Topology MachineA(std::uint64_t memory_scale = 48);
   static Topology MachineB(std::uint64_t memory_scale = 48);
+  // Datacenter presets (DESIGN.md Section 13).
+  static Topology Epyc8(std::uint64_t memory_scale = 48);
+  static Topology Snc16(std::uint64_t memory_scale = 48);
+  static Topology Cxl(std::uint64_t memory_scale = 48);
   // A tiny 2-node machine for unit tests.
   static Topology Tiny(std::uint64_t dram_bytes_per_node = 64 * kMiB);
 
@@ -47,6 +76,17 @@ class Topology {
 
   int NodeOfCore(int core) const { return core_to_node_[static_cast<std::size_t>(core)]; }
 
+  // CPU-bearing nodes, in id order. On all-CPU machines this is simply
+  // 0..num_nodes-1, which is what keeps the datacenter-aware placement and
+  // interleave paths bit-identical to the pre-CXL engine on every paper
+  // preset.
+  const std::vector<int>& cpu_nodes() const { return cpu_nodes_; }
+  int num_cpu_nodes() const { return static_cast<int>(cpu_nodes_.size()); }
+  bool IsFarMemory(int node) const {
+    return nodes_[static_cast<std::size_t>(node)].far_memory;
+  }
+  bool has_far_memory() const { return num_cpu_nodes() != num_nodes(); }
+
   // Interconnect hop count between nodes (0 when equal).
   int Hops(int from, int to) const {
     return hops_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
@@ -56,9 +96,12 @@ class Topology {
   std::uint64_t total_dram_bytes() const;
 
  private:
+  void FinishInit();
+
   std::string name_;
   std::vector<NodeInfo> nodes_;
   std::vector<int> core_to_node_;
+  std::vector<int> cpu_nodes_;
   std::vector<std::vector<int>> hops_;
   int num_cores_ = 0;
   int max_hops_ = 0;

@@ -54,7 +54,13 @@ std::optional<TranslateResult> AddressSpace::Translate(Addr va) const {
 
 int AddressSpace::PlacementNode(Vma& vma, int core_node) {
   if (vma.opts.placement == NumaPlacement::kInterleave) {
-    return static_cast<int>(vma.interleave_cursor++ % static_cast<std::uint64_t>(topo_.num_nodes()));
+    // Round-robin over CPU-bearing nodes only: a CPU-less far-memory node is
+    // never an interleave target (DESIGN.md Section 13). On all-CPU machines
+    // cpu_nodes() is 0..N-1 and the cursor arithmetic is the historical
+    // cursor % num_nodes.
+    const std::vector<int>& cpu = topo_.cpu_nodes();
+    return cpu[static_cast<std::size_t>(vma.interleave_cursor++ %
+                                        static_cast<std::uint64_t>(cpu.size()))];
   }
   return core_node;
 }
@@ -119,7 +125,8 @@ TouchResult AddressSpace::Touch(Addr va, int core_node) {
   // An injected allocation failure degrades to the 4KB path below — the
   // hugetlbfs reservation ran dry, the mapping survives at base pages.
   if (vma->opts.explicit_page.has_value() &&
-      !(fault_plan_ != nullptr && fault_plan_->FailLargeAlloc(target))) {
+      !(fault_plan_ != nullptr &&
+        fault_plan_->FailLargeAlloc(target, OrderOf(*vma->opts.explicit_page)))) {
     const PageSize size = *vma->opts.explicit_page;
     const Addr base = AlignDown(va, BytesOf(size));
     const auto alloc = phys_.Alloc(OrderOf(size), target);

@@ -22,7 +22,7 @@ PageAgg MakeAgg(std::initializer_list<std::pair<int, int>> node_counts, int home
 }
 
 TEST(CarrefourTest, SingleNodePageMigratesToItsNode) {
-  Carrefour carrefour(CarrefourConfig{}, 4, 1);
+  Carrefour carrefour(CarrefourConfig{}, {0, 1, 2, 3}, 1);
   PageAggMap pages;
   pages[0x1000] = MakeAgg({{2, 8}}, /*home=*/0);
   const auto plan = carrefour.Plan(pages, 0);
@@ -32,14 +32,14 @@ TEST(CarrefourTest, SingleNodePageMigratesToItsNode) {
 }
 
 TEST(CarrefourTest, SingleNodePageAlreadyHomeNoAction) {
-  Carrefour carrefour(CarrefourConfig{}, 4, 1);
+  Carrefour carrefour(CarrefourConfig{}, {0, 1, 2, 3}, 1);
   PageAggMap pages;
   pages[0x1000] = MakeAgg({{2, 8}}, /*home=*/2);
   EXPECT_TRUE(carrefour.Plan(pages, 0).empty());
 }
 
 TEST(CarrefourTest, MultiNodePageInterleavedOnce) {
-  Carrefour carrefour(CarrefourConfig{}, 4, 1);
+  Carrefour carrefour(CarrefourConfig{}, {0, 1, 2, 3}, 1);
   PageAggMap pages;
   pages[0x1000] = MakeAgg({{0, 5}, {1, 5}}, /*home=*/0, PageSize::k2M, 2);
   const auto first = carrefour.Plan(pages, 0);
@@ -54,7 +54,7 @@ TEST(CarrefourTest, MinSamplesFiltersNoise) {
   CarrefourConfig config;
   config.min_samples_per_page = 2;
   config.min_samples_migrate = 4;
-  Carrefour carrefour(config, 4, 1);
+  Carrefour carrefour(config, {0, 1, 2, 3}, 1);
   PageAggMap pages;
   pages[0x1000] = MakeAgg({{1, 1}}, /*home=*/0);  // 1 sample: below floor
   pages[0x2000] = MakeAgg({{1, 3}}, /*home=*/0);  // 3 samples: below migrate bar
@@ -66,7 +66,7 @@ TEST(CarrefourTest, MinSamplesFiltersNoise) {
 TEST(CarrefourTest, CooldownBlocksPingPong) {
   CarrefourConfig config;
   config.per_page_cooldown_epochs = 8;
-  Carrefour carrefour(config, 4, 1);
+  Carrefour carrefour(config, {0, 1, 2, 3}, 1);
   PageAggMap pages;
   pages[0x1000] = MakeAgg({{2, 8}}, /*home=*/0);
   EXPECT_EQ(carrefour.Plan(pages, 0).size(), 1u);
@@ -77,7 +77,7 @@ TEST(CarrefourTest, CooldownBlocksPingPong) {
 }
 
 TEST(CarrefourTest, ForgetClearsState) {
-  Carrefour carrefour(CarrefourConfig{}, 4, 1);
+  Carrefour carrefour(CarrefourConfig{}, {0, 1, 2, 3}, 1);
   PageAggMap pages;
   pages[0x1000] = MakeAgg({{0, 5}, {1, 5}}, /*home=*/3, PageSize::k2M, 2);
   carrefour.Plan(pages, 0);
@@ -88,13 +88,13 @@ TEST(CarrefourTest, ForgetClearsState) {
 }
 
 TEST(CarrefourTest, GatingRequiresMemoryIntensity) {
-  Carrefour carrefour(CarrefourConfig{}, 4, 1);
+  Carrefour carrefour(CarrefourConfig{}, {0, 1, 2, 3}, 1);
   EXPECT_FALSE(carrefour.ShouldRun(/*lar=*/20.0, /*imbalance=*/90.0, /*dram_rate=*/0.001));
   EXPECT_TRUE(carrefour.ShouldRun(20.0, 90.0, 0.5));
 }
 
 TEST(CarrefourTest, GatingTriggersOnLowLarOrHighImbalance) {
-  Carrefour carrefour(CarrefourConfig{}, 4, 1);
+  Carrefour carrefour(CarrefourConfig{}, {0, 1, 2, 3}, 1);
   EXPECT_TRUE(carrefour.ShouldRun(/*lar=*/50.0, /*imbalance=*/0.0, 0.5));
   EXPECT_TRUE(carrefour.ShouldRun(/*lar=*/95.0, /*imbalance=*/60.0, 0.5));
   EXPECT_FALSE(carrefour.ShouldRun(/*lar=*/95.0, /*imbalance=*/5.0, 0.5));
@@ -105,7 +105,7 @@ TEST(CarrefourTest, ActionBudgetRespected) {
   config.max_actions_per_epoch = 3;
   config.min_samples_migrate = 2;
   config.min_samples_per_page = 2;
-  Carrefour carrefour(config, 4, 1);
+  Carrefour carrefour(config, {0, 1, 2, 3}, 1);
   PageAggMap pages;
   for (Addr base = 0; base < 10 * kBytes4K; base += kBytes4K) {
     pages[base] = MakeAgg({{1, 4}}, /*home=*/0);

@@ -268,7 +268,7 @@ PageAgg SingleNodeAgg(int node, int samples, int home) {
 }
 
 TEST(CarrefourFaultTest, FailedMigrationBacksOffDoublingThenAbandons) {
-  Carrefour carrefour(CarrefourConfig{}, 4, 1);  // backoff 2, abandon after 3
+  Carrefour carrefour(CarrefourConfig{}, {0, 1, 2, 3}, 1);  // backoff 2, abandon after 3
   PageAggMap pages;
   pages[0x1000] = SingleNodeAgg(/*node=*/2, /*samples=*/8, /*home=*/0);
 
@@ -298,7 +298,7 @@ TEST(CarrefourFaultTest, FailedMigrationBacksOffDoublingThenAbandons) {
 }
 
 TEST(CarrefourFaultTest, SuccessResetsFailureStreak) {
-  Carrefour carrefour(CarrefourConfig{}, 4, 1);
+  Carrefour carrefour(CarrefourConfig{}, {0, 1, 2, 3}, 1);
   PageAggMap pages;
   pages[0x1000] = SingleNodeAgg(2, 8, 0);
 

@@ -112,6 +112,109 @@ TEST(TlbTest, OneGigPagesHaveOwnArray) {
   EXPECT_EQ(hit.size, PageSize::k1G);
 }
 
+// The partitioned L1 arrays isolate capacity per page size: thrashing one
+// size class cannot evict another's entries (and 1GB entries, which skip the
+// unified L2, survive a 4KB flood that churns L2 too).
+TEST(TlbTest, PerSizeCapacityIsolation) {
+  const TlbConfig config;
+  Tlb tlb(config);
+  tlb.Insert(0x1000, PageSize::k4K, 1, 0);
+  tlb.Insert(3 * kBytes2M, PageSize::k2M, 2, 0);
+  // Flood the 1GB array past its capacity (1 set x 8 ways): the oldest 1GB
+  // entry is evicted, the 4KB and 2MB residents are untouched.
+  const Addr gig_base = 16 * kBytes1G;
+  const int gig_entries = config.l1_1g_sets * config.l1_1g_ways;
+  for (int i = 0; i <= gig_entries; ++i) {
+    tlb.Insert(gig_base + static_cast<Addr>(i) * kBytes1G, PageSize::k1G,
+               100 + static_cast<Pfn>(i), 0);
+  }
+  EXPECT_EQ(tlb.Lookup(gig_base).level, TlbHitLevel::kMiss);
+  EXPECT_EQ(tlb.Lookup(gig_base + static_cast<Addr>(gig_entries) * kBytes1G).level,
+            TlbHitLevel::kL1);
+  EXPECT_EQ(tlb.Lookup(0x1000).level, TlbHitLevel::kL1);
+  EXPECT_EQ(tlb.Lookup(3 * kBytes2M).level, TlbHitLevel::kL1);
+
+  // Now flood 4KB far past the L1-4K and unified-L2 capacity; the surviving
+  // 1GB entries (own array, never L2-cached) must all still hit.
+  const Addr flood_base = 64 * kBytes1G;
+  const int flood = 4 * config.l2_sets * config.l2_ways;
+  for (int i = 0; i < flood; ++i) {
+    tlb.Insert(flood_base + static_cast<Addr>(i) * kBytes4K, PageSize::k4K,
+               1000 + static_cast<Pfn>(i), 0);
+  }
+  for (int i = 1; i <= gig_entries; ++i) {
+    EXPECT_EQ(tlb.Lookup(gig_base + static_cast<Addr>(i) * kBytes1G).level,
+              TlbHitLevel::kL1)
+        << "1G entry " << i << " evicted by a 4K flood";
+  }
+}
+
+// InvalidateRange drops every overlapping translation of every size —
+// including a 1GB page that merely straddles the range — and nothing else.
+TEST(TlbTest, RangedInvalidationSpansPageSizes) {
+  Tlb tlb(TlbConfig{});
+  const Addr gig = kBytes1G;  // second gigabyte
+  tlb.Insert(gig, PageSize::k1G, 10, 0);
+  tlb.Insert(gig + 4 * kBytes2M, PageSize::k2M, 11, 0);
+  tlb.Insert(gig + kBytes2M + 3 * kBytes4K, PageSize::k4K, 12, 0);
+  tlb.Insert(gig + 0x1000, PageSize::k4K, 13, 0);       // below the range
+  tlb.Insert(gig + 2 * kBytes1G, PageSize::k4K, 14, 0);  // far above it
+
+  tlb.InvalidateRange(gig + kBytes2M, 8 * kBytes2M);
+
+  EXPECT_EQ(tlb.Lookup(gig + kBytes2M + 3 * kBytes4K).level, TlbHitLevel::kMiss);
+  EXPECT_EQ(tlb.Lookup(gig + 4 * kBytes2M + 7).level, TlbHitLevel::kMiss);
+  // The 1GB page overlaps the range, so its translation goes too...
+  EXPECT_EQ(tlb.Lookup(gig + 100 * kBytes2M).level, TlbHitLevel::kMiss);
+  // ...which means the 4KB entry below the range now misses the 1GB backing
+  // but keeps its own translation, and the distant entry is untouched.
+  EXPECT_EQ(tlb.Lookup(gig + 0x1000).level, TlbHitLevel::kL1);
+  EXPECT_EQ(tlb.Lookup(gig + 2 * kBytes1G).level, TlbHitLevel::kL1);
+}
+
+// Mixed-size churn with ranged shootdowns: the fast (SWAR/rank-LRU) engine
+// and the scalar reference must stay lookup- and occupancy-identical. This
+// extends perf_structures_test's churn to the 1GB array and InvalidateRange.
+TEST(TlbTest, MixedSizeChurnMatchesReference) {
+  Tlb fast(TlbConfig{}, /*reference=*/false);
+  Tlb reference(TlbConfig{}, /*reference=*/true);
+  Rng rng(20260808);
+  const Addr space = 8 * kBytes1G;
+  for (int i = 0; i < 50'000; ++i) {
+    const std::uint64_t op = rng.Uniform(100);
+    const Addr va = (rng.Uniform(space / kBytes4K)) * kBytes4K;
+    if (op < 55) {
+      const TlbLookup a = fast.Lookup(va);
+      const TlbLookup b = reference.Lookup(va);
+      ASSERT_EQ(a.level, b.level) << "step " << i;
+      ASSERT_EQ(a.pfn, b.pfn) << "step " << i;
+      ASSERT_EQ(a.node, b.node) << "step " << i;
+      ASSERT_EQ(a.size, b.size) << "step " << i;
+    } else if (op < 85) {
+      const std::uint64_t pick = rng.Uniform(3);
+      const PageSize size = pick == 0   ? PageSize::k4K
+                            : pick == 1 ? PageSize::k2M
+                                        : PageSize::k1G;
+      const Pfn pfn = rng.Uniform(1u << 20);
+      const int node = static_cast<int>(rng.Uniform(16));
+      fast.Insert(va, size, pfn, node);
+      reference.Insert(va, size, pfn, node);
+    } else if (op < 95) {
+      const std::uint64_t pick = rng.Uniform(3);
+      const PageSize size = pick == 0   ? PageSize::k4K
+                            : pick == 1 ? PageSize::k2M
+                                        : PageSize::k1G;
+      fast.InvalidatePage(va, size);
+      reference.InvalidatePage(va, size);
+    } else {
+      const std::uint64_t bytes = (1 + rng.Uniform(1024)) * kBytes2M;
+      fast.InvalidateRange(va, bytes);
+      reference.InvalidateRange(va, bytes);
+    }
+    ASSERT_EQ(fast.DebugOccupancy(), reference.DebugOccupancy()) << "step " << i;
+  }
+}
+
 TEST(WalkerTest, MissProbabilityMonotonicInTableSize) {
   PageWalker walker(WalkerConfig{});
   double previous = 0.0;

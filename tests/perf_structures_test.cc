@@ -599,6 +599,62 @@ TEST(EngineIdentityTest, ShardCountsAreBitIdentical) {
   }
 }
 
+// Datacenter machines and explicitly-1GB-backed workloads ride the same
+// identity invariants as the paper machines (DESIGN.md Section 13.2's
+// argument: on all-CPU machines the cpu-node refactor is the identity, and
+// on far-memory machines every policy draw still happens at the same serial
+// sites). Each cell is pinned across all three axes at once: engine
+// (fast vs reference), shards (1 vs forced 4), and profile mode
+// (exact vs sketch).
+TEST(EngineIdentityTest, DatacenterAndOneGigCellsAreBitIdentical) {
+  struct Cell {
+    Topology topo;
+    BenchmarkId bench;
+    bool one_gig;
+  };
+  const std::vector<Cell> cells = {
+      {Topology::Epyc8(), BenchmarkId::kCG_D, false},
+      {Topology::Snc16(), BenchmarkId::kUA_B, false},
+      {Topology::Cxl(), BenchmarkId::kCG_D, false},
+      // The vlp_1gb configuration: machine B at memory scale 8 so a node
+      // holds several 1GB frames, every region explicitly 1GB-backed.
+      {Topology::MachineB(/*memory_scale=*/8), BenchmarkId::kSSCA, true},
+  };
+  for (const Cell& cell : cells) {
+    SimConfig sim;
+    sim.accesses_per_thread_per_epoch = 1024;
+    sim.max_epochs = 25;
+    WorkloadSpec spec = MakeWorkloadSpec(cell.bench, cell.topo);
+    spec.steady_accesses_per_thread = 16'000;
+    if (cell.one_gig) {
+      for (auto& region : spec.regions) {
+        region.explicit_page = PageSize::k1G;
+      }
+    }
+    const PolicyConfig policy = MakePolicyConfig(PolicyKind::kCarrefourLp);
+
+    Simulation golden(cell.topo, spec, policy, sim);
+    const RunResult golden_result = golden.Run();
+
+    SimConfig ref_sim = sim;
+    ref_sim.reference_pipeline = true;
+    Simulation reference(cell.topo, spec, policy, ref_sim);
+    ExpectIdenticalRuns(golden_result, reference.Run());
+
+    SimConfig shard_sim = sim;
+    shard_sim.shards = 4;
+    shard_sim.shards_force = true;
+    Simulation sharded(cell.topo, spec, policy, shard_sim);
+    EXPECT_EQ(sharded.shard_count(), 4);
+    ExpectIdenticalRuns(golden_result, sharded.Run());
+
+    SimConfig sketch_sim = sim;
+    sketch_sim.profile_mode = ProfileMode::kSketch;
+    Simulation sketch(cell.topo, spec, policy, sketch_sim);
+    ExpectIdenticalRuns(golden_result, sketch.Run());
+  }
+}
+
 // The full matrix the oracle CI job enforces, in miniature: a small grid at
 // jobs={1,8} x shards={1,4} x profile={exact,sketch} under both engines must
 // produce one identical result set — parallelism (between cells or inside
