@@ -5,6 +5,7 @@
 
 #include "src/common/log.h"
 #include "src/common/stats.h"
+#include "src/workloads/trace_workload.h"
 
 namespace numalp {
 
@@ -140,12 +141,36 @@ Simulation::Simulation(const Topology& topo, const WorkloadSpec& workload,
     fault_plan_->Prepare(phys_);
     address_space_->set_fault_plan(fault_plan_.get());
   }
-  // The reference engine keeps the seed's per-call access generator and the
-  // scalar TLB probe/install algorithms (the fast engine's run-batched
-  // generator and vectorized TLB are value-identical; perf_hotpath --compare
-  // times the two sides of each A/B).
-  workload_ = std::make_unique<Workload>(workload_spec_, *address_space_, topo_.num_cores(),
-                                         sim_.seed, !sim_.reference_pipeline);
+  // The access source: trace replay when the spec names a trace file,
+  // otherwise the synthetic generator. The reference engine keeps the seed's
+  // per-call access generator and the scalar TLB probe/install algorithms
+  // (the fast engine's run-batched generator and vectorized TLB are
+  // value-identical; perf_hotpath --compare times the two sides of each A/B).
+  if (!workload_spec_.trace_file.empty()) {
+    auto replay = std::make_unique<TraceWorkload>(workload_spec_.trace_file, *address_space_,
+                                                  topo_.num_cores());
+    trace_provenance_ = replay->header().Provenance();
+    workload_ = std::move(replay);
+  } else {
+    workload_ = std::make_unique<Workload>(workload_spec_, *address_space_, topo_.num_cores(),
+                                           sim_.seed, !sim_.reference_pipeline);
+  }
+  if (!workload_spec_.capture_file.empty()) {
+    trace::TraceHeader header;
+    header.machine = topo_.name();
+    header.workload = workload_spec_.name;
+    header.seed = sim_.seed;
+    header.threads = static_cast<std::uint32_t>(topo_.num_cores());
+    header.accesses_per_thread_per_epoch =
+        static_cast<std::uint32_t>(sim_.accesses_per_thread_per_epoch);
+    for (int r = 0; r < workload_->num_regions(); ++r) {
+      header.regions.push_back(workload_->region(r));
+    }
+    capture_ = std::make_unique<trace::TraceWriter>(workload_spec_.capture_file, header);
+    if (trace_provenance_.empty()) {
+      trace_provenance_ = header.Provenance();
+    }
+  }
   shard_ctx_.reserve(static_cast<std::size_t>(topo_.num_cores()));
   Rng seeder(sim_.seed ^ 0x7777u);
   for (int c = 0; c < topo_.num_cores(); ++c) {
@@ -160,8 +185,9 @@ Simulation::Simulation(const Topology& topo, const WorkloadSpec& workload,
   region_mlp_.reserve(static_cast<std::size_t>(workload_->num_regions()));
   region_intensity_.reserve(static_cast<std::size_t>(workload_->num_regions()));
   for (int r = 0; r < workload_->num_regions(); ++r) {
-    region_mlp_.push_back(workload_->mlp(r));
-    region_intensity_.push_back(workload_->dram_intensity(r));
+    const SourceRegion region = workload_->region(r);
+    region_mlp_.push_back(region.mlp);
+    region_intensity_.push_back(region.dram_intensity);
   }
   if (policy_.use_reactive || policy_.use_conservative) {
     lp_ = std::make_unique<CarrefourLp>(policy_, thp_state_);
@@ -900,6 +926,8 @@ RunResult Simulation::Run() {
   result.policy = policy_.kind;
   result.core_totals.resize(static_cast<std::size_t>(topo_.num_cores()));
   result.node_request_totals.assign(static_cast<std::size_t>(topo_.num_nodes()), 0);
+  std::vector<RegionMapEvent> map_events;
+  std::vector<RegionUnmapEvent> unmap_events;
 
   for (int epoch = 0; epoch < sim_.max_epochs; ++epoch) {
     // Cooperative watchdog cancellation, checked only at epoch boundaries:
@@ -936,9 +964,32 @@ RunResult Simulation::Run() {
     // shared setup bookkeeping — and thread t's batch lands in the context
     // of its pinned core.
     workload_->BeginEpoch();
+    // Mid-epoch RegionMap events (mmap churn — trace sources only): the
+    // source performed the MmapAnon itself inside BeginEpoch; here the new
+    // regions enter the per-region cost tables, the churn counters, and the
+    // capture stream.
+    workload_->DrainMapEvents(&map_events);
+    result.region_maps += map_events.size();
+    for (int r = static_cast<int>(region_mlp_.size()); r < workload_->num_regions(); ++r) {
+      const SourceRegion region = workload_->region(r);
+      region_mlp_.push_back(region.mlp);
+      region_intensity_.push_back(region.dram_intensity);
+    }
+    if (capture_ != nullptr) {
+      // The serial capture point: batch generation below is single-threaded
+      // at every shard count and in both engines, so the recorded stream is
+      // invariant across jobs × shards × engine (DESIGN.md §14).
+      capture_->BeginEpoch(epoch_in_setup);
+      for (const auto& event : map_events) {
+        capture_->RegionMap(event);
+      }
+    }
     for (int t = 0; t < topo_.num_cores(); ++t) {
-      workload_->FillBatch(t, sim_.accesses_per_thread_per_epoch,
-                           shard_ctx_[static_cast<std::size_t>(CoreOfThread(t))].batch);
+      auto& batch = shard_ctx_[static_cast<std::size_t>(CoreOfThread(t))].batch;
+      workload_->FillBatch(t, sim_.accesses_per_thread_per_epoch, batch);
+      if (capture_ != nullptr) {
+        capture_->Batch(t, batch);
+      }
     }
     ExecuteEpochAccesses(epoch_in_setup);
 
@@ -1081,7 +1132,31 @@ RunResult Simulation::Run() {
     }
     result.history.push_back(record);
 
-    if (workload_->Done()) {
+    // Epoch-end RegionUnmap events (munmap churn): frames go back through
+    // the buddy allocator — where long-lived churn fragments the free lists
+    // for real — and every core's TLB entries for the range die. Serialized
+    // epoch-end work, like the policy mutations above. The munmap syscall's
+    // own kernel time is not modeled; the churn's effect is allocator-side
+    // (DESIGN.md §14).
+    workload_->DrainUnmapEvents(&unmap_events);
+    for (const auto& event : unmap_events) {
+      if (capture_ != nullptr) {
+        capture_->RegionUnmap(event);
+      }
+      const AddressSpace::UnmapStats stats =
+          address_space_->MunmapRange(event.base, event.bytes);
+      result.unmapped_bytes += stats.freed_bytes;
+      ++result.region_unmaps;
+      for (ShardContext& ctx : shard_ctx_) {
+        ctx.tlb.InvalidateRange(event.base, event.bytes);
+      }
+    }
+
+    const bool done = workload_->Done();
+    if (capture_ != nullptr) {
+      capture_->EndEpoch(done);
+    }
+    if (done) {
       result.completed = true;
       break;
     }
@@ -1102,7 +1177,13 @@ RunResult Simulation::Run() {
     result.fault_promote_backoffs = fc.promote_backoffs;
     result.fault_retried_migrations = carrefour_.retried_migrations();
     result.fault_abandoned_pages = carrefour_.abandoned_pages();
-    result.thp_fallback_faults = address_space_->thp_fallback_faults();
+  }
+  // Unconditional (not fault-gated): churn-driven organic huge-allocation
+  // failures happen with no fault plan installed.
+  result.thp_fallback_faults = address_space_->thp_fallback_faults();
+  result.trace_source = trace_provenance_;
+  if (capture_ != nullptr) {
+    capture_->Finish(result.completed);
   }
   // Buddy fragmentation telemetry (filled on every run, faults or not):
   // worst per-node fragmentation, the largest order any node can still

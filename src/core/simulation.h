@@ -25,8 +25,10 @@
 #include "src/metrics/numa_metrics.h"
 #include "src/metrics/sample_window.h"
 #include "src/topo/topology.h"
+#include "src/trace/trace_writer.h"
 #include "src/vm/address_space.h"
 #include "src/vm/thp.h"
+#include "src/workloads/access_source.h"
 #include "src/workloads/workload.h"
 
 namespace numalp {
@@ -90,6 +92,17 @@ struct RunResult {
   std::uint64_t fault_retried_migrations = 0;
   std::uint64_t fault_abandoned_pages = 0;
   std::uint64_t thp_fallback_faults = 0;
+  // mmap-lifetime churn (trace sources only; zero for the generators):
+  // regions mapped/unmapped mid-run and bytes returned to the buddy
+  // allocator through AddressSpace::MunmapRange.
+  std::uint64_t region_maps = 0;
+  std::uint64_t region_unmaps = 0;
+  std::uint64_t unmapped_bytes = 0;
+  // Stream provenance ("workload@machine#seed" from the trace header) when
+  // this run captured or replayed a trace; empty otherwise. Identical for a
+  // capturing run and every replay of its file — part of the byte-identity
+  // contract (DESIGN.md §14).
+  std::string trace_source;
   // Buddy-allocator fragmentation telemetry at run end (filled on every
   // run): worst per-node fragmentation index, largest free order across
   // nodes, how many 2MB blocks the free lists could still serve, and how
@@ -215,7 +228,16 @@ class Simulation {
   PhysicalMemory phys_;
   ThpState thp_state_;
   std::unique_ptr<AddressSpace> address_space_;
-  std::unique_ptr<Workload> workload_;
+  // The access stream: a synthetic generator (Workload) or a trace replay
+  // (TraceWorkload), selected by WorkloadSpec::trace_file. The epoch loop
+  // consumes the AccessSource interface only.
+  std::unique_ptr<AccessSource> workload_;
+  // Trace capture (WorkloadSpec::capture_file): records the stream at the
+  // serial batch-fill points of the epoch loop (DESIGN.md §14).
+  std::unique_ptr<trace::TraceWriter> capture_;
+  // "workload@machine#seed" from the trace header when capturing or
+  // replaying; lands in RunResult::trace_source.
+  std::string trace_provenance_;
   PageWalker walker_;
   MemCtrlModel mem_ctrl_;
   InterconnectModel interconnect_;

@@ -229,6 +229,9 @@ std::vector<AggregateRow> Aggregate(const std::vector<ResultRow>& rows) {
     agg.migrations += static_cast<double>(row.migrations);
     agg.splits += static_cast<double>(row.splits);
     agg.promotions += static_cast<double>(row.promotions);
+    agg.thp_fallback_faults += static_cast<double>(row.thp_fallback_faults);
+    agg.buddy_alloc_failures += static_cast<double>(row.buddy_alloc_failures);
+    agg.frag_index_pct += row.frag_index_pct;
   }
   for (AggregateRow& agg : aggregates) {
     const double inv = agg.runs > 0 ? 1.0 / agg.runs : 0.0;
@@ -247,6 +250,9 @@ std::vector<AggregateRow> Aggregate(const std::vector<ResultRow>& rows) {
     agg.migrations *= inv;
     agg.splits *= inv;
     agg.promotions *= inv;
+    agg.thp_fallback_faults *= inv;
+    agg.buddy_alloc_failures *= inv;
+    agg.frag_index_pct *= inv;
   }
   return aggregates;
 }
@@ -300,6 +306,12 @@ const std::vector<AggregateField>& AggregateSchema() {
       {"splits", false, [](const AggregateRow& a) { return CanonicalDouble(a.splits); }},
       {"promotions", false,
        [](const AggregateRow& a) { return CanonicalDouble(a.promotions); }},
+      {"thp_fallback_faults", false,
+       [](const AggregateRow& a) { return CanonicalDouble(a.thp_fallback_faults); }},
+      {"buddy_alloc_failures", false,
+       [](const AggregateRow& a) { return CanonicalDouble(a.buddy_alloc_failures); }},
+      {"frag_index_pct", false,
+       [](const AggregateRow& a) { return CanonicalDouble(a.frag_index_pct); }},
   };
   return schema;
 }
@@ -412,6 +424,12 @@ bool ParseSummaryJson(const std::string& contents, std::vector<AggregateRow>* ou
       row.splits = num();
     } else if (key == "promotions") {
       row.promotions = num();
+    } else if (key == "thp_fallback_faults") {
+      row.thp_fallback_faults = num();
+    } else if (key == "buddy_alloc_failures") {
+      row.buddy_alloc_failures = num();
+    } else if (key == "frag_index_pct") {
+      row.frag_index_pct = num();
     }  // unknown keys are ignored (schema growth)
   };
 

@@ -64,6 +64,11 @@ struct AggregateRow {
   double migrations = 0.0;
   double splits = 0.0;
   double promotions = 0.0;
+  // Buddy-fragmentation telemetry means (DESIGN.md Section 14): the
+  // mmap-churn check needs the organic allocation-failure evidence.
+  double thp_fallback_faults = 0.0;
+  double buddy_alloc_failures = 0.0;
+  double frag_index_pct = 0.0;
 };
 
 // Groups rows by column. Column order is first appearance in `rows`, which

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string_view>
 
 #include "src/report/sink.h"
 
@@ -175,6 +176,22 @@ std::optional<BenchmarkId> ParseWorkloadName(const std::string& name) {
   return std::nullopt;
 }
 
+std::string KnownWorkloadNames() {
+  std::string names;
+  auto add = [&names](std::string_view name) {
+    if (!names.empty()) {
+      names += " ";
+    }
+    names += name;
+  };
+  for (BenchmarkId id : FullSuite()) {
+    add(NameOf(id));
+  }
+  add(NameOf(BenchmarkId::kStreamcluster));
+  add(NameOf(BenchmarkId::kSparseFootprint));
+  return names;
+}
+
 std::optional<PolicyKind> ParsePolicyName(const std::string& name) {
   if (name == "linux" || name == "linux-4k") {
     return PolicyKind::kLinux4K;
@@ -231,8 +248,31 @@ ExtraFlag AssigningFlag(const char* flag, T* out, Parse parse) {
 
 }  // namespace
 
-ExtraFlag WorkloadFlag(BenchmarkId* out) {
-  return AssigningFlag("--workload", out, ParseWorkloadName);
+ExtraFlag WorkloadFlag(BenchmarkId* out, std::string* trace_file) {
+  return {"--workload", true, [out, trace_file](const char* value) {
+            const std::string name = value;
+            if (name.rfind("trace:", 0) == 0) {
+              if (trace_file == nullptr) {
+                std::fprintf(stderr, "%s: this tool does not support trace replay\n",
+                             value);
+                return false;
+              }
+              *trace_file = name.substr(6);
+              return !trace_file->empty();
+            }
+            const auto parsed = ParseWorkloadName(name);
+            if (!parsed) {
+              std::fprintf(stderr,
+                           "unknown workload '%s'; valid names: %s%s\n", value,
+                           KnownWorkloadNames().c_str(),
+                           trace_file != nullptr
+                               ? ", or trace:FILE (replay a recorded trace)"
+                               : "");
+              return false;
+            }
+            *out = *parsed;
+            return true;
+          }};
 }
 
 ExtraFlag MachineFlag(Topology* out) {

@@ -64,6 +64,9 @@ Options ParseToolArgs(int argc, char** argv, const ToolInfo& info,
 // Name parsers shared by the CLI tools (historically duplicated between
 // numalp_run and quickstart, with divergent aliases).
 std::optional<BenchmarkId> ParseWorkloadName(const std::string& name);
+// Comma-joined list of every name ParseWorkloadName accepts, for error
+// messages ("unknown workload" responses must name the alternatives).
+std::string KnownWorkloadNames();
 std::optional<PolicyKind> ParsePolicyName(const std::string& name);
 // Accepts "A"/"machineA", "B"/"machineB", and the datacenter presets
 // "epyc8", "snc16", "cxl".
@@ -73,7 +76,10 @@ std::optional<Topology> ParseMachineName(const std::string& name);
 // value with the matching name parser above and assign into *out (which
 // must outlive the ParseToolArgs call). One declaration per tool instead
 // of a hand-rolled closure per binary.
-ExtraFlag WorkloadFlag(BenchmarkId* out);
+// When `trace_file` is non-null the flag additionally accepts
+// "trace:FILE" (replay a recorded trace): FILE lands in *trace_file and
+// *out is left untouched. Unknown names print the valid alternatives.
+ExtraFlag WorkloadFlag(BenchmarkId* out, std::string* trace_file = nullptr);
 ExtraFlag MachineFlag(Topology* out);
 ExtraFlag PolicyFlag(PolicyKind* out);
 

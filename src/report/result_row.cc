@@ -98,6 +98,10 @@ const std::vector<ResultField>& ResultSchema() {
       Int("buddy_largest_free_order", "", &ResultRow::buddy_largest_free_order),
       Uint("buddy_free_2m_blocks", "blocks", &ResultRow::buddy_free_2m_blocks),
       Uint("buddy_alloc_failures", "", &ResultRow::buddy_alloc_failures),
+      Str("trace_source", &ResultRow::trace_source),
+      Uint("region_maps", "regions", &ResultRow::region_maps),
+      Uint("region_unmaps", "regions", &ResultRow::region_unmaps),
+      Uint("unmapped_bytes", "bytes", &ResultRow::unmapped_bytes),
   };
   return schema;
 }
@@ -263,6 +267,10 @@ ResultRow MakeResultRow(const std::string& bench, const RunSpec& spec, const Run
   row.buddy_largest_free_order = run.buddy_largest_free_order;
   row.buddy_free_2m_blocks = run.buddy_free_2m_blocks;
   row.buddy_alloc_failures = run.buddy_alloc_failures;
+  row.trace_source = run.trace_source;
+  row.region_maps = run.region_maps;
+  row.region_unmaps = run.region_unmaps;
+  row.unmapped_bytes = run.unmapped_bytes;
   return row;
 }
 

@@ -76,6 +76,15 @@ struct ResultRow {
   int buddy_largest_free_order = -1;
   std::uint64_t buddy_free_2m_blocks = 0;
   std::uint64_t buddy_alloc_failures = 0;
+
+  // Trace provenance and mmap-lifetime churn (DESIGN.md Section 14).
+  // trace_source is "workload@machine#seed" from the trace header when the
+  // run captured or replayed a trace, "" otherwise — a capture and its
+  // replay carry the same value, keeping their rows byte-identical.
+  std::string trace_source;
+  std::uint64_t region_maps = 0;    // regions mapped after the run began
+  std::uint64_t region_unmaps = 0;  // regions whose lifetime ended mid-run
+  std::uint64_t unmapped_bytes = 0;
 };
 
 enum class FieldType { kString, kBool, kInt, kUint, kDouble };

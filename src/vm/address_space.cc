@@ -26,6 +26,39 @@ Addr AddressSpace::MmapAnon(std::uint64_t bytes, VmaOptions opts) {
   return vmas_.back().base;
 }
 
+AddressSpace::UnmapStats AddressSpace::MunmapRange(Addr base, std::uint64_t bytes) {
+  UnmapStats stats;
+  // Collect first: Unmap mutates the radix table under the iterator.
+  std::vector<PageTable::Mapping> mappings;
+  page_table_.ForEachMappingIn(base, bytes, [&](const PageTable::Mapping& m) {
+    mappings.push_back(m);
+  });
+  for (const auto& m : mappings) {
+    page_table_.Unmap(m.page_base);
+    phys_.Free(m.pfn, OrderOf(m.size));
+    NoteUnmapped(m.page_base, m.size);
+    switch (m.size) {
+      case PageSize::k4K:
+        ++stats.pages_4k;
+        break;
+      case PageSize::k2M:
+        ++stats.pages_2m;
+        break;
+      case PageSize::k1G:
+        ++stats.pages_1g;
+        break;
+    }
+    stats.freed_bytes += BytesOf(m.size);
+  }
+  vmas_.erase(std::remove_if(vmas_.begin(), vmas_.end(),
+                             [&](const Vma& vma) {
+                               return vma.base >= base &&
+                                      vma.base + vma.bytes <= base + bytes;
+                             }),
+              vmas_.end());
+  return stats;
+}
+
 Vma* AddressSpace::FindVma(Addr va) {
   for (auto& vma : vmas_) {
     if (va >= vma.base && va < vma.base + vma.bytes) {
@@ -163,9 +196,10 @@ TouchResult AddressSpace::Touch(Addr va, int core_node) {
           return TouchResult{*Translate(va), fault};
         }
       }
-      if (fault_plan_ != nullptr) {
-        ++thp_fallback_faults_;
-      }
+      // Injected *or organic* (fragmented buddy) huge-allocation failure:
+      // count it either way — churn-driven fragmentation produces these with
+      // no fault plan installed.
+      ++thp_fallback_faults_;
     }
   }
 

@@ -75,6 +75,21 @@ class AddressSpace {
   // allocation until touched). Returns the VMA base address.
   Addr MmapAnon(std::uint64_t bytes, VmaOptions opts);
 
+  // munmap: removes every mapping inside [base, base + bytes) — freeing the
+  // frames back through the buddy allocator, where they coalesce as far as
+  // neighbouring live allocations permit — and drops VMAs fully covered by
+  // the range. This is how long-lived mmap/munmap churn produces real
+  // free-list fragmentation (DESIGN.md §14). Partially covered mappings
+  // (a large page straddling the boundary) are freed whole, like Linux
+  // splitting-then-unmapping; callers unmap at VMA granularity.
+  struct UnmapStats {
+    std::uint64_t pages_4k = 0;
+    std::uint64_t pages_2m = 0;
+    std::uint64_t pages_1g = 0;
+    std::uint64_t freed_bytes = 0;
+  };
+  UnmapStats MunmapRange(Addr base, std::uint64_t bytes);
+
   std::optional<TranslateResult> Translate(Addr va) const;
 
   // A caller-owned mapping cache for Translate-heavy loops (the per-core

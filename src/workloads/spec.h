@@ -84,6 +84,13 @@ struct WorkloadSpec {
   std::uint64_t steady_accesses_per_thread = 120'000;
   double write_fraction = 0.3;
   std::vector<RegionSpec> regions;
+  // Trace replay: when set, the simulation ignores `regions` and replays the
+  // recorded stream via TraceWorkload (DESIGN.md §14). `name` carries the
+  // recorded workload name so replayed rows keep the original coordinates.
+  std::string trace_file;
+  // Trace capture: when set, the simulation records its access stream (at the
+  // serial batch-commit points) into this file via TraceWriter.
+  std::string capture_file;
 
   // Sum of access shares (regions are normalized against this).
   double TotalShare() const;

@@ -30,6 +30,7 @@ Workload::Workload(const WorkloadSpec& spec, AddressSpace& address_space, int nu
     opts.thp_eligible = region_spec.thp_eligible;
     opts.explicit_page = region_spec.explicit_page;
     rt.base = address_space.MmapAnon(region_spec.bytes, opts);
+    rt.vma_bytes = AlignUp(region_spec.bytes, kBytes4K);
     rt.pages = region_spec.bytes / kBytes4K;
     rt.slice_pages = rt.pages / static_cast<std::uint64_t>(num_threads_);
     if (region_spec.pattern == PatternKind::kZipf) {
@@ -63,6 +64,7 @@ Workload::Workload(const WorkloadSpec& spec, AddressSpace& address_space, int nu
     opts.name = "scratch";
     opts.thp_eligible = false;
     rt.base = address_space.MmapAnon(static_cast<std::uint64_t>(num_threads_) * kBytes4K, opts);
+    rt.vma_bytes = static_cast<std::uint64_t>(num_threads_) * kBytes4K;
     rt.pages = static_cast<std::uint64_t>(num_threads_);
     rt.slice_pages = 1;
     scratch_region_ = static_cast<int>(regions_.size());

@@ -12,17 +12,12 @@
 #include "src/common/units.h"
 #include "src/common/zipf.h"
 #include "src/vm/address_space.h"
+#include "src/workloads/access_source.h"
 #include "src/workloads/spec.h"
 
 namespace numalp {
 
-struct WorkloadAccess {
-  Addr va = 0;
-  std::uint8_t region = 0;
-  bool write = false;
-};
-
-class Workload {
+class Workload : public AccessSource {
  public:
   // `batched_generation` selects the run-batched steady-state generator
   // (default): accesses are produced in per-region runs with the RNG state,
@@ -37,17 +32,17 @@ class Workload {
   // (first-touch) work. While latched, threads that finish their queue spin
   // on their private scratch page until the next epoch — like workers
   // parked on a barrier while the master initializes.
-  void BeginEpoch();
+  void BeginEpoch() override;
 
   // Appends `n` accesses for `thread` to `out` (cleared first). Consumes the
   // thread's setup queue before switching to steady-state draws.
-  void FillBatch(int thread, std::size_t n, std::vector<WorkloadAccess>& out);
+  void FillBatch(int thread, std::size_t n, std::vector<WorkloadAccess>& out) override;
 
   // True once every thread has issued its steady-state budget.
-  bool Done() const;
+  bool Done() const override;
 
   // True once every thread has drained its setup (first-touch) queue.
-  bool SetupDone() const { return setup_remaining_threads_ == 0; }
+  bool SetupDone() const override { return setup_remaining_threads_ == 0; }
 
   // DRAM intensity of region index `region` (the engine's cache model).
   double dram_intensity(int region) const {
@@ -59,10 +54,21 @@ class Workload {
   }
 
   const WorkloadSpec& spec() const { return spec_; }
-  int num_threads() const { return num_threads_; }
+  int num_threads() const override { return num_threads_; }
   // Region count including the internal scratch region (region ids in
   // emitted accesses are < num_regions()).
-  int num_regions() const { return static_cast<int>(regions_.size()); }
+  int num_regions() const override { return static_cast<int>(regions_.size()); }
+  SourceRegion region(int r) const override {
+    const RegionRt& rt = regions_[static_cast<std::size_t>(r)];
+    SourceRegion desc;
+    desc.base = rt.base;
+    desc.bytes = rt.vma_bytes;
+    desc.thp_eligible = rt.spec->thp_eligible;
+    desc.explicit_page = rt.spec->explicit_page;
+    desc.dram_intensity = rt.spec->dram_intensity;
+    desc.mlp = rt.spec->mlp;
+    return desc;
+  }
   Addr region_base(int region) const {
     return regions_[static_cast<std::size_t>(region)].base;
   }
@@ -70,13 +76,14 @@ class Workload {
     return threads_[static_cast<std::size_t>(thread)].steady_issued;
   }
   // Total footprint the workload can touch (bytes).
-  std::uint64_t footprint_bytes() const;
+  std::uint64_t footprint_bytes() const override;
 
  private:
   struct RegionRt {
     const RegionSpec* spec = nullptr;
     Addr base = 0;
-    std::uint64_t pages = 0;  // 4KB pages
+    std::uint64_t vma_bytes = 0;  // mapped VMA size (4KB-aligned)
+    std::uint64_t pages = 0;      // 4KB pages
     std::optional<ZipfSampler> zipf;
     std::uint64_t slice_pages = 0;  // partitioned / sequential / incremental
     std::uint64_t zipf_stride = 0;  // block-shuffle stride (0 = identity layout)

@@ -69,6 +69,10 @@ ResultRow GoldenRow() {
   row.buddy_largest_free_order = 18;
   row.buddy_free_2m_blocks = 12;
   row.buddy_alloc_failures = 11;
+  row.trace_source = "CG.D@machineB#15880";
+  row.region_maps = 5;
+  row.region_unmaps = 2;
+  row.unmapped_bytes = 8388608;
   return row;
 }
 
@@ -83,7 +87,7 @@ std::string Serialize(const ResultRow& row) {
 
 TEST(ResultSchemaTest, NamesAreUniqueAndTyped) {
   const auto& schema = ResultSchema();
-  EXPECT_EQ(schema.size(), 42u);
+  EXPECT_EQ(schema.size(), 46u);
   for (std::size_t a = 0; a < schema.size(); ++a) {
     for (std::size_t b = a + 1; b < schema.size(); ++b) {
       EXPECT_STRNE(schema[a].name, schema[b].name);
@@ -139,10 +143,11 @@ TEST(CsvSinkTest, GoldenOutput) {
       "fault_migration_failures,fault_split_failures,fault_truncated_plans,"
       "fault_pressure_epochs,fault_promote_backoffs,fault_retried_migrations,"
       "fault_abandoned_pages,thp_fallback_faults,frag_index_pct,"
-      "buddy_largest_free_order,buddy_free_2m_blocks,buddy_alloc_failures\n"
+      "buddy_largest_free_order,buddy_free_2m_blocks,buddy_alloc_failures,"
+      "trace_source,region_maps,region_unmaps,unmapped_bytes\n"
       "fig1,machineB,CG.D,THP,\"a,b\",2,15880,true,17,123456789,100000000,"
       "61.7283945,-43.25,36.5,59,8.125,3,34,0.1,1.5,2.75,99.5,1048,4,1,0.79,96.9,100,"
-      "ok,7,5,1,2,3,4,6,1,9,37.5,18,12,11\n");
+      "ok,7,5,1,2,3,4,6,1,9,37.5,18,12,11,CG.D@machineB#15880,5,2,8388608\n");
 }
 
 TEST(JsonlSinkTest, GoldenOutputAndRoundTrip) {
